@@ -1,0 +1,179 @@
+// Command benchgen writes the repository's benchmark circuits out as
+// ISCAS89 .bench netlists, so they can be inspected, diffed, or fed to
+// other tools. It can also generate parameterized circuit families.
+//
+//	benchgen -out ./netlists                  # all 24 + s27
+//	benchgen -out . -circuits s298,s27        # subset
+//	benchgen -stats                           # print a signature table only
+//	benchgen -out . -family counter:8:2       # 8-bit counter, 2 enable pins
+//	benchgen -out . -family lfsr:16           # maximal 16-bit LFSR
+//	benchgen -out . -family shift:32          # 32-stage shift register
+//	benchgen -out . -family pipeline:8:4      # 8 bits wide, 4 stages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/bench89"
+	"repro/internal/netlist"
+)
+
+// buildFamily parses a "-family kind:arg[:arg]" spec and generates the
+// circuit.
+func buildFamily(spec string) (*netlist.Circuit, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i int, def int) (int, error) {
+		if i >= len(parts) {
+			return def, nil
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "counter":
+		bits, err := atoi(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		en, err := atoi(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		return bench89.GenerateCounter(fmt.Sprintf("counter%d", bits), bits, en)
+	case "lfsr":
+		bits, err := atoi(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		taps, ok := bench89.MaximalLFSRTaps[bits]
+		if !ok {
+			return nil, fmt.Errorf("no maximal tap set for %d bits (have %v)", bits, knownTapSizes())
+		}
+		return bench89.GenerateLFSR(fmt.Sprintf("lfsr%d", bits), bits, taps)
+	case "shift":
+		depth, err := atoi(1, 16)
+		if err != nil {
+			return nil, err
+		}
+		return bench89.GenerateShiftRegister(fmt.Sprintf("shift%d", depth), depth)
+	case "pipeline":
+		width, err := atoi(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		stages, err := atoi(2, 4)
+		if err != nil {
+			return nil, err
+		}
+		return bench89.GeneratePipeline(fmt.Sprintf("pipe%dx%d", width, stages), width, stages)
+	}
+	return nil, fmt.Errorf("unknown family %q (counter|lfsr|shift|pipeline)", parts[0])
+}
+
+func knownTapSizes() []int {
+	var out []int
+	for k := range bench89.MaximalLFSRTaps {
+		out = append(out, k)
+	}
+	return out
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output directory for .bench files")
+		circuits = flag.String("circuits", "", "comma-separated subset (default: s27 + all 24)")
+		family   = flag.String("family", "", "generate a parameterized family circuit (kind:args)")
+		stats    = flag.Bool("stats", false, "print circuit statistics instead of writing files")
+	)
+	flag.Parse()
+
+	if *family != "" {
+		c, err := buildFamily(*family)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			fmt.Println(netlist.BenchString(c))
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, c.Name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := dipe.WriteBench(f, c); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		return
+	}
+
+	names := append([]string{"s27"}, dipe.BenchmarkNames()...)
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+
+	if !*stats && *out == "" {
+		fmt.Fprintln(os.Stderr, "benchgen: need -out DIR or -stats")
+		os.Exit(2)
+	}
+
+	if *stats {
+		fmt.Printf("%-10s %6s %6s %6s %8s %7s %10s\n", "circuit", "PI", "PO", "DFF", "gates", "depth", "max-fanout")
+		for _, name := range names {
+			c, err := dipe.Benchmark(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			st := c.ComputeStats()
+			fmt.Printf("%-10s %6d %6d %6d %8d %7d %10d\n",
+				st.Name, st.Inputs, st.Outputs, st.Latches, st.Gates, st.Depth, st.MaxFanout)
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		c, err := dipe.Benchmark(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := dipe.WriteBench(f, c); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

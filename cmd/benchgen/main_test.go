@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildFamilySpecs(t *testing.T) {
+	cases := []struct {
+		spec       string
+		pi, po, ff int
+	}{
+		{"counter:4:1", 1, 1, 4},
+		{"counter:8:2", 2, 1, 8},
+		{"lfsr:8", 1, 1, 8},
+		{"shift:16", 1, 1, 16},
+		{"pipeline:4:3", 4, 4, 12},
+	}
+	for _, tc := range cases {
+		c, err := buildFamily(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		st := c.ComputeStats()
+		if st.Inputs != tc.pi || st.Outputs != tc.po || st.Latches != tc.ff {
+			t.Errorf("%s: got %d/%d/%d, want %d/%d/%d",
+				tc.spec, st.Inputs, st.Outputs, st.Latches, tc.pi, tc.po, tc.ff)
+		}
+	}
+}
+
+func TestBuildFamilyDefaults(t *testing.T) {
+	for _, spec := range []string{"counter", "lfsr", "shift", "pipeline"} {
+		if _, err := buildFamily(spec); err != nil {
+			t.Errorf("%s with defaults: %v", spec, err)
+		}
+	}
+}
+
+func TestBuildFamilyErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"warp:4", "unknown family"},
+		{"lfsr:11", "no maximal tap set"},
+		{"counter:x", "invalid syntax"},
+		{"pipeline:2:1", "width >= 3"},
+	}
+	for _, tc := range cases {
+		_, err := buildFamily(tc.spec)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.spec, err, tc.want)
+		}
+	}
+}

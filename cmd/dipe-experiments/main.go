@@ -1,0 +1,172 @@
+// Command dipe-experiments regenerates every table and figure of the
+// paper's evaluation section, plus the ablations documented in
+// DESIGN.md.
+//
+//	dipe-experiments -table1                       # Table 1 (all circuits)
+//	dipe-experiments -table2 -runs 1000            # Table 2 at paper scale
+//	dipe-experiments -fig3                         # Figure 3 (s1494, L=10000)
+//	dipe-experiments -ablation stopping            # criterion comparison
+//	dipe-experiments -table1 -circuits s27,s298    # subset
+//	dipe-experiments -all -small                   # everything, small circuits
+//
+// By default reference budgets scale with circuit size; -paper restores
+// the 1e6-cycle references of the paper (slow on the largest circuits).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench89"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "regenerate Table 1")
+		table2   = flag.Bool("table2", false, "regenerate Table 2")
+		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
+		ablation = flag.String("ablation", "", "run one ablation: seqlen | alpha | stopping | warmup | inputs")
+		all      = flag.Bool("all", false, "run every table, figure and ablation")
+		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all 24)")
+		small    = flag.Bool("small", false, "restrict to circuits with < 700 gates")
+		runs     = flag.Int("runs", 100, "runs per circuit for Table 2 / ablations (paper: 1000)")
+		parallel = flag.Int("parallel", 0, "concurrent estimation runs in Table 2 (0 = serial)")
+		paper    = flag.Bool("paper", false, "use the paper's 1e6-cycle references")
+		seed     = flag.Int64("seed", 1997, "base seed for the whole campaign")
+		fig3Len  = flag.Int("fig3-len", 10000, "Figure 3 sequence length")
+		fig3Max  = flag.Int("fig3-max", 30, "Figure 3 maximum trial interval")
+		fig3Circ = flag.String("fig3-circuit", "s1494", "Figure 3 circuit")
+		csv      = flag.Bool("csv", false, "emit Figure 3 as CSV instead of ASCII")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = *runs
+	cfg.Parallel = *parallel
+	cfg.BaseSeed = *seed
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	if *paper {
+		cfg.RefCycles = experiments.PaperRefCycles
+	}
+	switch {
+	case *circuits != "":
+		cfg.Circuits = strings.Split(*circuits, ",")
+	case *small:
+		cfg.Circuits = bench89.SmallNames(700)
+	}
+
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dipe-experiments:", err)
+		os.Exit(1)
+	}
+
+	if *table1 || *all {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if *table2 || *all {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if *fig3 || *all {
+		pts, err := experiments.Figure3(cfg, *fig3Circ, *fig3Len, *fig3Max)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(experiments.Figure3CSV(pts))
+		} else {
+			c := stats.NormalQuantile(1 - cfg.Opts.Alpha/2)
+			fmt.Println(experiments.RenderFigure3(pts, c))
+		}
+	}
+
+	runAblation := func(which string) {
+		// Ablations run on one representative circuit each; s298 is small
+		// and strongly correlated, s27 is the fast smoke case.
+		switch which {
+		case "seqlen":
+			rows, err := experiments.AblationSeqLen(cfg, "s298", []int{80, 160, 320, 640, 1280})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderSeqLen(rows))
+		case "alpha":
+			rows, err := experiments.AblationAlpha(cfg, "s298", []float64{0.05, 0.10, 0.20, 0.30, 0.50})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderAlpha(rows))
+		case "stopping":
+			rows, err := experiments.AblationStopping(cfg, "s298")
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderStopping(rows))
+		case "warmup":
+			rows, err := experiments.AblationWarmup(cfg, "s298", []int{10, 50, 100})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderWarmup(rows))
+		case "inputs":
+			rows, err := experiments.AblationInputs(cfg, "s298", []float64{0, 0.5, 0.9})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderInputs(rows))
+		case "delay":
+			dcfg := cfg
+			if len(dcfg.Circuits) > 8 {
+				dcfg.Circuits = dcfg.Circuits[:8]
+			}
+			rows, err := experiments.AblationDelayModels(dcfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderDelayModels(rows))
+		case "calibration":
+			rows := experiments.CalibrationRunsTest(cfg, cfg.Opts.Test, cfg.Opts.SeqLen, 2000,
+				[]float64{0.05, 0.10, 0.20, 0.30, 0.50})
+			fmt.Println(experiments.RenderCalibration(rows))
+		case "proba":
+			pcfg := cfg
+			if len(pcfg.Circuits) > 12 {
+				pcfg.Circuits = pcfg.Circuits[:12]
+			}
+			rows, err := experiments.ProbabilisticBaseline(pcfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderProba(rows))
+		default:
+			fail(fmt.Errorf("unknown ablation %q (seqlen|alpha|stopping|warmup|inputs|delay|calibration|proba)", which))
+		}
+	}
+	if *ablation != "" {
+		runAblation(*ablation)
+	}
+	if *all {
+		for _, a := range []string{"seqlen", "alpha", "stopping", "warmup", "inputs", "delay", "calibration", "proba"} {
+			runAblation(a)
+		}
+	}
+}

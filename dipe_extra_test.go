@@ -1,0 +1,175 @@
+package dipe_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeMaxPower(t *testing.T) {
+	c, err := dipe.Benchmark("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	opts := dipe.DefaultMaxPowerOptions()
+	opts.Budget = 1200
+	peak, err := dipe.MaxPower(tb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := dipe.MaxPowerRandom(tb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Power <= 0 || rnd.Power <= 0 {
+		t.Fatalf("peaks: hc=%g random=%g", peak.Power, rnd.Power)
+	}
+	// The peak must exceed the long-run average.
+	ref := dipe.RunReference(tb.NewSession(dipe.NewIIDSource(len(c.Inputs), 0.5, 3)), 128, 10_000)
+	if peak.Power <= ref.Power {
+		t.Fatalf("peak %g not above average %g", peak.Power, ref.Power)
+	}
+}
+
+func TestFacadeProbabilisticBaseline(t *testing.T) {
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := dipe.AnalyzeProbabilities(c, []float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	p := stats.Power(tb.Model)
+	if p <= 0 {
+		t.Fatalf("probabilistic power %g", p)
+	}
+	// Within a factor of 2 of simulation on this small FSM.
+	ref := dipe.RunReference(tb.NewSession(dipe.NewIIDSource(4, 0.5, 9)), 128, 30_000)
+	if p < ref.Power/2 || p > ref.Power*2 {
+		t.Fatalf("probabilistic %g vs simulated %g out of sanity band", p, ref.Power)
+	}
+}
+
+func TestFacadeBLIF(t *testing.T) {
+	text := `
+.model m
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+`
+	c, err := dipe.ParseBLIF("m", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 2 || len(c.Outputs) != 1 {
+		t.Fatalf("stats: %+v", c.ComputeStats())
+	}
+	if _, err := dipe.LoadBLIF("/nonexistent.blif"); err == nil {
+		t.Fatal("missing BLIF file accepted")
+	}
+}
+
+func TestFacadeDiagnose(t *testing.T) {
+	c, err := dipe.Benchmark("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	s := tb.NewSession(dipe.NewIIDSource(len(c.Inputs), 0.5, 4))
+	d, err := dipe.Diagnose(s, 2, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tests) == 0 || len(d.ACF) == 0 {
+		t.Fatalf("diagnostics empty: %+v", d)
+	}
+}
+
+func TestFacadeEstimateBatchMeans(t *testing.T) {
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	res, err := dipe.EstimateBatchMeans(tb.NewSession(dipe.NewIIDSource(4, 0.5, 5)), dipe.DefaultOptions(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Power <= 0 {
+		t.Fatalf("batch means: %+v", res)
+	}
+}
+
+func TestFacadeCompositeTest(t *testing.T) {
+	comp := dipe.CompositeTest(dipe.OrdinaryRunsTest, dipe.LjungBoxTest)
+	opts := dipe.DefaultOptions()
+	opts.Test = comp
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	res, err := dipe.Estimate(tb.NewSession(dipe.NewIIDSource(4, 0.5, 6)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("composite-test estimation did not converge")
+	}
+}
+
+func TestFacadeStateSampling(t *testing.T) {
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+	stg, err := dipe.ExtractSTG(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := stg.Stationary(1e-10, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	res, err := dipe.EstimateByStateSampling(tb.NewSession(dipe.NewIIDSource(4, 0.5, 7)),
+		stg, pi, p, dipe.DefaultSpec(), dipe.OrderStatisticsCriterion, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Power <= 0 {
+		t.Fatalf("state sampling: %+v", res)
+	}
+}
+
+func TestFacadeCustomTestbench(t *testing.T) {
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewCustomTestbench(c, dipe.UnitDelayModel, dipe.DefaultCapModel(), dipe.DefaultSupply())
+	ref := dipe.RunReference(tb.NewSession(dipe.NewIIDSource(4, 0.5, 8)), 64, 5_000)
+	if ref.Power <= 0 {
+		t.Fatalf("unit-delay reference power %g", ref.Power)
+	}
+	// Zero-delay power must not exceed general-delay power on the same
+	// stream (glitches only add).
+	tbz := dipe.NewCustomTestbench(c, dipe.ZeroDelayModel, dipe.DefaultCapModel(), dipe.DefaultSupply())
+	refz := dipe.RunReference(tbz.NewSession(dipe.NewIIDSource(4, 0.5, 8)), 64, 5_000)
+	tbf := dipe.NewCustomTestbench(c, dipe.FanoutDelayModel, dipe.DefaultCapModel(), dipe.DefaultSupply())
+	reff := dipe.RunReference(tbf.NewSession(dipe.NewIIDSource(4, 0.5, 8)), 64, 5_000)
+	if refz.Power > reff.Power*1.001 {
+		t.Fatalf("zero-delay power %g above general-delay %g", refz.Power, reff.Power)
+	}
+	if math.IsNaN(refz.Power) || math.IsNaN(reff.Power) {
+		t.Fatal("NaN power")
+	}
+}

@@ -1,0 +1,151 @@
+package dipe_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := dipe.NewTestbench(c)
+	res, err := dipe.Estimate(tb.NewSession(dipe.NewIIDSource(len(c.Inputs), 0.5, 1)), dipe.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Power <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	ref := dipe.RunReference(tb.NewSession(dipe.NewIIDSource(len(c.Inputs), 0.5, 2)), 128, 60_000)
+	if dev := math.Abs(res.Power-ref.Power) / ref.Power; dev > 0.05+4*ref.RelStdErr() {
+		t.Fatalf("estimate %g deviates %.2f%% from reference %g", res.Power, 100*dev, ref.Power)
+	}
+}
+
+func TestFacadeBenchmarkNames(t *testing.T) {
+	names := dipe.BenchmarkNames()
+	if len(names) != 24 {
+		t.Fatalf("BenchmarkNames = %d entries, want 24 (paper's Tables 1-2)", len(names))
+	}
+	if names[0] != "s208" || names[len(names)-1] != "s15850" {
+		t.Fatalf("unexpected ordering: first %s last %s", names[0], names[len(names)-1])
+	}
+	if _, err := dipe.Benchmark("sNOPE"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeBenchFileRoundTrip(t *testing.T) {
+	c, err := dipe.Benchmark("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s298.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dipe.WriteBench(f, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := dipe.LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.ComputeStats(), re.ComputeStats()
+	a.Name, b.Name = "", "" // LoadBench names the circuit after the path
+	if a != b {
+		t.Fatalf("round trip changed structure: %+v vs %+v", a, b)
+	}
+}
+
+func TestFacadeLoadBenchMissingFile(t *testing.T) {
+	if _, err := dipe.LoadBench("/nonexistent/x.bench"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFacadeParseBench(t *testing.T) {
+	c, err := dipe.ParseBench("t", strings.NewReader("INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+}
+
+func TestFacadeSTG(t *testing.T) {
+	c, err := dipe.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stg, err := dipe.ExtractSTG(c, []float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := stg.Stationary(1e-10, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("stationary sums to %g", sum)
+	}
+}
+
+func TestFacadeCriteriaAndTests(t *testing.T) {
+	spec := dipe.DefaultSpec()
+	for _, f := range []func(dipe.Spec) dipe.Criterion{
+		dipe.NormalCriterion, dipe.KSCriterion, dipe.OrderStatisticsCriterion,
+	} {
+		crit := f(spec)
+		crit.Add(1)
+		if crit.N() != 1 {
+			t.Fatalf("%s: N=%d", crit.Name(), crit.N())
+		}
+	}
+	seq := make([]float64, 100)
+	for i := range seq {
+		seq[i] = float64(i % 7)
+	}
+	for _, name := range []string{
+		dipe.OrdinaryRunsTest.Name(), dipe.UpDownRunsTest.Name(), dipe.VonNeumannTest.Name(),
+	} {
+		if name == "" {
+			t.Fatal("empty test name")
+		}
+	}
+	_ = dipe.OrdinaryRunsTest.Apply(seq)
+}
+
+func TestFacadeFormatWatts(t *testing.T) {
+	if s := dipe.FormatWatts(1.7e-3); !strings.Contains(s, "mW") {
+		t.Fatalf("FormatWatts = %q", s)
+	}
+}
+
+func TestFacadeSourcesWidth(t *testing.T) {
+	if w := dipe.NewIIDSource(7, 0.5, 1).Width(); w != 7 {
+		t.Fatalf("iid width %d", w)
+	}
+	if w := dipe.NewLagCorrelatedSource(3, 0.5, 0.5, 1).Width(); w != 3 {
+		t.Fatalf("lag width %d", w)
+	}
+	if w := dipe.NewSpatialSource(6, 2, 0.5, 0.1, 1).Width(); w != 6 {
+		t.Fatalf("spatial width %d", w)
+	}
+}

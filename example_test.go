@@ -1,0 +1,107 @@
+package dipe_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+// Example_estimate runs the full DIPE flow on the genuine s27 benchmark
+// with the paper's default configuration. All runs are deterministic
+// given the input-source seed.
+func Example_estimate() {
+	circuit, err := dipe.Benchmark("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := dipe.NewTestbench(circuit)
+	src := dipe.NewIIDSource(len(circuit.Inputs), 0.5, 42)
+
+	res, err := dipe.Estimate(tb.NewSession(src), dipe.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power: %s\n", dipe.FormatWatts(res.Power))
+	fmt.Printf("independence interval: %d\n", res.Interval)
+	fmt.Printf("converged: %v\n", res.Converged)
+	// Output:
+	// power: 46.708 uW
+	// independence interval: 0
+	// converged: true
+}
+
+// Example_selectInterval runs only the Fig. 2 procedure: trial intervals
+// are increased until the runs test accepts the power sequence as
+// random.
+func Example_selectInterval() {
+	circuit, err := dipe.Benchmark("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := dipe.NewTestbench(circuit)
+	sel, err := dipe.SelectInterval(tb.NewSession(dipe.NewIIDSource(4, 0.5, 7)), dipe.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval: %d (after %d trials)\n", sel.Interval, len(sel.Trials))
+	// Output:
+	// interval: 1 (after 2 trials)
+}
+
+// Example_probabilisticBaseline computes the classical signal-
+// probability power estimate — no simulation, but no correlation or
+// glitch awareness either.
+func Example_probabilisticBaseline() {
+	circuit, err := dipe.Benchmark("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := dipe.NewTestbench(circuit)
+	stats, err := dipe.AnalyzeProbabilities(circuit, []float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probabilistic estimate: %s\n", dipe.FormatWatts(stats.Power(tb.Model)))
+	// Output:
+	// probabilistic estimate: 50.881 uW
+}
+
+// Example_parseBench loads a circuit from ISCAS89 .bench text.
+func Example_parseBench() {
+	netlist := `
+INPUT(A)
+OUTPUT(Y)
+Q = DFF(D)
+D = XOR(A, Q)
+Y = NOT(Q)
+`
+	circuit, err := dipe.ParseBench("accum", strings.NewReader(netlist))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(circuit.ComputeStats())
+	// Output:
+	// accum: 1 PI, 1 PO, 1 DFF, 2 gates, depth 1, max fanout 2
+}
+
+// Example_maxPower searches for the peak single-cycle power (the
+// companion problem of the paper's ref [8]).
+func Example_maxPower() {
+	circuit, err := dipe.Benchmark("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := dipe.NewTestbench(circuit)
+	opts := dipe.DefaultMaxPowerOptions()
+	opts.Budget = 2000
+	opts.Seed = 9
+	peak, err := dipe.MaxPower(tb, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peak cycle power: %s\n", dipe.FormatWatts(peak.Power))
+	// Output:
+	// peak cycle power: 162.500 uW
+}

@@ -1,0 +1,66 @@
+// Correlated inputs: the paper claims DIPE handles correlated input
+// streams "without any extra work" because it makes no assumption about
+// input statistics — the randomness test simply selects a longer
+// independence interval when the input process slows the FSM's mixing.
+//
+// This example estimates the same circuit under three input processes:
+// i.i.d., temporally correlated (per-bit lag-1 Markov chains), and
+// spatially correlated (bit groups sharing a driver), and shows how the
+// selected interval and the power change while accuracy is maintained.
+//
+//	go run ./examples/correlated_inputs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	circuit, err := dipe.Benchmark("s382")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := dipe.NewTestbench(circuit)
+	width := len(circuit.Inputs)
+	fmt.Println(circuit.ComputeStats())
+	fmt.Println()
+
+	cases := []struct {
+		name string
+		src  func(seed int64) dipe.Source
+	}{
+		{"iid p=0.5", func(s int64) dipe.Source {
+			return dipe.NewIIDSource(width, 0.5, s)
+		}},
+		{"lag-1 rho=0.5", func(s int64) dipe.Source {
+			return dipe.NewLagCorrelatedSource(width, 0.5, 0.5, s)
+		}},
+		{"lag-1 rho=0.9", func(s int64) dipe.Source {
+			return dipe.NewLagCorrelatedSource(width, 0.5, 0.9, s)
+		}},
+		{"spatial groups=3", func(s int64) dipe.Source {
+			return dipe.NewSpatialSource(width, 3, 0.5, 0.1, s)
+		}},
+	}
+
+	fmt.Printf("%-18s %12s %6s %8s %10s %10s\n", "input process", "power", "II", "samples", "cycles", "dev vs ref")
+	for i, c := range cases {
+		// Estimate with DIPE.
+		res, err := dipe.Estimate(tb.NewSession(c.src(int64(10+i))), dipe.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Independent long reference under the same input process. Note
+		// the true average power differs per process: input statistics
+		// change both switching activity and state occupancy.
+		ref := dipe.RunReference(tb.NewSession(c.src(int64(100+i))), 256, 120_000)
+		dev := 100 * (res.Power - ref.Power) / ref.Power
+		fmt.Printf("%-18s %12s %6d %8d %10d %+9.2f%%\n",
+			c.name, dipe.FormatWatts(res.Power), res.Interval, res.SampleSize, res.TotalCycles(), dev)
+	}
+	fmt.Println("\nNote how stronger input correlation raises the selected independence")
+	fmt.Println("interval (slower mixing) while the estimates stay inside the 5% spec.")
+}

@@ -1,0 +1,433 @@
+// Package bench89 provides the sequential benchmark circuits the paper
+// evaluates on (the ISCAS89 suite, s208 … s15850).
+//
+// The original ISCAS89 netlists are distribution artifacts we do not
+// ship; instead this package provides
+//
+//   - the genuine s27 netlist (public domain, 10 gates), embedded
+//     verbatim, used as ground truth for the parser and simulators, and
+//   - a deterministic synthetic generator that reproduces each
+//     benchmark's published signature (#PI, #PO, #DFF, #gates) with an
+//     FSM-like structure: an input-gated ripple counter (strong
+//     cycle-to-cycle power correlation), hold-style state registers, and
+//     a random combinational cloud.
+//
+// The substitution is documented in DESIGN.md: the estimation technique
+// only requires ergodic, mixing sequential circuits with temporally
+// correlated per-cycle power, which the generated circuits exhibit by
+// construction. Genuine ISCAS89 .bench files parse with
+// netlist.ParseBench and can be dropped in directly.
+package bench89
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// S27Bench is the genuine ISCAS89 s27 netlist.
+const S27Bench = `# s27
+# 4 inputs, 1 output, 3 D-type flipflops, 2 inverters, 8 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// Signature is the published interface/size of a benchmark circuit.
+type Signature struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Latches int
+	Gates   int
+}
+
+// signatures lists the 24 circuits of the paper's Tables 1 and 2 in table
+// order, with their widely published sizes (for the .1 variants where
+// those are the common form). The synthetic generator reproduces these
+// exactly.
+var signatures = []Signature{
+	{"s208", 10, 1, 8, 96},
+	{"s298", 3, 6, 14, 119},
+	{"s344", 9, 11, 15, 160},
+	{"s349", 9, 11, 15, 161},
+	{"s382", 3, 6, 21, 158},
+	{"s386", 7, 7, 6, 159},
+	{"s400", 3, 6, 21, 162},
+	{"s420", 18, 1, 16, 218},
+	{"s444", 3, 6, 21, 181},
+	{"s510", 19, 7, 6, 211},
+	{"s526", 3, 6, 21, 193},
+	{"s641", 35, 24, 19, 379},
+	{"s713", 35, 23, 19, 393},
+	{"s820", 18, 19, 5, 289},
+	{"s832", 18, 19, 5, 287},
+	{"s838", 34, 1, 32, 446},
+	{"s1196", 14, 14, 18, 529},
+	{"s1238", 14, 14, 18, 508},
+	{"s1423", 17, 5, 74, 657},
+	{"s1488", 8, 19, 6, 653},
+	{"s1494", 8, 19, 6, 647},
+	{"s5378", 35, 49, 179, 2779},
+	{"s9234", 36, 39, 211, 5597},
+	{"s15850", 77, 150, 534, 9772},
+}
+
+// Names returns the benchmark names in the paper's table order.
+func Names() []string {
+	out := make([]string, len(signatures))
+	for i, s := range signatures {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SmallNames returns the subset of benchmarks with fewer than the given
+// number of gates, preserving table order; used to keep default
+// experiment runs fast.
+func SmallNames(maxGates int) []string {
+	var out []string
+	for _, s := range signatures {
+		if s.Gates < maxGates {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Lookup returns the signature for a benchmark name.
+func Lookup(name string) (Signature, bool) {
+	for _, s := range signatures {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Signature{}, false
+}
+
+// S27 parses and returns the embedded genuine s27 circuit.
+func S27() *netlist.Circuit {
+	c, err := netlist.ParseBenchString("s27", S27Bench)
+	if err != nil {
+		panic("bench89: embedded s27 failed to parse: " + err.Error())
+	}
+	return c
+}
+
+// Get returns the benchmark circuit with the given name: the genuine s27,
+// or the deterministic synthetic circuit for a known signature.
+func Get(name string) (*netlist.Circuit, error) {
+	if name == "s27" {
+		return S27(), nil
+	}
+	sig, ok := Lookup(name)
+	if !ok {
+		known := append([]string{"s27"}, Names()...)
+		sort.Strings(known)
+		return nil, fmt.Errorf("bench89: unknown circuit %q (known: %v)", name, known)
+	}
+	return Generate(sig)
+}
+
+// MustGet is Get that panics on error, for tests and examples.
+func MustGet(name string) *netlist.Circuit {
+	c, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// seedFor derives the deterministic generator seed from a circuit name.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	// The salt pins generated structure across refactors.
+	_, _ = h.Write([]byte("bench89/v1/" + name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Generate builds a synthetic sequential circuit matching the signature.
+// The same signature always yields the identical circuit.
+//
+// Structure (gate budget permitting):
+//
+//	enable   = AND of up to 3 primary inputs (slow activity, p≈1/8)
+//	counter  = enable-gated ripple counter over ~half the latches
+//	           (next_q[i] = q[i] XOR carry[i-1]; carry[i] = q[i] AND carry[i-1])
+//	hold FSM = ~quarter of the latches toggle only when a gated condition
+//	           holds (next_q = q XOR (enable2 AND cloud-signal))
+//	free FSM = remaining latches load a random cloud signal each cycle
+//	cloud    = random NAND/NOR/AND/OR/NOT/XOR network over inputs,
+//	           latch outputs and earlier cloud gates
+//
+// The counter and hold registers give the per-cycle power sequence the
+// strong positive temporal correlation the paper's technique exists to
+// handle; the cloud supplies realistic reconvergent logic and glitching.
+func Generate(sig Signature) (*netlist.Circuit, error) {
+	if sig.Inputs < 3 || sig.Latches < 1 || sig.Outputs < 1 {
+		return nil, fmt.Errorf("bench89: signature %+v too small (need >=3 PI, >=1 DFF, >=1 PO)", sig)
+	}
+	minGates := 1 + 2*sig.Latches + sig.Outputs
+	if sig.Gates < minGates {
+		return nil, fmt.Errorf("bench89: signature %+v needs at least %d gates", sig, minGates)
+	}
+	rng := rand.New(rand.NewSource(seedFor(sig.Name)))
+	c := netlist.NewCircuit(sig.Name)
+
+	inputs := make([]netlist.NodeID, sig.Inputs)
+	for i := range inputs {
+		id, err := c.AddNode(fmt.Sprintf("PI%d", i), logic.Input)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = id
+	}
+	latches := make([]netlist.NodeID, sig.Latches)
+	for i := range latches {
+		id, err := c.AddNode(fmt.Sprintf("Q%d", i), logic.DFF)
+		if err != nil {
+			return nil, err
+		}
+		latches[i] = id
+	}
+
+	gateBudget := sig.Gates
+	gateNum := 0
+	newGate := func(kind logic.Kind, fanin ...netlist.NodeID) netlist.NodeID {
+		id, err := c.AddNode(fmt.Sprintf("N%d", gateNum), kind, fanin...)
+		if err != nil {
+			panic("bench89: internal name collision: " + err.Error())
+		}
+		gateNum++
+		gateBudget--
+		return id
+	}
+
+	// Slow enable: AND of up to 3 inputs.
+	enFan := []netlist.NodeID{inputs[0], inputs[1]}
+	if sig.Inputs >= 3 {
+		enFan = append(enFan, inputs[2])
+	}
+	enable := newGate(logic.And, enFan...)
+
+	// Counter over roughly half the latches, at least 2 bits, capped so
+	// the remaining budget always covers the other sections. The section
+	// costs (gates per latch): counter 2, hold 3, free 1.
+	nCounter := sig.Latches / 2
+	if nCounter < 2 {
+		nCounter = sig.Latches // tiny circuits: all latches count
+	}
+	nHold := sig.Latches / 4
+	cost := func(nc, nh int) int {
+		return 1 + 2*nc + 3*nh + (sig.Latches - nc - nh) + sig.Outputs
+	}
+	for cost(nCounter, nHold) > sig.Gates && nHold > 0 {
+		nHold--
+	}
+	for cost(nCounter, 0) > sig.Gates && nCounter > 2 {
+		nCounter--
+	}
+	nFree := sig.Latches - nCounter - nHold
+
+	latchD := make([]netlist.NodeID, sig.Latches) // D pin drivers, filled below
+
+	// Ripple counters: segmented into short chains so the state process
+	// mixes quickly. One long n-bit counter would carry power components
+	// with period ~2^n/p(enable) — effectively non-mixing at benchmark
+	// scale, which the real ISCAS89 circuits do not exhibit. Segments of
+	// at most maxSeg bits bound the slowest bit's flip probability at
+	// p(enable)/2^(maxSeg-1) = 1/64, i.e. relaxation from reset within
+	// ~100 cycles: strong short-range correlation (the paper's
+	// phenomenon), fast long-range mixing (the paper's assumption).
+	const maxSeg = 4
+	carry := enable
+	for i := 0; i < nCounter; i++ {
+		if i%maxSeg == 0 {
+			carry = enable // restart the chain: independent short counter
+		}
+		t := newGate(logic.Xor, latches[i], carry)
+		latchD[i] = t
+		// The AND extends the carry chain and, at segment ends, feeds the
+		// cloud as a slow signal.
+		carry = newGate(logic.And, latches[i], carry)
+	}
+
+	// Pool of signals the cloud can draw from, biased toward recent
+	// entries so the network acquires depth.
+	pool := make([]netlist.NodeID, 0, sig.Gates+sig.Inputs+sig.Latches)
+	pool = append(pool, inputs...)
+	pool = append(pool, latches...)
+	pool = append(pool, enable, carry)
+
+	// Sources that carry state: the latch outputs plus the slow enable.
+	// A fixed fraction of cloud fanins reads them directly so the FSM
+	// state modulates combinational activity everywhere — this is what
+	// gives the per-cycle power sequence its temporal correlation (the
+	// phenomenon the paper's Fig. 3 visualizes). Without it, latch-poor
+	// circuits degenerate to nearly i.i.d. power.
+	stateSignals := append(append([]netlist.NodeID(nil), latches...), enable)
+	pick := func() netlist.NodeID {
+		if rng.Float64() < 0.30 {
+			return stateSignals[rng.Intn(len(stateSignals))]
+		}
+		// Square-biased index: recent pool entries are favored, giving
+		// logarithmic-ish depth growth.
+		u := rng.Float64()
+		idx := len(pool) - 1 - int(u*u*float64(len(pool)))
+		if idx < 0 {
+			idx = 0
+		}
+		return pool[idx]
+	}
+	pickDistinct := func(n int) []netlist.NodeID {
+		out := make([]netlist.NodeID, 0, n)
+		for len(out) < n {
+			cand := pick()
+			dup := false
+			for _, o := range out {
+				if o == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, cand)
+				continue
+			}
+			// On collision fall back to a uniform draw; with pools this
+			// size a handful of retries always suffices.
+			cand = pool[rng.Intn(len(pool))]
+			dup = false
+			for _, o := range out {
+				if o == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, cand)
+			}
+		}
+		return out
+	}
+
+	randomKind := func() (logic.Kind, int) {
+		r := rng.Float64()
+		var kind logic.Kind
+		switch {
+		case r < 0.25:
+			kind = logic.Nand
+		case r < 0.42:
+			kind = logic.Nor
+		case r < 0.57:
+			kind = logic.And
+		case r < 0.72:
+			kind = logic.Or
+		case r < 0.87:
+			kind = logic.Not
+		case r < 0.93:
+			kind = logic.Xor
+		case r < 0.97:
+			kind = logic.Xnor
+		default:
+			kind = logic.Buf
+		}
+		fanin := 1
+		if kind != logic.Not && kind != logic.Buf {
+			switch f := rng.Float64(); {
+			case f < 0.60:
+				fanin = 2
+			case f < 0.90:
+				fanin = 3
+			default:
+				fanin = 4
+			}
+		}
+		return kind, fanin
+	}
+
+	// Reserve budget for the hold and free sections and output buffers
+	// before spending the rest on the cloud.
+	reserve := 3*nHold + nFree + sig.Outputs
+	for gateBudget > reserve {
+		kind, nf := randomKind()
+		if maxPool := len(pool); nf > maxPool {
+			nf = maxPool
+		}
+		g := newGate(kind, pickDistinct(nf)...)
+		pool = append(pool, g)
+	}
+
+	// Hold registers: each toggles only when its gating condition holds.
+	// The condition AND(PI_a, XOR(cloud, PI_b)) mixes a cloud signal with
+	// fresh input entropy, so under p=0.5 inputs it fires with
+	// probability exactly 1/4 regardless of the cloud signal's bias:
+	// state components with correlation times of a few cycles — the
+	// regime of the paper's Tables 1-2 — and no near-frozen modes.
+	for i := 0; i < nHold; i++ {
+		l := nCounter + i
+		mix := newGate(logic.Xor, pool[rng.Intn(len(pool))], inputs[(i+1)%len(inputs)])
+		cond := newGate(logic.And, inputs[i%len(inputs)], mix)
+		tog := newGate(logic.Xor, latches[l], cond)
+		latchD[l] = tog
+		pool = append(pool, mix, cond, tog)
+	}
+
+	// Free registers load a cloud signal mixed with an input. The XOR
+	// injects independent randomness into every free state bit each
+	// cycle, which makes the whole state chain geometrically ergodic by
+	// construction. Wiring D to a raw cloud signal instead can create
+	// input-independent latch loops (D_A = f(Q_B), D_B = g(Q_A)) whose
+	// frozen or near-frozen orbits depend on early inputs — observed as
+	// long-run references that disagree across seeds.
+	for i := 0; i < nFree; i++ {
+		l := nCounter + nHold + i
+		mixed := newGate(logic.Xor, pool[rng.Intn(len(pool))], inputs[i%len(inputs)])
+		latchD[l] = mixed
+		pool = append(pool, mixed)
+	}
+
+	// Primary outputs: dedicated buffers reading cloud signals keep the
+	// PO count exact without disturbing the budget accounting.
+	for i := 0; i < sig.Outputs; i++ {
+		src := pool[rng.Intn(len(pool))]
+		ob := newGate(logic.Buf, src)
+		if err := c.MarkOutput(ob); err != nil {
+			return nil, err
+		}
+	}
+
+	if gateBudget != 0 {
+		return nil, fmt.Errorf("bench89: internal budget accounting error for %s: %d left", sig.Name, gateBudget)
+	}
+
+	// Wire the latch D pins.
+	for i, l := range latches {
+		if err := c.SetFanin(l, latchD[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,134 @@
+package bench89
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestS27Parses(t *testing.T) {
+	c := S27()
+	st := c.ComputeStats()
+	if st.Inputs != 4 || st.Outputs != 1 || st.Latches != 3 || st.Gates != 10 {
+		t.Fatalf("s27 stats = %+v, want 4/1/3/10", st)
+	}
+	if c.Lookup("G17") == netlist.InvalidNode {
+		t.Fatalf("s27 missing output node G17")
+	}
+}
+
+func TestSignaturesExact(t *testing.T) {
+	for _, name := range Names() {
+		sig, _ := Lookup(name)
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		st := c.ComputeStats()
+		if st.Inputs != sig.Inputs || st.Outputs != sig.Outputs ||
+			st.Latches != sig.Latches || st.Gates != sig.Gates {
+			t.Errorf("%s: generated %d/%d/%d/%d, want %d/%d/%d/%d",
+				name, st.Inputs, st.Outputs, st.Latches, st.Gates,
+				sig.Inputs, sig.Outputs, sig.Latches, sig.Gates)
+		}
+		if !c.Frozen() {
+			t.Errorf("%s: circuit not frozen", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGet("s298")
+	b := MustGet("s298")
+	sa, sb := netlist.BenchString(a), netlist.BenchString(b)
+	if sa != sb {
+		t.Fatalf("s298 generation is not deterministic")
+	}
+}
+
+func TestGenerateDistinctAcrossNames(t *testing.T) {
+	a := netlist.BenchString(MustGet("s344"))
+	b := netlist.BenchString(MustGet("s349"))
+	if a == b {
+		t.Fatalf("s344 and s349 generated identical netlists")
+	}
+}
+
+func TestGenerateRoundTripsThroughBenchFormat(t *testing.T) {
+	orig := MustGet("s386")
+	text := netlist.BenchString(orig)
+	re, err := netlist.ParseBenchString("s386", text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if netlist.BenchString(re) != text {
+		t.Fatalf("bench round trip not stable")
+	}
+}
+
+func TestLatchesAllDriven(t *testing.T) {
+	for _, name := range []string{"s27", "s208", "s298", "s1494", "s5378"} {
+		c := MustGet(name)
+		for _, l := range c.Latches {
+			nd := c.Nodes[l]
+			if len(nd.Fanin) != 1 {
+				t.Errorf("%s: latch %s has %d fanin", name, nd.Name, len(nd.Fanin))
+			}
+			if nd.Fanin[0] == l {
+				t.Errorf("%s: latch %s drives itself directly", name, nd.Name)
+			}
+		}
+	}
+}
+
+func TestUnknownCircuit(t *testing.T) {
+	if _, err := Get("s9999"); err == nil {
+		t.Fatalf("Get(s9999) succeeded, want error")
+	}
+}
+
+func TestSmallNames(t *testing.T) {
+	small := SmallNames(700)
+	for _, n := range small {
+		sig, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("SmallNames returned unknown circuit %q", n)
+		}
+		if sig.Gates >= 700 {
+			t.Errorf("SmallNames(700) returned %s with %d gates", n, sig.Gates)
+		}
+	}
+	if len(small) == 0 {
+		t.Fatalf("SmallNames(700) empty")
+	}
+}
+
+func TestGenerateRejectsBadSignatures(t *testing.T) {
+	bad := []Signature{
+		{"x", 2, 1, 4, 100}, // too few inputs
+		{"x", 4, 0, 4, 100}, // no outputs
+		{"x", 4, 1, 0, 100}, // no latches
+		{"x", 4, 1, 40, 20}, // gate budget below minimum
+	}
+	for _, sig := range bad {
+		if _, err := Generate(sig); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", sig)
+		}
+	}
+}
+
+func TestGeneratedHasCombinationalVariety(t *testing.T) {
+	c := MustGet("s1494")
+	kinds := map[logic.Kind]int{}
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsCombinational() {
+			kinds[c.Nodes[i].Kind]++
+		}
+	}
+	for _, k := range []logic.Kind{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Not} {
+		if kinds[k] == 0 {
+			t.Errorf("s1494 has no %s gates", k)
+		}
+	}
+}

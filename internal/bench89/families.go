@@ -1,0 +1,256 @@
+package bench89
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// This file provides parameterized generators for classic sequential
+// structures with exactly known behaviour: binary counters, shift
+// registers, linear feedback shift registers and register pipelines.
+// They serve three purposes: ground-truth tests for the simulators
+// (period, counting sequence, activity), controllable workloads for the
+// estimator (power with known temporal structure), and didactic
+// examples.
+
+// GenerateCounter builds an enable-gated n-bit binary ripple counter:
+//
+//	en       = AND(all primary inputs)         (enableInputs >= 1 pins)
+//	t[0]     = en
+//	q[i]'    = q[i] XOR t[i]
+//	t[i+1]   = AND(q[i], t[i])
+//
+// The MSB is the primary output. With all inputs held at 1 the counter
+// increments every cycle and q[i] toggles with period 2^(i+1).
+func GenerateCounter(name string, bits, enableInputs int) (*netlist.Circuit, error) {
+	if bits < 1 || enableInputs < 1 {
+		return nil, fmt.Errorf("bench89: counter needs bits >= 1 and enableInputs >= 1 (got %d, %d)", bits, enableInputs)
+	}
+	c := netlist.NewCircuit(name)
+	inputs := make([]netlist.NodeID, enableInputs)
+	for i := range inputs {
+		id, err := c.AddNode(fmt.Sprintf("EN%d", i), logic.Input)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = id
+	}
+	var en netlist.NodeID
+	if enableInputs == 1 {
+		var err error
+		en, err = c.AddNode("ENB", logic.Buf, inputs[0])
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		en, err = c.AddNode("ENB", logic.And, inputs...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	q := make([]netlist.NodeID, bits)
+	for i := range q {
+		id, err := c.AddNode(fmt.Sprintf("Q%d", i), logic.DFF)
+		if err != nil {
+			return nil, err
+		}
+		q[i] = id
+	}
+	carry := en
+	for i := 0; i < bits; i++ {
+		tog, err := c.AddNode(fmt.Sprintf("T%d", i), logic.Xor, q[i], carry)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SetFanin(q[i], tog); err != nil {
+			return nil, err
+		}
+		if i < bits-1 {
+			carry, err = c.AddNode(fmt.Sprintf("C%d", i), logic.And, q[i], carry)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.MarkOutput(q[bits-1]); err != nil {
+		return nil, err
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// GenerateShiftRegister builds a serial-in shift register of the given
+// depth: DIN -> Q0 -> Q1 -> ... -> Q(depth-1) -> DOUT (buffered). Node
+// activity equals the input activity delayed by the stage index, so the
+// total power is exactly proportional to the input toggle rate.
+func GenerateShiftRegister(name string, depth int) (*netlist.Circuit, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("bench89: shift register needs depth >= 1 (got %d)", depth)
+	}
+	c := netlist.NewCircuit(name)
+	din, err := c.AddNode("DIN", logic.Input)
+	if err != nil {
+		return nil, err
+	}
+	prev := din
+	for i := 0; i < depth; i++ {
+		q, err := c.AddNode(fmt.Sprintf("Q%d", i), logic.DFF, prev)
+		if err != nil {
+			return nil, err
+		}
+		prev = q
+	}
+	dout, err := c.AddNode("DOUT", logic.Buf, prev)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.MarkOutput(dout); err != nil {
+		return nil, err
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MaximalLFSRTaps lists maximal-length Fibonacci LFSR tap sets (periods
+// 2^n - 1) for common register lengths.
+var MaximalLFSRTaps = map[int][]int{
+	3:  {3, 2},
+	4:  {4, 3},
+	5:  {5, 3},
+	6:  {6, 5},
+	7:  {7, 6},
+	8:  {8, 6, 5, 4},
+	9:  {9, 5},
+	10: {10, 7},
+	15: {15, 14},
+	16: {16, 15, 13, 4},
+}
+
+// GenerateLFSR builds a Fibonacci linear feedback shift register over
+// `bits` stages with XOR feedback from the 1-indexed tap positions. A
+// SCRAMBLE input is XORed into the feedback, so with SCRAMBLE held low
+// the register runs autonomously; with maximal taps it cycles through
+// all 2^bits - 1 nonzero states. Because the all-zero state is absorbing
+// in an autonomous LFSR, the feedback also includes a zero-detect NOR
+// that injects a 1 when the register is all zero — making reset
+// self-starting and the chain ergodic (a standard hardware trick).
+func GenerateLFSR(name string, bits int, taps []int) (*netlist.Circuit, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("bench89: LFSR needs bits >= 2 (got %d)", bits)
+	}
+	if len(taps) < 1 {
+		return nil, fmt.Errorf("bench89: LFSR needs at least one tap")
+	}
+	for _, tp := range taps {
+		if tp < 1 || tp > bits {
+			return nil, fmt.Errorf("bench89: tap %d outside 1..%d", tp, bits)
+		}
+	}
+	c := netlist.NewCircuit(name)
+	scramble, err := c.AddNode("SCRAMBLE", logic.Input)
+	if err != nil {
+		return nil, err
+	}
+	q := make([]netlist.NodeID, bits)
+	for i := range q {
+		id, err := c.AddNode(fmt.Sprintf("Q%d", i), logic.DFF)
+		if err != nil {
+			return nil, err
+		}
+		q[i] = id
+	}
+	// Feedback = XOR of taps (tap t reads q[t-1]).
+	fanin := make([]netlist.NodeID, 0, len(taps)+1)
+	for _, tp := range taps {
+		fanin = append(fanin, q[tp-1])
+	}
+	fb, err := c.AddNode("FB", logic.Xor, fanin...)
+	if err != nil {
+		return nil, err
+	}
+	// Zero-detect: NOR of all stages (1 only when register is all-zero).
+	zd, err := c.AddNode("ZD", logic.Nor, q...)
+	if err != nil {
+		return nil, err
+	}
+	// din = fb XOR zd XOR scramble.
+	din, err := c.AddNode("DIN", logic.Xor, fb, zd, scramble)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetFanin(q[0], din); err != nil {
+		return nil, err
+	}
+	for i := 1; i < bits; i++ {
+		if err := c.SetFanin(q[i], q[i-1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.MarkOutput(q[bits-1]); err != nil {
+		return nil, err
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// GeneratePipeline builds a `stages`-deep, `width`-wide registered
+// datapath. Each stage applies a fixed mixing layer between register
+// banks: out[i] = XOR(in[i], AND(in[(i+1)%w], in[(i+2)%w])) — a
+// nonlinear permutation-ish layer that keeps activity high and creates
+// realistic inter-stage glitching under non-zero delays.
+func GeneratePipeline(name string, width, stages int) (*netlist.Circuit, error) {
+	if width < 3 || stages < 1 {
+		return nil, fmt.Errorf("bench89: pipeline needs width >= 3 and stages >= 1 (got %d, %d)", width, stages)
+	}
+	c := netlist.NewCircuit(name)
+	cur := make([]netlist.NodeID, width)
+	for i := range cur {
+		id, err := c.AddNode(fmt.Sprintf("IN%d", i), logic.Input)
+		if err != nil {
+			return nil, err
+		}
+		cur[i] = id
+	}
+	for s := 0; s < stages; s++ {
+		next := make([]netlist.NodeID, width)
+		for i := 0; i < width; i++ {
+			and, err := c.AddNode(fmt.Sprintf("S%dA%d", s, i), logic.And,
+				cur[(i+1)%width], cur[(i+2)%width])
+			if err != nil {
+				return nil, err
+			}
+			mix, err := c.AddNode(fmt.Sprintf("S%dX%d", s, i), logic.Xor, cur[i], and)
+			if err != nil {
+				return nil, err
+			}
+			reg, err := c.AddNode(fmt.Sprintf("S%dQ%d", s, i), logic.DFF, mix)
+			if err != nil {
+				return nil, err
+			}
+			next[i] = reg
+		}
+		cur = next
+	}
+	for i := 0; i < width; i++ {
+		ob, err := c.AddNode(fmt.Sprintf("OUT%d", i), logic.Buf, cur[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := c.MarkOutput(ob); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,265 @@
+package bench89
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// stepper drives a circuit with the zero-delay simulator under explicit
+// input patterns, returning latch states cycle by cycle.
+type stepper struct {
+	c    *netlist.Circuit
+	zd   *sim.ZeroDelay
+	vals []bool
+	q    []bool
+	nq   []bool
+}
+
+func newStepper(c *netlist.Circuit) *stepper {
+	return &stepper{
+		c:    c,
+		zd:   sim.NewZeroDelay(c),
+		vals: make([]bool, c.NumNodes()),
+		q:    make([]bool, len(c.Latches)),
+		nq:   make([]bool, len(c.Latches)),
+	}
+}
+
+// step applies one clock cycle with the given inputs and returns the new
+// latch state.
+func (s *stepper) step(pins []bool) []bool {
+	s.zd.Settle(s.vals, pins, s.q)
+	s.zd.NextState(s.vals, s.nq)
+	s.q, s.nq = s.nq, s.q
+	return s.q
+}
+
+// stateUint packs the latch state little-endian.
+func stateUint(q []bool) uint64 {
+	var v uint64
+	for i, b := range q {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+func TestCounterCountsExactly(t *testing.T) {
+	c, err := GenerateCounter("cnt4", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStepper(c)
+	on := []bool{true}
+	for want := uint64(1); want <= 20; want++ {
+		q := st.step(on)
+		if got := stateUint(q); got != want%16 {
+			t.Fatalf("after %d enabled cycles: state %d, want %d", want, got, want%16)
+		}
+	}
+}
+
+func TestCounterHoldsWhenDisabled(t *testing.T) {
+	c, err := GenerateCounter("cnt4", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStepper(c)
+	on := []bool{true, true}
+	off := []bool{true, false}
+	st.step(on)
+	st.step(on)
+	before := stateUint(st.q)
+	for i := 0; i < 5; i++ {
+		st.step(off)
+	}
+	if got := stateUint(st.q); got != before {
+		t.Fatalf("counter moved while disabled: %d -> %d", before, got)
+	}
+}
+
+func TestCounterMSBPeriod(t *testing.T) {
+	// Bit i toggles every 2^i enabled cycles: over 16 cycles of a 4-bit
+	// counter the MSB toggles exactly twice (at 8 and 16).
+	c, err := GenerateCounter("cnt4", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStepper(c)
+	msb := 3
+	toggles := 0
+	prev := false
+	for i := 0; i < 16; i++ {
+		q := st.step([]bool{true})
+		if q[msb] != prev {
+			toggles++
+			prev = q[msb]
+		}
+	}
+	if toggles != 2 {
+		t.Fatalf("MSB toggled %d times in 16 cycles, want 2", toggles)
+	}
+}
+
+func TestShiftRegisterDelaysInput(t *testing.T) {
+	const depth = 5
+	c, err := GenerateShiftRegister("sr5", depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStepper(c)
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	var seen []bool
+	for i := 0; i < len(pattern)+depth; i++ {
+		in := false
+		if i < len(pattern) {
+			in = pattern[i]
+		}
+		q := st.step([]bool{in})
+		seen = append(seen, q[depth-1])
+	}
+	// Output replays the input delayed by depth cycles.
+	for i, want := range pattern {
+		if seen[i+depth-1] != want {
+			t.Fatalf("tap mismatch at %d: got %v want %v (seen %v)", i, seen[i+depth-1], want, seen)
+		}
+	}
+}
+
+func TestLFSRMaximalPeriods(t *testing.T) {
+	for bits, taps := range MaximalLFSRTaps {
+		if bits > 10 {
+			continue // keep the test fast; 2^15 steps is unnecessary
+		}
+		c, err := GenerateLFSR("lfsr", bits, taps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := newStepper(c)
+		low := []bool{false}
+		// The zero-detect makes reset self-starting: first step leaves
+		// all-zero.
+		first := stateUint(st.step(low))
+		if first == 0 {
+			t.Fatalf("bits=%d: LFSR stuck at zero after injection", bits)
+		}
+		period := 1
+		for stateUint(st.step(low)) != first {
+			period++
+			if period > 1<<uint(bits) {
+				t.Fatalf("bits=%d: no period found within 2^%d steps", bits, bits)
+			}
+		}
+		want := 1<<uint(bits) - 1
+		if period != want {
+			t.Fatalf("bits=%d taps=%v: period %d, want %d", bits, taps, period, want)
+		}
+	}
+}
+
+func TestLFSRVisitsAllNonzeroStates(t *testing.T) {
+	c, err := GenerateLFSR("lfsr5", 5, MaximalLFSRTaps[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStepper(c)
+	seen := map[uint64]bool{}
+	for i := 0; i < 31; i++ {
+		seen[stateUint(st.step([]bool{false}))] = true
+	}
+	if len(seen) != 31 {
+		t.Fatalf("visited %d distinct states, want 31", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("autonomous LFSR entered the all-zero state")
+	}
+}
+
+func TestLFSRScrambleInputPerturbs(t *testing.T) {
+	mk := func() *stepper {
+		c, err := GenerateLFSR("lfsr8", 8, MaximalLFSRTaps[8])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newStepper(c)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		a.step([]bool{false})
+		b.step([]bool{i == 3}) // single scramble pulse
+	}
+	if stateUint(a.q) == stateUint(b.q) {
+		t.Fatal("scramble pulse did not change the trajectory")
+	}
+}
+
+func TestPipelineStructure(t *testing.T) {
+	const width, stages = 4, 3
+	c, err := GeneratePipeline("pipe", width, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ComputeStats()
+	if st.Inputs != width || st.Outputs != width || st.Latches != width*stages {
+		t.Fatalf("pipeline stats: %+v", st)
+	}
+	// A vector injected at the inputs reaches the outputs after exactly
+	// `stages` cycles; holding inputs constant makes the output settle.
+	sp := newStepper(c)
+	in := []bool{true, false, true, false}
+	var states []uint64
+	for i := 0; i < stages+3; i++ {
+		states = append(states, stateUint(sp.step(in)))
+	}
+	// After `stages` cycles of constant input the state must be steady.
+	if states[stages] != states[stages+1] || states[stages+1] != states[stages+2] {
+		t.Fatalf("pipeline did not settle under constant input: %v", states)
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	if _, err := GenerateCounter("x", 0, 1); err == nil {
+		t.Error("0-bit counter accepted")
+	}
+	if _, err := GenerateShiftRegister("x", 0); err == nil {
+		t.Error("0-deep shift register accepted")
+	}
+	if _, err := GenerateLFSR("x", 1, []int{1}); err == nil {
+		t.Error("1-bit LFSR accepted")
+	}
+	if _, err := GenerateLFSR("x", 4, []int{9}); err == nil {
+		t.Error("out-of-range tap accepted")
+	}
+	if _, err := GenerateLFSR("x", 4, nil); err == nil {
+		t.Error("tapless LFSR accepted")
+	}
+	if _, err := GeneratePipeline("x", 2, 1); err == nil {
+		t.Error("too-narrow pipeline accepted")
+	}
+}
+
+func TestFamiliesRoundTripBenchFormat(t *testing.T) {
+	gens := []func() (*netlist.Circuit, error){
+		func() (*netlist.Circuit, error) { return GenerateCounter("c", 6, 2) },
+		func() (*netlist.Circuit, error) { return GenerateShiftRegister("s", 8) },
+		func() (*netlist.Circuit, error) { return GenerateLFSR("l", 8, MaximalLFSRTaps[8]) },
+		func() (*netlist.Circuit, error) { return GeneratePipeline("p", 4, 2) },
+	}
+	for _, gen := range gens {
+		c, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := netlist.BenchString(c)
+		re, err := netlist.ParseBenchString(c.Name, text)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if netlist.BenchString(re) != text {
+			t.Fatalf("%s: round trip unstable", c.Name)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package core implements the paper's contribution: DIPE, the
+// distribution-independent statistical power estimator for sequential
+// circuits.
+//
+// The estimation flow follows Fig. 1 of the paper:
+//
+//  1. Load the circuit, timing model and power model (Testbench).
+//  2. Select an independence interval m with a sequential procedure
+//     built on a randomness test (Fig. 2; SelectInterval).
+//  3. Generate a random power sample two-phase: m zero-delay cycles
+//     between sampled cycles, each sampled cycle simulated with the
+//     event-driven general-delay simulator (sim.Session).
+//  4. Feed samples to a distribution-independent stopping criterion and
+//     stop when the accuracy specification is met (Estimate).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/randtest"
+	"repro/internal/sim"
+	"repro/internal/stopping"
+	"repro/internal/vectors"
+)
+
+// Options collects the tunables of the estimation procedure. The zero
+// value is not usable; start from DefaultOptions.
+type Options struct {
+	// Alpha is the significance level of the randomness test (Eq. 7).
+	// The paper's experiments use 0.20.
+	Alpha float64
+	// SeqLen is the power sequence length fed to the randomness test at
+	// each trial interval. The paper chooses 320 ("the gain in
+	// statistical stability ... is marginal if it is any longer").
+	SeqLen int
+	// MaxInterval caps the trial independence interval; selection stops
+	// there and marks the result Capped. A guard against non-mixing
+	// behaviour rather than an expected outcome (paper observes
+	// intervals of a few cycles).
+	MaxInterval int
+	// Spec is the accuracy specification (paper: 5% error, 0.99
+	// confidence).
+	Spec stopping.Spec
+	// NewCriterion builds the stopping criterion (paper default:
+	// order statistics, their ref [7]).
+	NewCriterion stopping.Factory
+	// Test is the randomness test (paper: ordinary runs test).
+	Test randtest.Test
+	// CheckEvery is the stopping-criterion cadence in samples. Table 1
+	// sample sizes are all congruent to SeqLen modulo 32.
+	CheckEvery int
+	// MaxSamples aborts estimation if convergence is not reached; a
+	// safety net, not a tuning knob.
+	MaxSamples int
+	// WarmupCycles is the number of initial hidden (zero-delay) cycles
+	// before interval selection, letting the state process approach
+	// stationarity from reset. Zero-delay cycles are two to three orders
+	// of magnitude cheaper than sampled ones, so a generous default is
+	// nearly free; estimates on slowly-relaxing circuits are biased by
+	// the reset transient if this is too small.
+	WarmupCycles int
+	// ReuseTestSamples feeds the accepted randomness-test sequence into
+	// the stopping criterion as its first SeqLen samples. Table 1's
+	// sample sizes (all = 320 + k*32) indicate the paper does this.
+	ReuseTestSamples bool
+}
+
+// DefaultOptions returns the paper's experimental configuration.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:            0.20,
+		SeqLen:           320,
+		MaxInterval:      64,
+		Spec:             stopping.DefaultSpec(),
+		NewCriterion:     stopping.OrderStatisticsFactory,
+		Test:             randtest.OrdinaryRuns{},
+		CheckEvery:       32,
+		MaxSamples:       1 << 21,
+		WarmupCycles:     512,
+		ReuseTestSamples: true,
+	}
+}
+
+// Validate checks the options for usability.
+func (o Options) Validate() error {
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		return fmt.Errorf("core: significance level %g outside (0,1)", o.Alpha)
+	}
+	if o.SeqLen < 32 {
+		return fmt.Errorf("core: sequence length %d too short for the runs test", o.SeqLen)
+	}
+	if o.MaxInterval < 0 {
+		return fmt.Errorf("core: negative MaxInterval %d", o.MaxInterval)
+	}
+	if err := o.Spec.Validate(); err != nil {
+		return err
+	}
+	if o.NewCriterion == nil {
+		return fmt.Errorf("core: NewCriterion is nil")
+	}
+	if o.Test == nil {
+		return fmt.Errorf("core: Test is nil")
+	}
+	if o.CheckEvery < 1 {
+		return fmt.Errorf("core: CheckEvery %d must be >= 1", o.CheckEvery)
+	}
+	if o.MaxSamples < o.SeqLen+o.CheckEvery {
+		return fmt.Errorf("core: MaxSamples %d below SeqLen+CheckEvery", o.MaxSamples)
+	}
+	if o.WarmupCycles < 0 {
+		return fmt.Errorf("core: negative WarmupCycles %d", o.WarmupCycles)
+	}
+	return nil
+}
+
+// Testbench bundles a circuit with its timing and power models — the
+// "Load Circuit Description / Timing Model / Power Model" box of Fig. 1.
+// One Testbench serves any number of sessions and estimator runs.
+type Testbench struct {
+	Circuit *netlist.Circuit
+	Delays  *delay.Table
+	Model   *power.Model
+	weights []float64
+}
+
+// NewTestbench instruments a frozen circuit with the given models.
+func NewTestbench(c *netlist.Circuit, dm delay.Model, cm power.CapModel, supply power.Supply) *Testbench {
+	m := power.NewModel(c, cm, supply)
+	return &Testbench{
+		Circuit: c,
+		Delays:  delay.BuildTable(c, dm),
+		Model:   m,
+		weights: m.Weights(),
+	}
+}
+
+// DefaultTestbench instruments a circuit with the experiment defaults:
+// fanout-loaded delays, the default capacitance model, 5 V / 20 MHz.
+func DefaultTestbench(c *netlist.Circuit) *Testbench {
+	return NewTestbench(c, delay.DefaultFanoutLoaded(), power.DefaultCapModel(), power.DefaultSupply())
+}
+
+// NewSession creates a simulation session over the testbench with the
+// given input source.
+func (tb *Testbench) NewSession(src vectors.Source) *sim.Session {
+	return sim.NewSession(tb.Circuit, tb.Delays, src, tb.weights)
+}
+
+// Weights exposes the per-transition power weights (watts per
+// transition); read-only.
+func (tb *Testbench) Weights() []float64 { return tb.weights }

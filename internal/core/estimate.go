@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stopping"
+)
+
+// Result is the outcome of one estimation run (one row of Table 1).
+type Result struct {
+	// Power is the average power estimate in watts.
+	Power float64
+	// Interval is the independence interval used (the paper's "I.I.").
+	Interval int
+	// IntervalCapped marks runs where selection hit MaxInterval.
+	IntervalCapped bool
+	// Trials documents the interval-selection iterations.
+	Trials []Trial
+	// SampleSize is the number of power samples consumed by the stopping
+	// criterion (the paper's "Sample Size").
+	SampleSize int
+	// HalfWidth is the criterion's final confidence half-width in watts.
+	HalfWidth float64
+	// HiddenCycles and SampledCycles are the simulation cost split by
+	// phase; their sum is the total simulated clock cycles.
+	HiddenCycles  uint64
+	SampledCycles uint64
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+	// Criterion names the stopping criterion used.
+	Criterion string
+	// Converged is false only if MaxSamples was exhausted first.
+	Converged bool
+}
+
+// RelHalfWidth returns HalfWidth relative to the estimate.
+func (r Result) RelHalfWidth() float64 {
+	if r.Power == 0 {
+		return 0
+	}
+	return r.HalfWidth / r.Power
+}
+
+// TotalCycles returns the total number of simulated clock cycles.
+func (r Result) TotalCycles() uint64 { return r.HiddenCycles + r.SampledCycles }
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("P=%.4g W, II=%d, n=%d, half-width=%.2f%%, cycles=%d, %s",
+		r.Power, r.Interval, r.SampleSize, 100*r.RelHalfWidth(), r.TotalCycles(), r.Elapsed)
+}
+
+// Estimate runs the full DIPE flow of Fig. 1 on a session: warm-up,
+// independence-interval selection, then two-phase random sampling until
+// the stopping criterion reports convergence.
+func Estimate(s *sim.Session, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	s.ResetCounters()
+	s.StepHiddenN(opts.WarmupCycles)
+
+	sel, err := SelectInterval(s, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := estimateTail(s, opts, sel.Interval, sel.Sequence)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Trials = sel.Trials
+	res.IntervalCapped = sel.Capped
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EstimateWithInterval skips interval selection and samples at a fixed
+// interval. It implements the fixed-warm-up baseline (the paper's ref
+// [9], Chou et al.) that DIPE's dynamic selection is compared against in
+// the warm-up ablation; interval 0 gives the naive consecutive-cycle
+// estimator that ignores temporal correlation.
+func EstimateWithInterval(s *sim.Session, opts Options, interval int) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if interval < 0 {
+		return Result{}, fmt.Errorf("core: negative interval %d", interval)
+	}
+	start := time.Now()
+	s.ResetCounters()
+	s.StepHiddenN(opts.WarmupCycles)
+	res, err := estimateTail(s, opts, interval, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// estimateTail runs the sampling/stopping phase at a fixed interval,
+// optionally seeded with an already-collected random sequence.
+func estimateTail(s *sim.Session, opts Options, interval int, seed []float64) (Result, error) {
+	crit := opts.NewCriterion(opts.Spec)
+	if opts.ReuseTestSamples {
+		for _, p := range seed {
+			crit.Add(p)
+		}
+	}
+	for !crit.Done() {
+		if crit.N()+opts.CheckEvery > opts.MaxSamples {
+			return Result{
+				Power:         crit.Estimate(),
+				Interval:      interval,
+				SampleSize:    crit.N(),
+				HalfWidth:     crit.HalfWidth(),
+				HiddenCycles:  s.HiddenCycles,
+				SampledCycles: s.SampledCycles,
+				Criterion:     crit.Name(),
+				Converged:     false,
+			}, nil
+		}
+		for i := 0; i < opts.CheckEvery; i++ {
+			s.StepHiddenN(interval)
+			crit.Add(s.StepSampled(nil))
+		}
+	}
+	return Result{
+		Power:         crit.Estimate(),
+		Interval:      interval,
+		SampleSize:    crit.N(),
+		HalfWidth:     crit.HalfWidth(),
+		HiddenCycles:  s.HiddenCycles,
+		SampledCycles: s.SampledCycles,
+		Criterion:     crit.Name(),
+		Converged:     true,
+	}, nil
+}
+
+// criterionName is a small helper for reports when only a factory is at
+// hand.
+func criterionName(f stopping.Factory, spec stopping.Spec) string {
+	return f(spec).Name()
+}

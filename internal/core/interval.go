@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randtest"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Trial records one iteration of the independence-interval selection
+// procedure (one pass around the loop of Fig. 2).
+type Trial struct {
+	Interval   int     // trial interval k, in clock cycles
+	Z          float64 // runs-test statistic on the collected sequence
+	PValue     float64
+	Accepted   bool
+	Degenerate bool
+}
+
+// IntervalSelection is the outcome of the Fig. 2 procedure.
+type IntervalSelection struct {
+	Interval int     // the selected independence interval
+	Capped   bool    // true if MaxInterval was reached without acceptance
+	Trials   []Trial // one entry per trial interval, in order
+	// Sequence is the power sequence that passed the test (watts per
+	// cycle); with Options.ReuseTestSamples it seeds the stopping
+	// criterion.
+	Sequence []float64
+}
+
+// collectSequence gathers n power samples, separated by k hidden
+// (zero-delay) cycles each, into dst.
+func collectSequence(s *sim.Session, k, n int, dst []float64) []float64 {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		s.StepHiddenN(k)
+		dst = append(dst, s.StepSampled(nil))
+	}
+	return dst
+}
+
+// SelectInterval runs the sequential procedure of Fig. 2 on a session:
+// starting from trial interval 0, collect a power sequence of length
+// opts.SeqLen whose adjacent samples are separated by the trial interval,
+// apply the randomness test, and increment the interval until the
+// randomness hypothesis is accepted at significance opts.Alpha.
+func SelectInterval(s *sim.Session, opts Options) (IntervalSelection, error) {
+	if err := opts.Validate(); err != nil {
+		return IntervalSelection{}, err
+	}
+	sel := IntervalSelection{}
+	seq := make([]float64, 0, opts.SeqLen)
+	for k := 0; ; k++ {
+		seq = collectSequence(s, k, opts.SeqLen, seq)
+		res := opts.Test.Apply(seq)
+		accepted := res.Accept(opts.Alpha)
+		sel.Trials = append(sel.Trials, Trial{
+			Interval:   k,
+			Z:          res.Z,
+			PValue:     res.PValue,
+			Accepted:   accepted,
+			Degenerate: res.Degenerate,
+		})
+		if accepted {
+			sel.Interval = k
+			sel.Sequence = append([]float64(nil), seq...)
+			return sel, nil
+		}
+		if k >= opts.MaxInterval {
+			sel.Interval = opts.MaxInterval
+			sel.Capped = true
+			sel.Sequence = append([]float64(nil), seq...)
+			return sel, nil
+		}
+	}
+}
+
+// ZPoint is one point of the Fig. 3 curve: the runs-test z statistic of a
+// fresh power sequence collected at a given trial interval.
+type ZPoint struct {
+	Interval int
+	Z        float64 // signed statistic (positive correlation gives z < 0)
+	AbsZ     float64 // magnitude, the quantity Fig. 3 plots
+	Accepted bool    // acceptance at the options' significance level
+}
+
+// ZTrace reproduces the data behind Fig. 3: for each trial interval
+// k = 0..maxK it collects a fresh power sequence of length seqLen on the
+// session and records the runs-test statistic. The paper's figure uses
+// s1494 with seqLen = 10000.
+func ZTrace(s *sim.Session, opts Options, maxK, seqLen int) ([]ZPoint, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if seqLen < 32 {
+		return nil, fmt.Errorf("core: ZTrace sequence length %d too short", seqLen)
+	}
+	if maxK < 0 {
+		return nil, fmt.Errorf("core: ZTrace maxK %d negative", maxK)
+	}
+	out := make([]ZPoint, 0, maxK+1)
+	seq := make([]float64, 0, seqLen)
+	for k := 0; k <= maxK; k++ {
+		seq = collectSequence(s, k, seqLen, seq)
+		res := opts.Test.Apply(seq)
+		out = append(out, ZPoint{
+			Interval: k,
+			Z:        res.Z,
+			AbsZ:     math.Abs(res.Z),
+			Accepted: res.Accept(opts.Alpha),
+		})
+	}
+	return out, nil
+}
+
+// Diagnostics is a post-hoc health report on a power sample collected at
+// a fixed interval: does it actually look i.i.d.? The paper's procedure
+// guarantees this only at the chosen significance level; the diagnostics
+// let a user audit a finished run with independent evidence (a fresh
+// sequence, a battery of tests, and the autocorrelation function).
+type Diagnostics struct {
+	Interval int
+	// Tests holds the outcome of each randomness test on the fresh
+	// sequence.
+	Tests []randtest.Result
+	// ACF is the sample autocorrelation function of the sequence up to
+	// lag 10 (ACF[0] == 1).
+	ACF []float64
+	// Mean and CV summarize the sequence.
+	Mean float64
+	CV   float64
+}
+
+// AllAccepted reports whether every (non-degenerate) test accepted at
+// the given significance level.
+func (d Diagnostics) AllAccepted(alpha float64) bool {
+	for _, r := range d.Tests {
+		if !r.Accept(alpha) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diagnose collects a fresh power sequence of length n at the given
+// interval on the session and audits it with the standard battery
+// (ordinary runs, runs up/down, von Neumann, Ljung–Box).
+func Diagnose(s *sim.Session, interval, n int) (Diagnostics, error) {
+	if interval < 0 || n < 32 {
+		return Diagnostics{}, fmt.Errorf("core: Diagnose needs interval >= 0 and n >= 32 (got %d, %d)", interval, n)
+	}
+	seq := collectSequence(s, interval, n, make([]float64, 0, n))
+	battery := []randtest.Test{
+		randtest.OrdinaryRuns{}, randtest.UpDownRuns{}, randtest.VonNeumann{}, randtest.LjungBox{},
+	}
+	d := Diagnostics{Interval: interval, ACF: stats.Autocorrelation(seq, 10)}
+	for _, t := range battery {
+		d.Tests = append(d.Tests, t.Apply(seq))
+	}
+	var acc stats.Accumulator
+	for _, p := range seq {
+		acc.Add(p)
+	}
+	d.Mean = acc.Mean()
+	d.CV = acc.CV()
+	return d, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/power"
+	"repro/internal/randtest"
+	"repro/internal/refsim"
+	"repro/internal/stats"
+)
+
+// DelayModelRow is one row of ablation A6: average power of the same
+// circuit under the three delay models. The zero-delay model sees only
+// functional transitions; the difference to the general-delay (fanout-
+// loaded) model is glitch power, which is why the paper insists on a
+// general-delay simulator for the sampled cycles.
+type DelayModelRow struct {
+	Name      string
+	PZero     float64 // watts, zero-delay (functional transitions only)
+	PUnit     float64 // watts, unit-delay
+	PFanout   float64 // watts, fanout-loaded general delay
+	GlitchPct float64 // 100 * (PFanout - PZero) / PFanout
+	Cycles    int
+}
+
+// AblationDelayModels measures reference power under each delay model
+// for every configured circuit.
+func AblationDelayModels(cfg Config) ([]DelayModelRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	models := []delay.Model{delay.Zero{}, delay.Unit{}, delay.DefaultFanoutLoaded()}
+	rows := make([]DelayModelRow, 0, len(cfg.Circuits))
+	for ci, name := range cfg.Circuits {
+		circ, err := bench89.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		cycles := cfg.RefCycles(circ.NumGates())
+		width := len(circ.Inputs)
+		row := DelayModelRow{Name: name, Cycles: cycles}
+		for mi, m := range models {
+			tb := core.NewTestbench(circ, m, power.DefaultCapModel(), power.DefaultSupply())
+			// The same seed per circuit puts every model on the same
+			// input stream, isolating the delay-model effect.
+			src := cfg.factory(width)(cfg.BaseSeed + 42 + int64(ci))
+			p := refsim.Run(tb.NewSession(src), cfg.RefWarmup, cycles).Power
+			switch mi {
+			case 0:
+				row.PZero = p
+			case 1:
+				row.PUnit = p
+			case 2:
+				row.PFanout = p
+			}
+		}
+		if row.PFanout > 0 {
+			row.GlitchPct = 100 * (row.PFanout - row.PZero) / row.PFanout
+		}
+		cfg.logf("ablation delay: %s zero=%.4g unit=%.4g fanout=%.4g glitch=%.1f%%\n",
+			name, row.PZero, row.PUnit, row.PFanout, row.GlitchPct)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CalibrationRow is one row of the runs-test calibration experiment: the
+// empirical false-rejection rate on truly random sequences must match
+// the significance level (Eq. 6 of the paper). This validates the test
+// statistic implementation end to end.
+type CalibrationRow struct {
+	Alpha      float64
+	Sequences  int
+	SeqLen     int
+	RejectRate float64 // empirical P(reject | H true)
+}
+
+// CalibrationRunsTest measures the false-rejection rate of a randomness
+// test on i.i.d. Gaussian sequences across significance levels.
+func CalibrationRunsTest(cfg Config, test randtest.Test, seqLen, sequences int, alphas []float64) []CalibrationRow {
+	rng := rand.New(rand.NewSource(cfg.BaseSeed + 161))
+	// Pre-generate the z statistics once; acceptance is then a threshold
+	// query per alpha.
+	zs := make([]float64, 0, sequences)
+	seq := make([]float64, seqLen)
+	for s := 0; s < sequences; s++ {
+		for i := range seq {
+			seq[i] = rng.NormFloat64()
+		}
+		r := test.Apply(seq)
+		if r.Degenerate {
+			continue
+		}
+		zs = append(zs, r.Z)
+	}
+	rows := make([]CalibrationRow, 0, len(alphas))
+	for _, a := range alphas {
+		c := stats.NormalQuantile(1 - a/2)
+		reject := 0
+		for _, z := range zs {
+			if z > c || z < -c {
+				reject++
+			}
+		}
+		rows = append(rows, CalibrationRow{
+			Alpha:      a,
+			Sequences:  len(zs),
+			SeqLen:     seqLen,
+			RejectRate: float64(reject) / float64(len(zs)),
+		})
+		cfg.logf("calibration: alpha=%.2f reject=%.3f\n", a, rows[len(rows)-1].RejectRate)
+	}
+	return rows
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/randtest"
+)
+
+func TestAblationDelayModels(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Circuits = []string{"s298", "s1196"}
+	rows, err := AblationDelayModels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PZero <= 0 || r.PUnit <= 0 || r.PFanout <= 0 {
+			t.Errorf("%s: nonpositive power %+v", r.Name, r)
+		}
+		// Glitches only add transitions: general-delay power must be at
+		// least the functional power (same input stream, same weights).
+		if r.PFanout < r.PZero*0.999 {
+			t.Errorf("%s: fanout power %g below zero-delay %g", r.Name, r.PFanout, r.PZero)
+		}
+		if r.GlitchPct < 0 || r.GlitchPct > 80 {
+			t.Errorf("%s: implausible glitch share %.1f%%", r.Name, r.GlitchPct)
+		}
+	}
+	if out := RenderDelayModels(rows); !strings.Contains(out, "A6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCalibrationRunsTest(t *testing.T) {
+	cfg := tinyConfig()
+	rows := CalibrationRunsTest(cfg, randtest.OrdinaryRuns{}, 320, 800, []float64{0.05, 0.20, 0.50})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Empirical rejection rate must track alpha (Eq. 6); with 800
+		// sequences the binomial noise is ~2-5%.
+		if math.Abs(r.RejectRate-r.Alpha) > 0.06 {
+			t.Errorf("alpha=%.2f: rejection rate %.3f", r.Alpha, r.RejectRate)
+		}
+	}
+	// Rejection rate must increase with alpha.
+	if !(rows[0].RejectRate < rows[2].RejectRate) {
+		t.Errorf("rejection not increasing: %+v", rows)
+	}
+	if out := RenderCalibration(rows); !strings.Contains(out, "Calibration") {
+		t.Error("render missing title")
+	}
+}

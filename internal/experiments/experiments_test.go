@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stopping"
+)
+
+// tinyConfig keeps experiment tests fast: two small circuits, small
+// reference budgets, few runs, a loose spec.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Circuits = []string{"s27", "s298"}
+	cfg.RefCycles = func(int) int { return 8000 }
+	cfg.RefWarmup = 64
+	cfg.Runs = 4
+	cfg.Opts.Spec = stopping.Spec{RelErr: 0.10, Confidence: 0.95}
+	return cfg
+}
+
+func TestTable1SmokeAndRender(t *testing.T) {
+	rows, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SIM <= 0 || r.Estimate <= 0 {
+			t.Errorf("%s: nonpositive power (%g, %g)", r.Name, r.SIM, r.Estimate)
+		}
+		if r.SampleSize <= 0 || r.Cycles == 0 {
+			t.Errorf("%s: missing diagnostics", r.Name)
+		}
+		// Estimates inside spec plus reference noise: generous bound.
+		if r.ErrPct > 100*(0.10+4*r.RefRelSE) {
+			t.Errorf("%s: error %.2f%% too large", r.Name, r.ErrPct)
+		}
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"Table 1", "s27", "s298", "I.I."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2SmokeAndRender(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Circuits = []string{"s27"}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.IIMin > r.IIMax {
+		t.Errorf("II bounds inverted: %d > %d", r.IIMin, r.IIMax)
+	}
+	if r.IIAvg < float64(r.IIMin) || r.IIAvg > float64(r.IIMax) {
+		t.Errorf("II avg %.2f outside [%d,%d]", r.IIAvg, r.IIMin, r.IIMax)
+	}
+	if r.SAvg <= 0 || r.CycAvg <= 0 {
+		t.Errorf("missing aggregates: %+v", r)
+	}
+	if out := RenderTable2(rows); !strings.Contains(out, "Table 2") {
+		t.Errorf("render missing title")
+	}
+}
+
+func TestTable2NeedsRuns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 1
+	if _, err := Table2(cfg); err == nil {
+		t.Fatal("Runs=1 accepted")
+	}
+}
+
+func TestFigure3SmokeAndRender(t *testing.T) {
+	cfg := tinyConfig()
+	pts, err := Figure3(cfg, "s298", 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	txt := RenderFigure3(pts, 1.28)
+	if !strings.Contains(txt, "Figure 3") || !strings.Contains(txt, "k=  0") {
+		t.Errorf("figure render:\n%s", txt)
+	}
+	csv := Figure3CSV(pts)
+	if !strings.HasPrefix(csv, "interval,z,abs_z,accepted\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 7 {
+		t.Errorf("csv lines = %d, want 7", got)
+	}
+}
+
+func TestAblationSeqLen(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := AblationSeqLen(cfg, "s298", []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IIMin > r.IIMax || r.SelCycAvg <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	if out := RenderSeqLen(rows); !strings.Contains(out, "A1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationAlpha(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 3
+	rows, err := AblationAlpha(cfg, "s27", []float64{0.05, 0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher significance level can only demand more (or equal)
+	// independence on average.
+	if rows[1].IIAvg+1e-9 < rows[0].IIAvg-1 {
+		t.Errorf("alpha=0.40 IIavg %.2f much below alpha=0.05 %.2f", rows[1].IIAvg, rows[0].IIAvg)
+	}
+	if out := RenderAlpha(rows); !strings.Contains(out, "A2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationStopping(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 3
+	rows, err := AblationStopping(cfg, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 criteria", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Criterion] = true
+	}
+	for _, want := range []string{"normal", "ks", "order-statistics"} {
+		if !names[want] {
+			t.Errorf("missing criterion %q", want)
+		}
+	}
+	if out := RenderStopping(rows); !strings.Contains(out, "A3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationWarmup(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 3
+	rows, err := AblationWarmup(cfg, "s298", []int{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Mode != "dynamic" || rows[3].Mode != "batch-means" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// A fixed warm-up of 50 cycles must cost more simulated cycles than
+	// the dynamic interval (which is a few cycles on these circuits).
+	if rows[2].CycAvg <= rows[0].CycAvg {
+		t.Errorf("fixed-50 cycles %.0f not above dynamic %.0f", rows[2].CycAvg, rows[0].CycAvg)
+	}
+	if out := RenderWarmup(rows); !strings.Contains(out, "A4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationInputs(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 3
+	rows, err := AblationInputs(cfg, "s298", []float64{0.0, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if out := RenderInputs(rows); !strings.Contains(out, "A5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Circuits = nil
+	if _, err := Table1(cfg); err == nil {
+		t.Error("empty circuit list accepted")
+	}
+	cfg = tinyConfig()
+	cfg.RefCycles = nil
+	if _, err := Table1(cfg); err == nil {
+		t.Error("nil RefCycles accepted")
+	}
+	cfg = tinyConfig()
+	cfg.InputProb = 0
+	if _, err := Table1(cfg); err == nil {
+		t.Error("p=0 accepted")
+	}
+	cfg = tinyConfig()
+	cfg.Circuits = []string{"sBOGUS"}
+	if _, err := Table1(cfg); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestDefaultRefCyclesMonotone(t *testing.T) {
+	sizes := []int{100, 500, 2000, 8000}
+	prev := 1 << 30
+	for _, g := range sizes {
+		c := DefaultRefCycles(g)
+		if c > prev {
+			t.Fatalf("RefCycles not non-increasing at %d gates", g)
+		}
+		prev = c
+	}
+	if PaperRefCycles(12345) != 1_000_000 {
+		t.Fatal("PaperRefCycles != 1e6")
+	}
+}
+
+func TestTable1Deterministic(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Circuits = []string{"s27"}
+	a, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].SIM != b[0].SIM || a[0].Estimate != b[0].Estimate || a[0].SampleSize != b[0].SampleSize {
+		t.Fatalf("same config produced different rows: %+v vs %+v", a[0], b[0])
+	}
+}

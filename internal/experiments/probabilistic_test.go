@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProbabilisticBaseline(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Circuits = []string{"s27", "s298"}
+	rows, err := ProbabilisticBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SIM <= 0 || r.PProba <= 0 || r.PDipe <= 0 {
+			t.Errorf("%s: nonpositive power %+v", r.Name, r)
+		}
+		if r.Iterations < 1 {
+			t.Errorf("%s: no fixpoint iterations recorded", r.Name)
+		}
+	}
+	// The paper's claim on the reconvergent benchmark: the probabilistic
+	// estimate errs far more than DIPE.
+	for _, r := range rows {
+		if r.Name != "s298" {
+			continue
+		}
+		if r.ProbaErr < r.DipeErr {
+			t.Errorf("s298: probabilistic error %.1f%% below DIPE error %.1f%% — claim not reproduced",
+				r.ProbaErr, r.DipeErr)
+		}
+		if r.ProbaErr < 5 {
+			t.Errorf("s298: probabilistic error %.1f%% implausibly small", r.ProbaErr)
+		}
+	}
+	out := RenderProba(rows)
+	if !strings.Contains(out, "B1") || !strings.Contains(out, "s298") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+)
+
+// renderRows formats a header and row lines through a tabwriter.
+func renderRows(title string, header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteString("\n")
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	// tabwriter.Flush on a strings.Builder cannot fail.
+	_ = tw.Flush()
+	return sb.String()
+}
+
+// RenderTable1 renders Table 1 in the paper's column layout (power in
+// mW), with the reference's own uncertainty added for honesty.
+func RenderTable1(rows []Table1Row) string {
+	header := []string{"Circuit", "SIM(mW)", "ref±%", "I.I.", "p̂(mW)", "Sample", "Err(%)", "Cycles", "CPU(s)"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Name,
+			fmt.Sprintf("%.4f", r.SIM*1e3),
+			fmt.Sprintf("%.2f", 100*r.RefRelSE),
+			fmt.Sprintf("%d", r.II),
+			fmt.Sprintf("%.4f", r.Estimate*1e3),
+			fmt.Sprintf("%d", r.SampleSize),
+			fmt.Sprintf("%.2f", r.ErrPct),
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.1f", r.CPUSec),
+		}
+	}
+	return renderRows("Table 1: Power estimation results", header, body)
+}
+
+// RenderTable2 renders Table 2 in the paper's column layout.
+func RenderTable2(rows []Table2Row) string {
+	header := []string{"Circuit", "Runs", "II.min", "II.max", "II.avg", "S.avg", "D.avg(%)", "Err(%)", "Cyc.avg"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%d", r.IIMin),
+			fmt.Sprintf("%d", r.IIMax),
+			fmt.Sprintf("%.2f", r.IIAvg),
+			fmt.Sprintf("%.0f", r.SAvg),
+			fmt.Sprintf("%.2f", r.DAvg),
+			fmt.Sprintf("%.1f", r.ErrPct),
+			fmt.Sprintf("%.0f", r.CycAvg),
+		}
+	}
+	return renderRows("Table 2: Large number simulation summary", header, body)
+}
+
+// RenderFigure3 renders the z-statistic trace as an ASCII chart plus the
+// underlying values, mirroring Fig. 3's axes (trial interval vs. |z|).
+func RenderFigure3(points []core.ZPoint, accepted float64) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: |z| statistic vs. trial interval length\n")
+	var maxZ float64
+	for _, p := range points {
+		if p.AbsZ > maxZ {
+			maxZ = p.AbsZ
+		}
+	}
+	if maxZ < 1 {
+		maxZ = 1
+	}
+	const width = 60
+	for _, p := range points {
+		bar := int(p.AbsZ / maxZ * width)
+		marker := " "
+		if p.Accepted {
+			marker = "*" // inside the acceptance band
+		}
+		fmt.Fprintf(&sb, "k=%3d |%-*s| %6.2f %s\n", p.Interval, width, strings.Repeat("#", bar), p.AbsZ, marker)
+	}
+	fmt.Fprintf(&sb, "(* = randomness hypothesis accepted; threshold |z| <= %.3f)\n", accepted)
+	return sb.String()
+}
+
+// Figure3CSV renders the trace as CSV (interval,z,abs_z,accepted).
+func Figure3CSV(points []core.ZPoint) string {
+	var sb strings.Builder
+	sb.WriteString("interval,z,abs_z,accepted\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%d,%.6f,%.6f,%v\n", p.Interval, p.Z, p.AbsZ, p.Accepted)
+	}
+	return sb.String()
+}
+
+// RenderSeqLen renders ablation A1.
+func RenderSeqLen(rows []SeqLenRow) string {
+	header := []string{"SeqLen", "Runs", "II.min", "II.max", "II.avg", "II.std", "SelCycles"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			fmt.Sprintf("%d", r.SeqLen),
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%d", r.IIMin),
+			fmt.Sprintf("%d", r.IIMax),
+			fmt.Sprintf("%.2f", r.IIAvg),
+			fmt.Sprintf("%.2f", r.IIStd),
+			fmt.Sprintf("%.0f", r.SelCycAvg),
+		}
+	}
+	return renderRows("Ablation A1: randomness-test sequence length", header, body)
+}
+
+// RenderAlpha renders ablation A2.
+func RenderAlpha(rows []AlphaRow) string {
+	header := []string{"Alpha", "Runs", "II.avg", "S.avg", "D.avg(%)", "Err(%)"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			fmt.Sprintf("%.2f", r.Alpha),
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%.2f", r.IIAvg),
+			fmt.Sprintf("%.0f", r.SAvg),
+			fmt.Sprintf("%.2f", r.DAvg),
+			fmt.Sprintf("%.1f", r.ErrPct),
+		}
+	}
+	return renderRows("Ablation A2: randomness-test significance level", header, body)
+}
+
+// RenderStopping renders ablation A3.
+func RenderStopping(rows []StoppingRow) string {
+	header := []string{"Criterion", "Runs", "S.avg", "D.avg(%)", "Err(%)", "Cyc.avg"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Criterion,
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%.0f", r.SAvg),
+			fmt.Sprintf("%.2f", r.DAvg),
+			fmt.Sprintf("%.1f", r.ErrPct),
+			fmt.Sprintf("%.0f", r.CycAvg),
+		}
+	}
+	return renderRows("Ablation A3: stopping criterion comparison", header, body)
+}
+
+// RenderWarmup renders ablation A4.
+func RenderWarmup(rows []WarmupRow) string {
+	header := []string{"Mode", "Runs", "II.avg", "S.avg", "Cyc.avg", "D.avg(%)", "Err(%)"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%.2f", r.IIAvg),
+			fmt.Sprintf("%.0f", r.SAvg),
+			fmt.Sprintf("%.0f", r.CycAvg),
+			fmt.Sprintf("%.2f", r.DAvg),
+			fmt.Sprintf("%.1f", r.ErrPct),
+		}
+	}
+	return renderRows("Ablation A4: dynamic interval vs. fixed warm-up (ref [9])", header, body)
+}
+
+// RenderDelayModels renders ablation A6.
+func RenderDelayModels(rows []DelayModelRow) string {
+	header := []string{"Circuit", "P.zero(mW)", "P.unit(mW)", "P.fanout(mW)", "Glitch(%)", "Cycles"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Name,
+			fmt.Sprintf("%.4f", r.PZero*1e3),
+			fmt.Sprintf("%.4f", r.PUnit*1e3),
+			fmt.Sprintf("%.4f", r.PFanout*1e3),
+			fmt.Sprintf("%.1f", r.GlitchPct),
+			fmt.Sprintf("%d", r.Cycles),
+		}
+	}
+	return renderRows("Ablation A6: delay model and glitch power", header, body)
+}
+
+// RenderCalibration renders the runs-test calibration table.
+func RenderCalibration(rows []CalibrationRow) string {
+	header := []string{"Alpha", "Sequences", "SeqLen", "RejectRate"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			fmt.Sprintf("%.3f", r.Alpha),
+			fmt.Sprintf("%d", r.Sequences),
+			fmt.Sprintf("%d", r.SeqLen),
+			fmt.Sprintf("%.3f", r.RejectRate),
+		}
+	}
+	return renderRows("Calibration: randomness-test false-rejection rate (Eq. 6)", header, body)
+}
+
+// RenderInputs renders ablation A5.
+func RenderInputs(rows []InputsRow) string {
+	header := []string{"Rho", "Runs", "II.avg", "S.avg", "D.avg(%)", "Err(%)"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			fmt.Sprintf("%.2f", r.Rho),
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%.2f", r.IIAvg),
+			fmt.Sprintf("%.0f", r.SAvg),
+			fmt.Sprintf("%.2f", r.DAvg),
+			fmt.Sprintf("%.1f", r.ErrPct),
+		}
+	}
+	return renderRows("Ablation A5: temporally correlated input streams", header, body)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRenderTable1Golden(t *testing.T) {
+	rows := []Table1Row{
+		{Name: "s27", SIM: 4.7e-5, RefRelSE: 0.002, RefCycles: 1000, II: 1,
+			Estimate: 4.8e-5, SampleSize: 640, ErrPct: 2.13, Cycles: 1500, CPUSec: 0.05},
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{
+		"Table 1: Power estimation results",
+		"s27", "0.0470", "0.0480", "640", "2.13", "1500", "0.1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 render missing %q:\n%s", want, out)
+		}
+	}
+	// Header separator row present.
+	if !strings.Contains(out, "-------") {
+		t.Error("missing separator")
+	}
+}
+
+func TestRenderTable2Golden(t *testing.T) {
+	rows := []Table2Row{
+		{Name: "s298", Runs: 100, IIMin: 0, IIMax: 5, IIAvg: 1.23,
+			SAvg: 2523.4, DAvg: 1.15, ErrPct: 1.0, CycAvg: 6175.2},
+	}
+	out := RenderTable2(rows)
+	for _, want := range []string{"s298", "100", "1.23", "2523", "1.15", "1.0", "6175"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure3GoldenBars(t *testing.T) {
+	pts := []core.ZPoint{
+		{Interval: 0, Z: -10, AbsZ: 10, Accepted: false},
+		{Interval: 1, Z: -5, AbsZ: 5, Accepted: false},
+		{Interval: 2, Z: 0.5, AbsZ: 0.5, Accepted: true},
+	}
+	out := RenderFigure3(pts, 1.282)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("short render:\n%s", out)
+	}
+	// Bar lengths proportional: k=0 full width (60), k=1 half (30).
+	if !strings.Contains(lines[1], strings.Repeat("#", 60)) {
+		t.Errorf("k=0 bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 30)) || strings.Contains(lines[2], strings.Repeat("#", 31)) {
+		t.Errorf("k=1 bar not half width: %q", lines[2])
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[3], " "), "*") {
+		t.Errorf("accepted point not starred: %q", lines[3])
+	}
+	if !strings.Contains(out, "1.282") {
+		t.Error("threshold missing from legend")
+	}
+}
+
+func TestRenderHandlesEmptyAndZero(t *testing.T) {
+	if out := RenderTable1(nil); !strings.Contains(out, "Table 1") {
+		t.Error("empty Table 1 render broken")
+	}
+	if out := RenderFigure3(nil, 1.0); !strings.Contains(out, "Figure 3") {
+		t.Error("empty Figure 3 render broken")
+	}
+	// All-zero z values must not divide by zero.
+	pts := []core.ZPoint{{Interval: 0, Z: 0, AbsZ: 0, Accepted: true}}
+	if out := RenderFigure3(pts, 1.0); !strings.Contains(out, "k=  0") {
+		t.Error("zero-z figure render broken")
+	}
+}
+
+func TestFigure3CSVGolden(t *testing.T) {
+	pts := []core.ZPoint{{Interval: 3, Z: -1.5, AbsZ: 1.5, Accepted: false}}
+	got := Figure3CSV(pts)
+	want := "interval,z,abs_z,accepted\n3,-1.500000,1.500000,false\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestRenderAblationsContainData(t *testing.T) {
+	if out := RenderSeqLen([]SeqLenRow{{SeqLen: 320, Runs: 5, IIMin: 1, IIMax: 3, IIAvg: 1.5, IIStd: 0.5, SelCycAvg: 900}}); !strings.Contains(out, "320") {
+		t.Error("seqlen render")
+	}
+	if out := RenderAlpha([]AlphaRow{{Alpha: 0.2, Runs: 5, IIAvg: 1, SAvg: 100, DAvg: 1, ErrPct: 0}}); !strings.Contains(out, "0.20") {
+		t.Error("alpha render")
+	}
+	if out := RenderStopping([]StoppingRow{{Criterion: "ks", Runs: 5, SAvg: 10, DAvg: 1, ErrPct: 0, CycAvg: 20}}); !strings.Contains(out, "ks") {
+		t.Error("stopping render")
+	}
+	if out := RenderWarmup([]WarmupRow{{Mode: "dynamic", Runs: 5, IIAvg: 1, SAvg: 10, CycAvg: 20, DAvg: 1, ErrPct: 0}}); !strings.Contains(out, "dynamic") {
+		t.Error("warmup render")
+	}
+	if out := RenderInputs([]InputsRow{{Rho: 0.5, Runs: 5, IIAvg: 2, SAvg: 10, DAvg: 1, ErrPct: 0}}); !strings.Contains(out, "0.50") {
+		t.Error("inputs render")
+	}
+	if out := RenderDelayModels([]DelayModelRow{{Name: "s27", PZero: 1e-3, PUnit: 1.1e-3, PFanout: 1.2e-3, GlitchPct: 16.7, Cycles: 100}}); !strings.Contains(out, "16.7") {
+		t.Error("delay render")
+	}
+	if out := RenderCalibration([]CalibrationRow{{Alpha: 0.05, Sequences: 100, SeqLen: 320, RejectRate: 0.04}}); !strings.Contains(out, "0.040") {
+		t.Error("calibration render")
+	}
+}

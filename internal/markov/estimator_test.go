@@ -1,0 +1,109 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/refsim"
+	"repro/internal/stopping"
+	"repro/internal/vectors"
+)
+
+func TestStateSamplingMatchesReferenceOnS27(t *testing.T) {
+	c := bench89.S27()
+	tb := core.DefaultTestbench(c)
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+
+	g, err := Extract(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := g.Stationary(1e-12, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := refsim.Run(tb.NewSession(vectors.NewIID(4, 0.5, 1)), 256, 150_000)
+
+	res, err := EstimateByStateSampling(tb.NewSession(vectors.NewIID(4, 0.5, 2)),
+		g, pi, p, stopping.DefaultSpec(), stopping.OrderStatisticsFactory, 3, 32, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	dev := math.Abs(res.Power-ref.Power) / ref.Power
+	if dev > 0.05+4*ref.RelStdErr() {
+		t.Fatalf("state-sampling estimate %g deviates %.2f%% from reference %g",
+			res.Power, 100*dev, ref.Power)
+	}
+	if res.States != g.NumStates() {
+		t.Errorf("states = %d", res.States)
+	}
+}
+
+func TestStateSamplingAgreesWithDIPE(t *testing.T) {
+	// The two routes of Section III must agree on the same circuit: the
+	// exact state-sampling estimator and the statistical DIPE estimator.
+	c := bench89.S27()
+	tb := core.DefaultTestbench(c)
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+	g, _ := Extract(c, p)
+	pi, _ := g.Stationary(1e-12, 200_000)
+
+	exact, err := EstimateByStateSampling(tb.NewSession(vectors.NewIID(4, 0.5, 5)),
+		g, pi, p, stopping.DefaultSpec(), stopping.OrderStatisticsFactory, 5, 32, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dipeRes, err := core.Estimate(tb.NewSession(vectors.NewIID(4, 0.5, 6)), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := math.Abs(exact.Power-dipeRes.Power) / dipeRes.Power
+	if dev > 0.10 { // both carry up to 5% error at 0.99
+		t.Fatalf("exact %g vs DIPE %g: %.2f%% apart", exact.Power, dipeRes.Power, 100*dev)
+	}
+}
+
+func TestStateSamplingValidation(t *testing.T) {
+	c := bench89.S27()
+	tb := core.DefaultTestbench(c)
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+	g, _ := Extract(c, p)
+	pi, _ := g.Stationary(1e-10, 100_000)
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"bad spec", func() error {
+			_, err := EstimateByStateSampling(tb.NewSession(vectors.NewIID(4, 0.5, 1)),
+				g, pi, p, stopping.Spec{}, stopping.NormalFactory, 1, 32, 1024)
+			return err
+		}},
+		{"bad dist", func() error {
+			_, err := EstimateByStateSampling(tb.NewSession(vectors.NewIID(4, 0.5, 1)),
+				g, pi[:2], p, stopping.DefaultSpec(), stopping.NormalFactory, 1, 32, 1024)
+			return err
+		}},
+		{"bad inputP", func() error {
+			_, err := EstimateByStateSampling(tb.NewSession(vectors.NewIID(4, 0.5, 1)),
+				g, pi, p[:1], stopping.DefaultSpec(), stopping.NormalFactory, 1, 32, 1024)
+			return err
+		}},
+		{"bad cadence", func() error {
+			_, err := EstimateByStateSampling(tb.NewSession(vectors.NewIID(4, 0.5, 1)),
+				g, pi, p, stopping.DefaultSpec(), stopping.NormalFactory, 1, 0, 1024)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if tc.run() == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package maxpower
+
+import (
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/refsim"
+	"repro/internal/vectors"
+)
+
+func setup(t *testing.T, name string) (*netlist.Circuit, *delay.Table, []float64) {
+	t.Helper()
+	c := bench89.MustGet(name)
+	tb := core.DefaultTestbench(c)
+	return c, tb.Delays, tb.Weights()
+}
+
+func TestRandomSearchFindsPositivePeak(t *testing.T) {
+	c, dt, w := setup(t, "s298")
+	res, err := RandomSearch(c, dt, w, Options{Budget: 500, Restarts: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Power <= 0 {
+		t.Fatalf("peak power %g", res.Power)
+	}
+	if res.Cycles < 500 {
+		t.Fatalf("cycles = %d, want budget consumed", res.Cycles)
+	}
+}
+
+func TestHillClimbBeatsRandomOnSameBudget(t *testing.T) {
+	c, dt, w := setup(t, "s1494")
+	opts := Options{Budget: 3000, Restarts: 4, Seed: 7}
+	hc, err := HillClimb(c, dt, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RandomSearch(c, dt, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local search should find at least as high a peak; allow a small
+	// tolerance for the stochastic edge case.
+	if hc.Power < rs.Power*0.95 {
+		t.Fatalf("hill climb %g below random search %g", hc.Power, rs.Power)
+	}
+}
+
+func TestPeakExceedsAverage(t *testing.T) {
+	// The found peak must exceed the average power substantially —
+	// otherwise the search is broken.
+	c, dt, w := setup(t, "s386")
+	tb := core.DefaultTestbench(c)
+	avg := refsim.Run(tb.NewSession(vectors.NewIID(len(c.Inputs), 0.5, 2)), 256, 20_000).Power
+	res, err := HillClimb(c, dt, w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Power < 1.5*avg {
+		t.Fatalf("peak %g not well above average %g", res.Power, avg)
+	}
+}
+
+func TestReplayReproducesPeak(t *testing.T) {
+	c, dt, w := setup(t, "s344")
+	res, err := HillClimb(c, dt, w, Options{Budget: 1000, Restarts: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Replay(c, dt, w, res); got != res.Power {
+		t.Fatalf("replay %g != reported %g", got, res.Power)
+	}
+}
+
+func TestKnownOptimumOnInverterBank(t *testing.T) {
+	// A bank of independent inverters: peak power = all inputs toggling,
+	// computable exactly. Both searchers must find it (the objective is
+	// separable, so hill climbing is exact here).
+	c := netlist.NewCircuit("bank")
+	const n = 6
+	var weightsSum float64
+	for i := 0; i < n; i++ {
+		a, _ := c.AddNode(names("A", i), logic.Input)
+		g, _ := c.AddNode(names("G", i), logic.Not, a)
+		_ = c.MarkOutput(g)
+		_ = a
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	dt := delay.BuildTable(c, delay.Unit{})
+	w := make([]float64, c.NumNodes())
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind == logic.Not {
+			w[i] = 1
+			weightsSum += 1
+		}
+	}
+	res, err := HillClimb(c, dt, w, Options{Budget: 2000, Restarts: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak: every inverter switches once = n transitions.
+	if res.Power != weightsSum {
+		t.Fatalf("peak %g, want %g (all inverters toggling)", res.Power, weightsSum)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	c, dt, w := setup(t, "s27")
+	if _, err := RandomSearch(c, dt, w, Options{Budget: 0, Restarts: 1}); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := HillClimb(c, dt, w, Options{Budget: 10, Restarts: 0}); err == nil {
+		t.Error("restarts 0 accepted")
+	}
+}
+
+func TestSearchDeterministicPerSeed(t *testing.T) {
+	c, dt, w := setup(t, "s298")
+	opts := Options{Budget: 800, Restarts: 2, Seed: 11}
+	a, _ := HillClimb(c, dt, w, opts)
+	b, _ := HillClimb(c, dt, w, opts)
+	if a.Power != b.Power {
+		t.Fatalf("same seed found %g and %g", a.Power, b.Power)
+	}
+}
+
+func names(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

@@ -1,0 +1,314 @@
+// Package netlist defines the gate-level circuit representation used
+// throughout the library, together with an ISCAS89 ".bench" reader and
+// writer, structural validation, and levelization of the combinational
+// part (the evaluation order used by the zero-delay simulator).
+//
+// A Circuit is a flat array of nodes. Node IDs are dense indices into
+// that array, which lets simulators use plain slices for node state.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// NodeID indexes a node inside a Circuit. IDs are dense: 0..len(Nodes)-1.
+type NodeID int32
+
+// InvalidNode is returned by lookups that fail.
+const InvalidNode NodeID = -1
+
+// Node is one named signal in the circuit: a primary input, a gate output,
+// a flip-flop output or a constant.
+type Node struct {
+	Name   string
+	Kind   logic.Kind
+	Fanin  []NodeID // driving nodes; for DFF, Fanin[0] is the D pin
+	Fanout []NodeID // driven nodes, derived by Freeze
+}
+
+// Circuit is an immutable-after-Freeze gate-level sequential circuit.
+type Circuit struct {
+	Name    string
+	Nodes   []Node
+	Inputs  []NodeID // primary inputs, in declaration order
+	Outputs []NodeID // primary outputs, in declaration order
+	Latches []NodeID // DFF nodes, in declaration order
+
+	byName map[string]NodeID
+	order  []NodeID // levelized combinational evaluation order
+	levels []int32  // per-node level (sources are 0)
+	frozen bool
+}
+
+// NewCircuit returns an empty circuit with the given name.
+func NewCircuit(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]NodeID)}
+}
+
+// AddNode appends a node and returns its ID. Fanin references may be
+// filled in later (before Freeze) via SetFanin; this supports building
+// circuits with feedback through latches. Adding a duplicate name is an
+// error.
+func (c *Circuit) AddNode(name string, kind logic.Kind, fanin ...NodeID) (NodeID, error) {
+	if c.frozen {
+		return InvalidNode, fmt.Errorf("netlist: AddNode(%q) on frozen circuit %q", name, c.Name)
+	}
+	if _, dup := c.byName[name]; dup {
+		return InvalidNode, fmt.Errorf("netlist: duplicate node name %q in circuit %q", name, c.Name)
+	}
+	id := NodeID(len(c.Nodes))
+	c.Nodes = append(c.Nodes, Node{Name: name, Kind: kind, Fanin: append([]NodeID(nil), fanin...)})
+	c.byName[name] = id
+	switch kind {
+	case logic.Input:
+		c.Inputs = append(c.Inputs, id)
+	case logic.DFF:
+		c.Latches = append(c.Latches, id)
+	}
+	return id, nil
+}
+
+// SetFanin replaces the fanin list of a node (before Freeze).
+func (c *Circuit) SetFanin(id NodeID, fanin ...NodeID) error {
+	if c.frozen {
+		return fmt.Errorf("netlist: SetFanin on frozen circuit %q", c.Name)
+	}
+	if id < 0 || int(id) >= len(c.Nodes) {
+		return fmt.Errorf("netlist: SetFanin: node %d out of range", id)
+	}
+	c.Nodes[id].Fanin = append(c.Nodes[id].Fanin[:0], fanin...)
+	return nil
+}
+
+// MarkOutput declares a node as a primary output.
+func (c *Circuit) MarkOutput(id NodeID) error {
+	if c.frozen {
+		return fmt.Errorf("netlist: MarkOutput on frozen circuit %q", c.Name)
+	}
+	if id < 0 || int(id) >= len(c.Nodes) {
+		return fmt.Errorf("netlist: MarkOutput: node %d out of range", id)
+	}
+	c.Outputs = append(c.Outputs, id)
+	return nil
+}
+
+// Lookup returns the node with the given name, or InvalidNode.
+func (c *Circuit) Lookup(name string) NodeID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+// NumNodes returns the total node count (inputs + gates + latches).
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the number of combinational gates.
+func (c *Circuit) NumGates() int {
+	n := 0
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsCombinational() {
+			n++
+		}
+	}
+	return n
+}
+
+// Frozen reports whether Freeze has completed successfully.
+func (c *Circuit) Frozen() bool { return c.frozen }
+
+// Freeze validates the circuit, derives fanout lists and computes the
+// levelized evaluation order of the combinational part. It must be called
+// once after construction; simulators require a frozen circuit.
+func (c *Circuit) Freeze() error {
+	if c.frozen {
+		return nil
+	}
+	if err := c.validate(); err != nil {
+		return err
+	}
+	// Derive fanouts.
+	for i := range c.Nodes {
+		c.Nodes[i].Fanout = c.Nodes[i].Fanout[:0]
+	}
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			c.Nodes[f].Fanout = append(c.Nodes[f].Fanout, NodeID(i))
+		}
+	}
+	// Deterministic fanout order (AddNode order is already deterministic,
+	// but sort defensively so downstream behaviour never depends on map
+	// iteration in builders).
+	for i := range c.Nodes {
+		fo := c.Nodes[i].Fanout
+		sort.Slice(fo, func(a, b int) bool { return fo[a] < fo[b] })
+	}
+	if err := c.levelize(); err != nil {
+		return err
+	}
+	c.frozen = true
+	return nil
+}
+
+// Order returns the levelized evaluation order of the combinational
+// gates: every gate appears after all of its fanin. Sources (inputs,
+// latches, constants) are not included.
+func (c *Circuit) Order() []NodeID {
+	if !c.frozen {
+		panic("netlist: Order on unfrozen circuit " + c.Name)
+	}
+	return c.order
+}
+
+// Level returns the logic level of a node: 0 for sources, 1 + max fanin
+// level for gates.
+func (c *Circuit) Level(id NodeID) int { return int(c.levels[id]) }
+
+// Depth returns the maximum logic level over all nodes (the length of the
+// longest combinational path in gates).
+func (c *Circuit) Depth() int {
+	d := int32(0)
+	for _, l := range c.levels {
+		if l > d {
+			d = l
+		}
+	}
+	return int(d)
+}
+
+// levelize topologically sorts the combinational gates. Feedback through
+// DFFs is legal (DFF outputs are sources); a purely combinational cycle
+// is a structural error.
+func (c *Circuit) levelize() error {
+	n := len(c.Nodes)
+	c.levels = make([]int32, n)
+	indeg := make([]int32, n)
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if !nd.Kind.IsCombinational() {
+			continue
+		}
+		for _, f := range nd.Fanin {
+			if c.Nodes[f].Kind.IsCombinational() {
+				indeg[i]++
+			}
+		}
+	}
+	queue := make([]NodeID, 0, n)
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsCombinational() && indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	c.order = make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		lvl := int32(0)
+		for _, f := range c.Nodes[id].Fanin {
+			if c.levels[f]+1 > lvl {
+				lvl = c.levels[f] + 1
+			}
+		}
+		c.levels[id] = lvl
+		c.order = append(c.order, id)
+		for _, t := range c.Nodes[id].Fanout {
+			if c.Nodes[t].Kind.IsCombinational() {
+				indeg[t]--
+				if indeg[t] == 0 {
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	want := c.NumGates()
+	if len(c.order) != want {
+		return fmt.Errorf("netlist: circuit %q has a combinational cycle (%d of %d gates orderable)",
+			c.Name, len(c.order), want)
+	}
+	// DFF "levels": one past their D fanin, for reporting only.
+	for _, l := range c.Latches {
+		d := c.Nodes[l].Fanin[0]
+		c.levels[l] = 0 // as a source
+		_ = d
+	}
+	return nil
+}
+
+// validate checks structural well-formedness before Freeze.
+func (c *Circuit) validate() error {
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.Name == "" {
+			return fmt.Errorf("netlist: circuit %q: node %d has empty name", c.Name, i)
+		}
+		min, max := nd.Kind.MinFanin(), nd.Kind.MaxFanin()
+		if len(nd.Fanin) < min {
+			return fmt.Errorf("netlist: circuit %q: node %q (%s) has %d fanin, need >= %d",
+				c.Name, nd.Name, nd.Kind, len(nd.Fanin), min)
+		}
+		if max >= 0 && len(nd.Fanin) > max {
+			return fmt.Errorf("netlist: circuit %q: node %q (%s) has %d fanin, max %d",
+				c.Name, nd.Name, nd.Kind, len(nd.Fanin), max)
+		}
+		for _, f := range nd.Fanin {
+			if f < 0 || int(f) >= len(c.Nodes) {
+				return fmt.Errorf("netlist: circuit %q: node %q references undefined fanin %d",
+					c.Name, nd.Name, f)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || int(o) >= len(c.Nodes) {
+			return fmt.Errorf("netlist: circuit %q: output id %d out of range", c.Name, o)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes circuit structure, mirroring the columns benchmark
+// suites publish for each circuit.
+type Stats struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Latches int
+	Gates   int
+	Depth   int
+	// Fanout statistics over all nodes.
+	MaxFanout int
+	AvgFanout float64
+}
+
+// ComputeStats returns structural statistics for a frozen circuit.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{
+		Name:    c.Name,
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Latches: len(c.Latches),
+		Gates:   c.NumGates(),
+		Depth:   c.Depth(),
+	}
+	total := 0
+	for i := range c.Nodes {
+		fo := len(c.Nodes[i].Fanout)
+		total += fo
+		if fo > s.MaxFanout {
+			s.MaxFanout = fo
+		}
+	}
+	if len(c.Nodes) > 0 {
+		s.AvgFanout = float64(total) / float64(len(c.Nodes))
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d PI, %d PO, %d DFF, %d gates, depth %d, max fanout %d",
+		s.Name, s.Inputs, s.Outputs, s.Latches, s.Gates, s.Depth, s.MaxFanout)
+}

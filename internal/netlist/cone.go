@@ -1,0 +1,128 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// ExtractCone builds a standalone combinational circuit containing the
+// transitive fanin cone of the given root nodes, cut at sources: primary
+// inputs stay inputs, and latch outputs become new primary inputs (the
+// cone is the next-state/output logic as a function of (PI, state)).
+// Root nodes become the primary outputs of the new circuit.
+//
+// Cone extraction is the standard workhorse for per-output analysis,
+// debugging a mis-predicted node, and unit-testing small slices of a big
+// benchmark.
+func ExtractCone(c *Circuit, roots []NodeID, name string) (*Circuit, error) {
+	if !c.Frozen() {
+		return nil, fmt.Errorf("netlist: ExtractCone requires a frozen circuit")
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("netlist: ExtractCone needs at least one root")
+	}
+	for _, r := range roots {
+		if r < 0 || int(r) >= len(c.Nodes) {
+			return nil, fmt.Errorf("netlist: ExtractCone root %d out of range", r)
+		}
+	}
+	// Depth-first reachability backwards over fanin edges, cutting at
+	// sources.
+	inCone := make(map[NodeID]bool)
+	stack := append([]NodeID(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if inCone[id] {
+			continue
+		}
+		inCone[id] = true
+		if c.Nodes[id].Kind.IsSource() {
+			continue // cut: latches/inputs become cone inputs
+		}
+		for _, f := range c.Nodes[id].Fanin {
+			if !inCone[f] {
+				stack = append(stack, f)
+			}
+		}
+	}
+
+	out := NewCircuit(name)
+	remap := make(map[NodeID]NodeID, len(inCone))
+	// Sources first (deterministic: circuit order).
+	for i := range c.Nodes {
+		id := NodeID(i)
+		if !inCone[id] || !c.Nodes[id].Kind.IsSource() {
+			continue
+		}
+		kind := logic.Input
+		switch c.Nodes[id].Kind {
+		case logic.Const0, logic.Const1:
+			kind = c.Nodes[id].Kind // constants stay constants
+		}
+		nid, err := out.AddNode(c.Nodes[id].Name, kind)
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = nid
+	}
+	// Gates in levelized order so fanins are always defined.
+	for _, id := range c.Order() {
+		if !inCone[id] {
+			continue
+		}
+		nd := &c.Nodes[id]
+		fanin := make([]NodeID, len(nd.Fanin))
+		for j, f := range nd.Fanin {
+			nf, ok := remap[f]
+			if !ok {
+				return nil, fmt.Errorf("netlist: ExtractCone internal error: fanin %s unmapped", c.Nodes[f].Name)
+			}
+			fanin[j] = nf
+		}
+		nid, err := out.AddNode(nd.Name, nd.Kind, fanin...)
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = nid
+	}
+	for _, r := range roots {
+		nid, ok := remap[r]
+		if !ok {
+			return nil, fmt.Errorf("netlist: ExtractCone root %s unmapped", c.Nodes[r].Name)
+		}
+		if err := out.MarkOutput(nid); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Freeze(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FanoutCone returns the IDs of all nodes transitively driven by id
+// (combinational propagation only; it does not cross latch boundaries).
+// Useful for impact analysis: which nodes can glitch when id toggles.
+func FanoutCone(c *Circuit, id NodeID) []NodeID {
+	if id < 0 || int(id) >= len(c.Nodes) {
+		return nil
+	}
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	stack := []NodeID{id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range c.Nodes[n].Fanout {
+			if seen[t] || !c.Nodes[t].Kind.IsCombinational() {
+				continue
+			}
+			seen[t] = true
+			out = append(out, t)
+			stack = append(stack, t)
+		}
+	}
+	return out
+}

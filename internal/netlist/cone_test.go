@@ -1,0 +1,191 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// s27Like builds a small sequential circuit mirroring s27's structure
+// without depending on the bench89 package (which would create an import
+// cycle in tests).
+func s27Like(t *testing.T) *Circuit {
+	t.Helper()
+	text := `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+	c, err := ParseBenchString("s27", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExtractConeOfOutput(t *testing.T) {
+	c := s27Like(t)
+	cone, err := ExtractCone(c, []NodeID{c.Lookup("G17")}, "g17cone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G17 = NOT(G11), G11 = NOR(G5, G9), G9 = NAND(G16, G15), ... the
+	// cone reaches most of the circuit but cuts at DFF outputs.
+	if len(cone.Latches) != 0 {
+		t.Fatalf("cone contains %d latches, want 0", len(cone.Latches))
+	}
+	if len(cone.Outputs) != 1 || cone.Nodes[cone.Outputs[0]].Name != "G17" {
+		t.Fatalf("cone outputs = %v", cone.Outputs)
+	}
+	// DFF outputs referenced by the cone must have become inputs.
+	for _, name := range []string{"G5", "G6", "G7"} {
+		id := cone.Lookup(name)
+		if id == InvalidNode {
+			continue // not in this cone is acceptable
+		}
+		if cone.Nodes[id].Kind != logic.Input {
+			t.Errorf("latch %s in cone is %s, want INPUT", name, cone.Nodes[id].Kind)
+		}
+	}
+	// Unreached input G2 must not appear (G17's cone does not use G13).
+	if cone.Lookup("G13") != InvalidNode {
+		t.Error("G13 (not in G17's cone) was extracted")
+	}
+}
+
+func TestConeFunctionalEquivalence(t *testing.T) {
+	// The cone must compute exactly the same function of (PI, state) as
+	// the original circuit node, across random assignments.
+	c := s27Like(t)
+	root := c.Lookup("G9")
+	cone, err := ExtractCone(c, []NodeID{root}, "g9cone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	evalFull := func(assign map[string]bool) bool {
+		vals := make([]bool, len(c.Nodes))
+		for i := range c.Nodes {
+			if c.Nodes[i].Kind.IsSource() {
+				vals[i] = assign[c.Nodes[i].Name]
+			}
+		}
+		for _, id := range c.Order() {
+			nd := &c.Nodes[id]
+			in := make([]bool, len(nd.Fanin))
+			for j, f := range nd.Fanin {
+				in[j] = vals[f]
+			}
+			vals[id] = logic.Eval(nd.Kind, in)
+		}
+		return vals[root]
+	}
+	evalCone := func(assign map[string]bool) bool {
+		vals := make([]bool, len(cone.Nodes))
+		for i := range cone.Nodes {
+			if cone.Nodes[i].Kind == logic.Input {
+				vals[i] = assign[cone.Nodes[i].Name]
+			}
+		}
+		for _, id := range cone.Order() {
+			nd := &cone.Nodes[id]
+			in := make([]bool, len(nd.Fanin))
+			for j, f := range nd.Fanin {
+				in[j] = vals[f]
+			}
+			vals[id] = logic.Eval(nd.Kind, in)
+		}
+		return vals[cone.Outputs[0]]
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		assign := map[string]bool{}
+		for _, name := range []string{"G0", "G1", "G2", "G3", "G5", "G6", "G7"} {
+			assign[name] = rng.Intn(2) == 1
+		}
+		if evalFull(assign) != evalCone(assign) {
+			t.Fatalf("cone diverges from original at %v", assign)
+		}
+	}
+}
+
+func TestExtractConeMultipleRoots(t *testing.T) {
+	c := s27Like(t)
+	roots := []NodeID{c.Lookup("G10"), c.Lookup("G13")}
+	cone, err := ExtractCone(c, roots, "nextstate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cone.Outputs) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(cone.Outputs))
+	}
+}
+
+func TestExtractConeErrors(t *testing.T) {
+	c := s27Like(t)
+	if _, err := ExtractCone(c, nil, "x"); err == nil {
+		t.Error("empty roots accepted")
+	}
+	if _, err := ExtractCone(c, []NodeID{9999}, "x"); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	unfrozen := NewCircuit("u")
+	if _, err := ExtractCone(unfrozen, []NodeID{0}, "x"); err == nil {
+		t.Error("unfrozen circuit accepted")
+	}
+}
+
+func TestExtractConeOfSourceOnly(t *testing.T) {
+	c := s27Like(t)
+	cone, err := ExtractCone(c, []NodeID{c.Lookup("G0")}, "pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone.NumGates() != 0 || len(cone.Inputs) != 1 {
+		t.Fatalf("source cone: %+v", cone.ComputeStats())
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c := s27Like(t)
+	// G14 = NOT(G0) feeds G8 and G10; G8 feeds G15,G16; those feed G9;
+	// G9 feeds G11; G11 feeds G17 and G10... all combinational reachable.
+	cone := FanoutCone(c, c.Lookup("G14"))
+	want := map[string]bool{"G8": true, "G10": true, "G15": true, "G16": true,
+		"G9": true, "G11": true, "G17": true}
+	got := map[string]bool{}
+	for _, id := range cone {
+		got[c.Nodes[id].Name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("FanoutCone(G14) missing %s (got %v)", name, got)
+		}
+	}
+	// Latches are never crossed.
+	for _, id := range cone {
+		if c.Nodes[id].Kind == logic.DFF {
+			t.Errorf("FanoutCone crossed into latch %s", c.Nodes[id].Name)
+		}
+	}
+	if FanoutCone(c, -1) != nil {
+		t.Error("invalid id should return nil")
+	}
+}

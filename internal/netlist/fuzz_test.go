@@ -1,0 +1,158 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics mutates a valid netlist thousands of ways and
+// asserts the parser either succeeds or returns an error — never panics
+// and never produces an unfrozen circuit. This is the failure-injection
+// test for the front end: truncated files, flipped bytes, duplicated
+// lines, shuffled lines.
+func TestParserNeverPanics(t *testing.T) {
+	base := `# mutant base
+INPUT(A)
+INPUT(B)
+OUTPUT(Y)
+Q = DFF(D)
+N1 = NAND(A, Q)
+D = XOR(N1, B)
+Y = NOT(D)
+`
+	rng := rand.New(rand.NewSource(99))
+	mutate := func(s string) string {
+		b := []byte(s)
+		switch rng.Intn(5) {
+		case 0: // truncate
+			if len(b) > 1 {
+				b = b[:rng.Intn(len(b))]
+			}
+		case 1: // flip a byte
+			if len(b) > 0 {
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+		case 2: // duplicate a line
+			lines := strings.Split(s, "\n")
+			i := rng.Intn(len(lines))
+			lines = append(lines[:i], append([]string{lines[i]}, lines[i:]...)...)
+			return strings.Join(lines, "\n")
+		case 3: // delete a line
+			lines := strings.Split(s, "\n")
+			if len(lines) > 1 {
+				i := rng.Intn(len(lines))
+				lines = append(lines[:i], lines[i+1:]...)
+			}
+			return strings.Join(lines, "\n")
+		case 4: // shuffle lines (definition order must not matter...
+			// unless a reference breaks, which must then error cleanly)
+			lines := strings.Split(s, "\n")
+			rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+			return strings.Join(lines, "\n")
+		}
+		return string(b)
+	}
+
+	for trial := 0; trial < 3000; trial++ {
+		text := base
+		for m := 0; m <= rng.Intn(3); m++ {
+			text = mutate(text)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutant %d:\n%s\npanic: %v", trial, text, r)
+				}
+			}()
+			c, err := ParseBenchString("mutant", text)
+			if err == nil && c != nil && !c.Frozen() {
+				t.Fatalf("parser returned unfrozen circuit on mutant %d", trial)
+			}
+		}()
+	}
+}
+
+// TestParserLineShuffleInvariance: a valid netlist parses identically
+// regardless of gate definition order (the format is declarative).
+func TestParserLineShuffleInvariance(t *testing.T) {
+	decls := []string{
+		"Q = DFF(D)",
+		"N1 = NAND(A, Q)",
+		"D = XOR(N1, B)",
+		"Y = NOT(D)",
+	}
+	header := "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\n"
+	rng := rand.New(rand.NewSource(5))
+	var wantStats Stats
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]string(nil), decls...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		c, err := ParseBenchString("shuffle", header+strings.Join(shuffled, "\n")+"\n")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		st := c.ComputeStats()
+		if trial == 0 {
+			wantStats = st
+			continue
+		}
+		if st != wantStats {
+			t.Fatalf("trial %d: stats changed with declaration order: %+v vs %+v", trial, st, wantStats)
+		}
+	}
+}
+
+// TestParserLargeInput exercises the scanner's buffer growth on a
+// generated netlist with thousands of gates and very long lines.
+func TestParserLargeInput(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("INPUT(A)\n")
+	const n = 5000
+	for i := 0; i < n; i++ {
+		prev := "A"
+		if i > 0 {
+			prev = name(i - 1)
+		}
+		sb.WriteString(name(i) + " = NOT(" + prev + ")\n")
+	}
+	// One wide AND over many signals: a single very long line.
+	sb.WriteString("WIDE = AND(")
+	for i := 0; i < n; i += 7 {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(name(i))
+	}
+	sb.WriteString(")\nOUTPUT(WIDE)\n")
+
+	c, err := ParseBenchString("large", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != n+1 {
+		t.Fatalf("gates = %d, want %d", c.NumGates(), n+1)
+	}
+	if c.Depth() != n {
+		t.Fatalf("depth = %d, want %d", c.Depth(), n)
+	}
+}
+
+func name(i int) string {
+	const letters = "GHJKMN"
+	return string(letters[i%len(letters)]) + itoa(i)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,200 @@
+// Package proba implements the classical *probabilistic* power
+// estimation baseline the paper's introduction describes and argues
+// against: propagate signal probabilities through the gate network under
+// a spatial-independence assumption, lump the FSM's statistics into the
+// latch probabilities by fixpoint iteration (the approach of the paper's
+// refs [2][3][4]), and convert per-node switching activities into power.
+//
+// Three approximations are involved, each documented where it is made:
+//
+//  1. spatial independence — gate fanins are treated as independent,
+//     ignoring reconvergent fanout correlation;
+//  2. temporal independence — a node's values in consecutive cycles are
+//     treated as independent, giving activity 2p(1-p);
+//  3. zero delay — glitches are invisible to probabilities.
+//
+// The paper's whole point is that these approximations cost accuracy on
+// sequential circuits ("as the average power is very sensitive to signal
+// correlations, neglecting such information will yield poor estimation
+// accuracy"); the probabilistic-baseline experiment quantifies exactly
+// that against DIPE and the simulation reference.
+package proba
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+)
+
+// Options tunes the latch fixpoint iteration.
+type Options struct {
+	// Tol is the convergence tolerance on the maximum latch probability
+	// change per iteration.
+	Tol float64
+	// MaxIter bounds the iteration count.
+	MaxIter int
+	// Damping in (0,1]: newP = Damping*computed + (1-Damping)*old.
+	// Values below 1 stabilize oscillating FSM fixpoints (a two-phase
+	// oscillator has no fixpoint without damping).
+	Damping float64
+}
+
+// DefaultOptions returns tolerances adequate for benchmark circuits.
+func DefaultOptions() Options {
+	return Options{Tol: 1e-9, MaxIter: 10_000, Damping: 0.5}
+}
+
+// Result holds per-node signal statistics.
+type Result struct {
+	// P[i] is the estimated probability that node i is 1.
+	P []float64
+	// Activity[i] is the estimated transitions per clock cycle at node
+	// i under the temporal-independence approximation: 2 p (1-p).
+	Activity []float64
+	// Iterations is the number of fixpoint sweeps performed.
+	Iterations int
+	// Converged reports whether the latch probabilities reached Tol.
+	Converged bool
+}
+
+// Analyze propagates signal probabilities through a frozen sequential
+// circuit whose primary inputs are independent Bernoulli(inputP[i])
+// sources. Latch output probabilities are iterated to a fixpoint of
+// p(Q) = p(D).
+func Analyze(c *netlist.Circuit, inputP []float64, opts Options) (*Result, error) {
+	if !c.Frozen() {
+		return nil, fmt.Errorf("proba: circuit %q not frozen", c.Name)
+	}
+	if len(inputP) != len(c.Inputs) {
+		return nil, fmt.Errorf("proba: %d input probabilities for %d inputs", len(inputP), len(c.Inputs))
+	}
+	for i, p := range inputP {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("proba: input probability p[%d]=%v outside [0,1]", i, p)
+		}
+	}
+	if opts.Tol <= 0 || opts.MaxIter < 1 || opts.Damping <= 0 || opts.Damping > 1 {
+		return nil, fmt.Errorf("proba: bad options %+v", opts)
+	}
+
+	n := c.NumNodes()
+	res := &Result{P: make([]float64, n), Activity: make([]float64, n)}
+	for i, id := range c.Inputs {
+		res.P[id] = inputP[i]
+	}
+	// Latch probabilities start at 0.5 (maximum entropy).
+	for _, id := range c.Latches {
+		res.P[id] = 0.5
+	}
+	// Constants are sources, not gates: set them once here.
+	for i := range c.Nodes {
+		switch c.Nodes[i].Kind {
+		case logic.Const0:
+			res.P[i] = 0
+		case logic.Const1:
+			res.P[i] = 1
+		}
+	}
+
+	sweep := func() {
+		for _, id := range c.Order() {
+			nd := &c.Nodes[id]
+			res.P[id] = gateProb(nd.Kind, nd.Fanin, res.P)
+		}
+	}
+	for it := 1; it <= opts.MaxIter; it++ {
+		sweep()
+		res.Iterations = it
+		// Update latch probabilities toward p(D); track the change.
+		maxDelta := 0.0
+		for _, id := range c.Latches {
+			d := c.Nodes[id].Fanin[0]
+			newP := opts.Damping*res.P[d] + (1-opts.Damping)*res.P[id]
+			if delta := math.Abs(newP - res.P[id]); delta > maxDelta {
+				maxDelta = delta
+			}
+			res.P[id] = newP
+		}
+		if maxDelta < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	// One final sweep with the converged latch probabilities.
+	sweep()
+	for i := range res.Activity {
+		switch c.Nodes[i].Kind {
+		case logic.Const0, logic.Const1:
+			res.Activity[i] = 0
+		default:
+			p := res.P[i]
+			// Temporal-independence approximation: consecutive values
+			// i.i.d. Bernoulli(p) -> P(transition) = 2p(1-p).
+			res.Activity[i] = 2 * p * (1 - p)
+		}
+	}
+	return res, nil
+}
+
+// gateProb evaluates the output-1 probability of a gate under the
+// fanin-independence approximation.
+func gateProb(k logic.Kind, fanin []netlist.NodeID, p []float64) float64 {
+	switch k {
+	case logic.Buf:
+		return p[fanin[0]]
+	case logic.Not:
+		return 1 - p[fanin[0]]
+	case logic.And, logic.Nand:
+		v := 1.0
+		for _, f := range fanin {
+			v *= p[f]
+		}
+		if k == logic.Nand {
+			return 1 - v
+		}
+		return v
+	case logic.Or, logic.Nor:
+		v := 1.0
+		for _, f := range fanin {
+			v *= 1 - p[f]
+		}
+		if k == logic.Nor {
+			return v
+		}
+		return 1 - v
+	case logic.Xor, logic.Xnor:
+		// Fold pairwise: P(a xor b) = a(1-b) + b(1-a) under independence.
+		v := 0.0
+		for i, f := range fanin {
+			if i == 0 {
+				v = p[f]
+				continue
+			}
+			v = v*(1-p[f]) + p[f]*(1-v)
+		}
+		if k == logic.Xnor {
+			return 1 - v
+		}
+		return v
+	case logic.Const0:
+		return 0
+	case logic.Const1:
+		return 1
+	}
+	panic("proba: gateProb on non-combinational kind " + k.String())
+}
+
+// Power converts the activity estimate into average power under a power
+// model: P = sum_i C_i * a_i * VDD^2 / (2T). This is the probabilistic
+// counterpart of Eq. 1 with n_i replaced by its (approximate) mean.
+func (r *Result) Power(m *power.Model) float64 {
+	k := m.Supply.VDD * m.Supply.VDD / (2 * m.Supply.ClockPeriod)
+	total := 0.0
+	for i, a := range r.Activity {
+		total += m.Caps[i] * a * k
+	}
+	return total
+}

@@ -1,0 +1,227 @@
+package proba
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/refsim"
+	"repro/internal/vectors"
+)
+
+func analyze(t *testing.T, c *netlist.Circuit, p []float64) *Result {
+	t.Helper()
+	r, err := Analyze(c, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGateProbabilitiesExact(t *testing.T) {
+	// For a tree (no reconvergence) the independence assumption is exact.
+	text := `
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(D)
+G1 = AND(A, B)
+G2 = OR(C, D)
+G3 = XOR(G1, G2)
+G4 = NAND(A, C)
+OUTPUT(G3)
+`
+	c, err := netlist.ParseBenchString("tree", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analyze(t, c, []float64{0.5, 0.25, 0.5, 0.8})
+	want := map[string]float64{
+		"G1": 0.5 * 0.25,                    // 0.125
+		"G2": 1 - 0.5*0.2,                   // 0.9
+		"G3": 0.125*(1-0.9) + 0.9*(1-0.125), // xor
+		"G4": 1 - 0.5*0.5,                   // 0.75
+	}
+	for name, w := range want {
+		if got := r.P[c.Lookup(name)]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("P(%s) = %g, want %g", name, got, w)
+		}
+	}
+	// Activity: 2p(1-p).
+	g1 := c.Lookup("G1")
+	if got, w := r.Activity[g1], 2*0.125*0.875; math.Abs(got-w) > 1e-12 {
+		t.Errorf("activity(G1) = %g, want %g", got, w)
+	}
+}
+
+func TestLatchFixpointToggle(t *testing.T) {
+	// Toggle flip-flop: D = NOT(Q). The fixpoint of p = 1-p is 0.5.
+	c := netlist.NewCircuit("toggle")
+	q, _ := c.AddNode("Q", logic.DFF)
+	nq, _ := c.AddNode("NQ", logic.Not, q)
+	_ = c.SetFanin(q, nq)
+	_ = c.MarkOutput(nq)
+	_, _ = c.AddNode("A", logic.Input)
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r := analyze(t, c, []float64{0.5})
+	if !r.Converged {
+		t.Fatal("toggle fixpoint did not converge")
+	}
+	if math.Abs(r.P[q]-0.5) > 1e-6 {
+		t.Fatalf("P(Q) = %g, want 0.5", r.P[q])
+	}
+	// The documented temporal-independence error: the true per-cycle
+	// activity of a toggle FF is exactly 1, but the approximation says
+	// 2*0.5*0.5 = 0.5. The test pins the *approximation*, the package's
+	// documented behaviour.
+	if math.Abs(r.Activity[q]-0.5) > 1e-6 {
+		t.Fatalf("approx activity(Q) = %g, want 0.5", r.Activity[q])
+	}
+}
+
+func TestLatchFixpointShiftRegister(t *testing.T) {
+	// A shift register fed by p=0.3 input: every stage converges to 0.3.
+	c, err := bench89.GenerateShiftRegister("sr", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analyze(t, c, []float64{0.3})
+	for _, id := range c.Latches {
+		if math.Abs(r.P[id]-0.3) > 1e-6 {
+			t.Fatalf("P(%s) = %g, want 0.3", c.Nodes[id].Name, r.P[id])
+		}
+	}
+	// For a shift register driven by an i.i.d. source, temporal
+	// independence is exactly true: activity = 2*0.3*0.7.
+	want := 2 * 0.3 * 0.7
+	for _, id := range c.Latches {
+		if math.Abs(r.Activity[id]-want) > 1e-6 {
+			t.Fatalf("activity(%s) = %g, want %g", c.Nodes[id].Name, r.Activity[id], want)
+		}
+	}
+}
+
+func TestShiftRegisterPowerMatchesSimulationExactly(t *testing.T) {
+	// The one sequential circuit where all proba approximations hold
+	// (tree structure, i.i.d. temporal behaviour, no glitches possible
+	// on a DFF chain): the probabilistic power must match simulation.
+	c, err := bench89.GenerateShiftRegister("sr", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := core.DefaultTestbench(c)
+	r := analyze(t, c, []float64{0.5})
+	pProba := r.Power(tb.Model)
+	ref := refsim.Run(tb.NewSession(vectors.NewIID(1, 0.5, 3)), 100, 60_000)
+	if dev := math.Abs(pProba-ref.Power) / ref.Power; dev > 0.02 {
+		t.Fatalf("proba %g vs sim %g: %.2f%% apart on a shift register", pProba, ref.Power, 100*dev)
+	}
+}
+
+func TestProbaUnderestimatesGlitchyCircuits(t *testing.T) {
+	// On reconvergent sequential benchmarks, the zero-delay +
+	// independence approximations must show visible error against the
+	// general-delay reference — the paper's motivating observation.
+	c := bench89.MustGet("s298")
+	tb := core.DefaultTestbench(c)
+	p := make([]float64, len(c.Inputs))
+	for i := range p {
+		p[i] = 0.5
+	}
+	r, err := Analyze(c, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pProba := r.Power(tb.Model)
+	ref := refsim.Run(tb.NewSession(vectors.NewIID(len(c.Inputs), 0.5, 5)), 256, 60_000)
+	dev := math.Abs(pProba-ref.Power) / ref.Power
+	if dev < 0.05 {
+		t.Fatalf("probabilistic estimate within %.2f%% of reference — expected visible error from ignored correlations", 100*dev)
+	}
+	if dev > 0.95 {
+		t.Fatalf("probabilistic estimate off by %.0f%% — implausible for a sanity baseline", 100*dev)
+	}
+}
+
+func TestProbabilitiesWithinUnitInterval(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s1494"} {
+		c := bench89.MustGet(name)
+		p := make([]float64, len(c.Inputs))
+		for i := range p {
+			p[i] = 0.5
+		}
+		r, err := Analyze(c, p, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range r.P {
+			if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+				t.Fatalf("%s: P[%s] = %v", name, c.Nodes[i].Name, v)
+			}
+		}
+		for i, a := range r.Activity {
+			if a < 0 || a > 0.5+1e-12 {
+				t.Fatalf("%s: activity[%s] = %v outside [0, 0.5]", name, c.Nodes[i].Name, a)
+			}
+		}
+	}
+}
+
+func TestConstantNodes(t *testing.T) {
+	text := "INPUT(A)\nC1 = CONST1()\nC0 = CONST0()\nG = AND(A, C1)\nH = OR(G, C0)\nOUTPUT(H)\n"
+	c, err := netlist.ParseBenchString("const", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analyze(t, c, []float64{0.7})
+	if r.P[c.Lookup("C1")] != 1 || r.P[c.Lookup("C0")] != 0 {
+		t.Fatal("constant probabilities wrong")
+	}
+	if r.Activity[c.Lookup("C1")] != 0 {
+		t.Fatal("constant activity nonzero")
+	}
+	if math.Abs(r.P[c.Lookup("H")]-0.7) > 1e-12 {
+		t.Fatalf("P(H) = %g, want 0.7", r.P[c.Lookup("H")])
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	c := bench89.S27()
+	good := []float64{0.5, 0.5, 0.5, 0.5}
+	if _, err := Analyze(c, good[:2], DefaultOptions()); err == nil {
+		t.Error("short probability vector accepted")
+	}
+	if _, err := Analyze(c, []float64{0.5, 0.5, 0.5, 1.5}, DefaultOptions()); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	bad := DefaultOptions()
+	bad.Damping = 0
+	if _, err := Analyze(c, good, bad); err == nil {
+		t.Error("bad damping accepted")
+	}
+	unfrozen := netlist.NewCircuit("u")
+	if _, err := Analyze(unfrozen, nil, DefaultOptions()); err == nil {
+		t.Error("unfrozen circuit accepted")
+	}
+}
+
+func TestPowerIsCapacitanceWeighted(t *testing.T) {
+	c, err := bench89.GenerateShiftRegister("sr", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.NewModel(c, power.CapModel{Base: 100e-15}, power.Supply{VDD: 2, ClockPeriod: 10e-9})
+	r := analyze(t, c, []float64{0.5})
+	// Each DFF and the output buffer has activity 0.5 and cap 100 fF;
+	// input excluded. Nodes: Q0, Q1, DOUT = 3 active nodes.
+	want := 3 * 100e-15 * 0.5 * 4 / (2 * 10e-9)
+	if got := r.Power(m); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("power = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,74 @@
+package randtest
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// LjungBox is the Ljung–Box portmanteau test for serial correlation: the
+// statistic
+//
+//	Q = n(n+2) * sum_{k=1..h} rho_k^2 / (n-k)
+//
+// is asymptotically chi-square with h degrees of freedom under the
+// randomness hypothesis. Unlike the runs tests, it aggregates evidence
+// across h lags, which makes it sensitive to correlation structures whose
+// lag-1 signature is weak (e.g. oscillatory components).
+//
+// The chi-square p-value is mapped onto the common Result.Z scale as
+// z = Phi^-1(1 - p/2), so Accept's two-sided |z| threshold reproduces the
+// one-sided chi-square test exactly: |z| > c(alpha) iff p < alpha.
+type LjungBox struct {
+	// Lags is the number of autocorrelation lags h to pool (default 10).
+	Lags int
+}
+
+// Name implements Test.
+func (t LjungBox) Name() string { return "ljung-box" }
+
+// Apply implements Test.
+func (t LjungBox) Apply(seq []float64) Result {
+	res := Result{TestName: "ljung-box"}
+	h := t.Lags
+	if h <= 0 {
+		h = 10
+	}
+	n := len(seq)
+	res.N = n
+	if n < minEffective || n <= h+1 {
+		res.Degenerate = true
+		return res
+	}
+	acf := stats.Autocorrelation(seq, h)
+	// A constant sequence has zero variance: degenerate, accept.
+	allZero := true
+	for _, r := range acf[1:] {
+		if r != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero && stats.Variance(seq) == 0 {
+		res.Degenerate = true
+		return res
+	}
+	fn := float64(n)
+	q := 0.0
+	for k := 1; k <= h; k++ {
+		q += acf[k] * acf[k] / (fn - float64(k))
+	}
+	q *= fn * (fn + 2)
+	p := 1 - stats.ChiSquareCDF(q, h)
+	res.PValue = p
+	// Map to the shared z scale; clamp to avoid the infinite quantile at
+	// p == 0.
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	res.Z = stats.NormalQuantile(1 - p/2)
+	if math.IsInf(res.Z, 0) {
+		res.Z = 40
+	}
+	return res
+}

@@ -1,0 +1,89 @@
+package randtest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLjungBoxAcceptsIID(t *testing.T) {
+	accept := 0
+	const runs = 200
+	for i := 0; i < runs; i++ {
+		if (LjungBox{}).Apply(iidSeq(320, int64(i))).Accept(0.20) {
+			accept++
+		}
+	}
+	if accept < int(0.70*runs) {
+		t.Fatalf("Ljung-Box accepted %d/%d i.i.d. sequences at alpha=0.2", accept, runs)
+	}
+}
+
+func TestLjungBoxFalseRejectionNearAlpha(t *testing.T) {
+	const runs = 1000
+	reject := 0
+	for i := 0; i < runs; i++ {
+		if !(LjungBox{}).Apply(iidSeq(500, int64(5000+i))).Accept(0.05) {
+			reject++
+		}
+	}
+	rate := float64(reject) / runs
+	if rate > 0.10 {
+		t.Fatalf("false rejection rate %.3f at alpha=0.05", rate)
+	}
+}
+
+func TestLjungBoxRejectsAR1(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		r := (LjungBox{}).Apply(ar1Seq(320, 0.6, int64(i)))
+		if r.Accept(0.20) {
+			t.Fatalf("accepted AR(1) rho=0.6 (seed %d, z=%g p=%g)", i, r.Z, r.PValue)
+		}
+	}
+}
+
+func TestLjungBoxSensitiveToOscillation(t *testing.T) {
+	// A lag-5 oscillatory process has weak lag-1 signal; pooling over 10
+	// lags must catch it.
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/10) + 0.1*float64(i%3)
+	}
+	r := LjungBox{Lags: 10}.Apply(xs)
+	if r.Accept(0.05) {
+		t.Fatalf("accepted periodic sequence (z=%g)", r.Z)
+	}
+}
+
+func TestLjungBoxDegenerateCases(t *testing.T) {
+	if r := (LjungBox{}).Apply(make([]float64, 100)); !r.Degenerate {
+		t.Errorf("constant sequence not degenerate: %+v", r)
+	}
+	if r := (LjungBox{}).Apply([]float64{1, 2, 3}); !r.Degenerate {
+		t.Errorf("short sequence not degenerate: %+v", r)
+	}
+	// n barely above lags.
+	if r := (LjungBox{Lags: 30}).Apply(iidSeq(25, 1)); !r.Degenerate {
+		t.Errorf("n<=h+1 not degenerate: %+v", r)
+	}
+}
+
+func TestLjungBoxZMatchesPValue(t *testing.T) {
+	// Accept at alpha iff p >= alpha, via the z mapping.
+	r := (LjungBox{}).Apply(iidSeq(320, 3))
+	if r.Degenerate {
+		t.Skip("degenerate draw")
+	}
+	for _, alpha := range []float64{0.01, 0.05, 0.2, 0.5} {
+		wantAccept := r.PValue >= alpha
+		if got := r.Accept(alpha); got != wantAccept {
+			t.Errorf("alpha=%g: Accept=%v but p=%g", alpha, got, r.PValue)
+		}
+	}
+}
+
+func TestLjungBoxInComposite(t *testing.T) {
+	comp := Composite{Tests: []Test{OrdinaryRuns{}, LjungBox{}}}
+	if comp.Apply(ar1Seq(320, 0.7, 9)).Accept(0.2) {
+		t.Fatal("composite with Ljung-Box accepted correlated data")
+	}
+}

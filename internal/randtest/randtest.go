@@ -1,0 +1,282 @@
+// Package randtest implements the nonparametric randomness tests of
+// Section III.A of the paper, centered on the ordinary runs test (with
+// the continuity-corrected z statistic of Eq. 4), plus two additional
+// tests from the same family (runs up-and-down, von Neumann serial
+// correlation) that the paper alludes to with "the ordinary runs test is
+// adopted among others".
+//
+// Every test examines the hypothesis
+//
+//	H: the sequence is random (i.i.d.)     vs.     A: it is not,
+//
+// and is accepted at significance level alpha iff |z| <= Phi^-1(1-alpha/2)
+// (Eqs. 5–7).
+package randtest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Result holds the outcome of a randomness test on one sequence.
+type Result struct {
+	TestName string
+	Z        float64 // standardized test statistic (Eq. 4 for the runs test)
+	PValue   float64 // two-sided p-value 2(1 - Phi(|z|))
+	N        int     // effective sequence length used by the test
+	Runs     int     // number of runs observed (runs-based tests)
+	M        int     // count of first-type symbols (ordinary runs test)
+	K        int     // count of second-type symbols (ordinary runs test)
+	// Degenerate marks sequences the test cannot discriminate (e.g., all
+	// values equal after dichotomization). Degenerate sequences are
+	// accepted: a constant power sequence carries no temporal correlation
+	// that could bias the mean estimate.
+	Degenerate bool
+}
+
+// Accept reports whether the randomness hypothesis is accepted at
+// significance level alpha: |z| <= c with c = Phi^-1(1 - alpha/2), Eq. 7.
+func (r Result) Accept(alpha float64) bool {
+	if r.Degenerate {
+		return true
+	}
+	c := stats.NormalQuantile(1 - alpha/2)
+	return math.Abs(r.Z) <= c
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	if r.Degenerate {
+		return fmt.Sprintf("%s: degenerate (N=%d)", r.TestName, r.N)
+	}
+	return fmt.Sprintf("%s: z=%.3f p=%.4f (N=%d, U=%d)", r.TestName, r.Z, r.PValue, r.N, r.Runs)
+}
+
+// Test is a randomness test over a real-valued sequence. The estimation
+// core treats the test as pluggable.
+type Test interface {
+	// Apply runs the test on the sequence.
+	Apply(seq []float64) Result
+	// Name identifies the test.
+	Name() string
+}
+
+// minEffective is the minimum dichotomized sequence length for the
+// normal approximation of the runs distribution to be usable; shorter
+// (or single-symbol) sequences are reported as degenerate.
+const minEffective = 20
+
+// OrdinaryRuns is the paper's test: dichotomize the sequence about its
+// median, count runs, and standardize with the continuity-corrected
+// Eq. 4.
+//
+// Tie handling: power sequences are discrete (integer transition counts
+// times capacitances), so a large fraction of values can equal the
+// median — under low-activity inputs, sometimes more than half. Dropping
+// ties (one textbook rule) would then discard most of the sequence and,
+// worse, exactly the temporal clustering the test must detect. Instead,
+// ties are assigned wholesale to whichever side of the dichotomy is
+// smaller, which balances the symbol counts and preserves run structure.
+// Any deterministic value-to-symbol map is valid under the randomness
+// hypothesis because the test conditions on the observed symbol counts.
+type OrdinaryRuns struct{}
+
+// Name implements Test.
+func (OrdinaryRuns) Name() string { return "ordinary-runs" }
+
+// Apply implements Test.
+func (OrdinaryRuns) Apply(seq []float64) Result {
+	res := Result{TestName: "ordinary-runs"}
+	med := stats.Median(seq)
+	below, above := 0, 0
+	for _, x := range seq {
+		switch {
+		case x < med:
+			below++
+		case x > med:
+			above++
+		}
+	}
+	// Symbol B: "high". Ties join the smaller strict side.
+	tiesHigh := above < below
+	symbols := make([]bool, len(seq))
+	for i, x := range seq {
+		if x > med || (x == med && tiesHigh) {
+			symbols[i] = true
+		}
+	}
+	m, k := 0, 0
+	for _, s := range symbols {
+		if s {
+			m++
+		} else {
+			k++
+		}
+	}
+	n := len(symbols)
+	res.N, res.M, res.K = n, m, k
+	if n < minEffective || m == 0 || k == 0 {
+		res.Degenerate = true
+		return res
+	}
+	u := 1
+	for i := 1; i < n; i++ {
+		if symbols[i] != symbols[i-1] {
+			u++
+		}
+	}
+	res.Runs = u
+	res.Z = runsZ(u, m, k)
+	res.PValue = 2 * (1 - stats.NormalCDF(math.Abs(res.Z)))
+	return res
+}
+
+// runsZ computes the continuity-corrected z statistic of Eq. 4 for u runs
+// over m symbols of one type and k of the other.
+func runsZ(u, m, k int) float64 {
+	fm, fk := float64(m), float64(k)
+	n := fm + fk
+	mean := 1 + 2*fm*fk/n
+	varU := 2 * fm * fk * (2*fm*fk - n) / (n * n * (n - 1))
+	if varU <= 0 {
+		return 0
+	}
+	sd := math.Sqrt(varU)
+	fu := float64(u)
+	switch {
+	case fu < mean-0.5:
+		return (fu + 0.5 - mean) / sd
+	case fu > mean+0.5:
+		return (fu - 0.5 - mean) / sd
+	default:
+		// Within half a run of the expectation: the corrected statistic
+		// is zero (both branches of Eq. 4 would overshoot).
+		return 0
+	}
+}
+
+// UpDownRuns is the runs-up-and-down test: the sequence of signs of
+// successive differences is reduced to monotone runs. Under randomness
+// the run count is asymptotically normal with mean (2N-1)/3 and variance
+// (16N-29)/90. Adjacent equal values are collapsed first.
+type UpDownRuns struct{}
+
+// Name implements Test.
+func (UpDownRuns) Name() string { return "updown-runs" }
+
+// Apply implements Test.
+func (UpDownRuns) Apply(seq []float64) Result {
+	res := Result{TestName: "updown-runs"}
+	// Signs of successive differences, skipping zero differences.
+	signs := make([]bool, 0, len(seq))
+	for i := 1; i < len(seq); i++ {
+		switch {
+		case seq[i] > seq[i-1]:
+			signs = append(signs, true)
+		case seq[i] < seq[i-1]:
+			signs = append(signs, false)
+		}
+	}
+	n := len(signs) + 1 // effective observation count
+	res.N = n
+	if len(signs) < minEffective {
+		res.Degenerate = true
+		return res
+	}
+	u := 1
+	for i := 1; i < len(signs); i++ {
+		if signs[i] != signs[i-1] {
+			u++
+		}
+	}
+	res.Runs = u
+	fn := float64(n)
+	mean := (2*fn - 1) / 3
+	varU := (16*fn - 29) / 90
+	if varU <= 0 {
+		res.Degenerate = true
+		return res
+	}
+	sd := math.Sqrt(varU)
+	fu := float64(u)
+	switch {
+	case fu < mean-0.5:
+		res.Z = (fu + 0.5 - mean) / sd
+	case fu > mean+0.5:
+		res.Z = (fu - 0.5 - mean) / sd
+	default:
+		res.Z = 0
+	}
+	res.PValue = 2 * (1 - stats.NormalCDF(math.Abs(res.Z)))
+	return res
+}
+
+// VonNeumann is the serial-correlation (mean square successive
+// difference) test: the ratio eta = sum (x_{i+1}-x_i)^2 / sum (x_i-xbar)^2
+// has mean 2 and variance ~ 4(n-2)/(n^2-1) under randomness; positive
+// serial correlation drives eta below 2.
+type VonNeumann struct{}
+
+// Name implements Test.
+func (VonNeumann) Name() string { return "von-neumann" }
+
+// Apply implements Test.
+func (VonNeumann) Apply(seq []float64) Result {
+	res := Result{TestName: "von-neumann"}
+	n := len(seq)
+	res.N = n
+	if n < minEffective {
+		res.Degenerate = true
+		return res
+	}
+	mean := stats.Mean(seq)
+	var ssd, ss float64
+	for i, x := range seq {
+		d := x - mean
+		ss += d * d
+		if i > 0 {
+			dd := x - seq[i-1]
+			ssd += dd * dd
+		}
+	}
+	if ss == 0 {
+		res.Degenerate = true
+		return res
+	}
+	eta := ssd / ss
+	fn := float64(n)
+	varEta := 4 * (fn - 2) / ((fn + 1) * (fn - 1))
+	res.Z = (eta - 2) / math.Sqrt(varEta)
+	res.PValue = 2 * (1 - stats.NormalCDF(math.Abs(res.Z)))
+	return res
+}
+
+// Composite applies several tests and reports the worst (largest |z|)
+// outcome; the hypothesis is accepted only if every component accepts.
+// It implements a conservative battery in the spirit of "among others".
+type Composite struct {
+	Tests []Test
+}
+
+// Name implements Test.
+func (c Composite) Name() string { return "composite" }
+
+// Apply implements Test.
+func (c Composite) Apply(seq []float64) Result {
+	worst := Result{TestName: "composite", Degenerate: true}
+	first := true
+	for _, t := range c.Tests {
+		r := t.Apply(seq)
+		if r.Degenerate {
+			continue
+		}
+		if first || math.Abs(r.Z) > math.Abs(worst.Z) {
+			worst = r
+			worst.TestName = "composite/" + t.Name()
+			first = false
+		}
+	}
+	return worst
+}

@@ -1,0 +1,285 @@
+package randtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// iidSeq returns n i.i.d. uniform samples.
+func iidSeq(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	return xs
+}
+
+// ar1Seq returns n samples of an AR(1) process with coefficient rho.
+func ar1Seq(n int, rho float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	x := 0.0
+	for i := range xs {
+		x = rho*x + rng.NormFloat64()
+		xs[i] = x
+	}
+	return xs
+}
+
+func TestRunsZExactSmallCase(t *testing.T) {
+	// Hand-computed: m=5, n=5, U=2 (e.g. AAAAABBBBB).
+	// E[U] = 1 + 2*25/10 = 6; Var = 2*25*(50-10)/(100*9) = 2000/900.
+	// z = (2 + 0.5 - 6)/sqrt(2.2222) = -3.5/1.49071 = -2.34787...
+	z := runsZ(2, 5, 5)
+	want := -3.5 / math.Sqrt(2000.0/900.0)
+	if math.Abs(z-want) > 1e-12 {
+		t.Fatalf("runsZ(2,5,5) = %.12f, want %.12f", z, want)
+	}
+}
+
+func TestRunsZContinuityCorrectionDirections(t *testing.T) {
+	// U above the mean uses U-0.5; below uses U+0.5; near mean gives 0.
+	if z := runsZ(10, 5, 5); z <= 0 {
+		t.Errorf("U=10 (max) should give positive z, got %g", z)
+	}
+	if z := runsZ(2, 5, 5); z >= 0 {
+		t.Errorf("U=2 should give negative z, got %g", z)
+	}
+	if z := runsZ(6, 5, 5); z != 0 {
+		t.Errorf("U=E[U] should give z=0, got %g", z)
+	}
+}
+
+func TestOrdinaryRunsAcceptsIID(t *testing.T) {
+	accept := 0
+	const runs = 200
+	for i := 0; i < runs; i++ {
+		r := OrdinaryRuns{}.Apply(iidSeq(320, int64(i)))
+		if r.Accept(0.20) {
+			accept++
+		}
+	}
+	// Expected acceptance rate 80%; allow generous slack for 200 trials.
+	if accept < int(0.70*runs) {
+		t.Fatalf("accepted %d/%d i.i.d. sequences at alpha=0.2, want >= %d", accept, runs, int(0.70*runs))
+	}
+}
+
+func TestOrdinaryRunsFalseRejectionRateMatchesAlpha(t *testing.T) {
+	// The rejection rate on truly random sequences must approximate alpha
+	// (Eq. 6). Use a tighter alpha for a sharper check.
+	const runs = 2000
+	reject := 0
+	for i := 0; i < runs; i++ {
+		r := OrdinaryRuns{}.Apply(iidSeq(320, int64(1000+i)))
+		if !r.Accept(0.05) {
+			reject++
+		}
+	}
+	rate := float64(reject) / runs
+	if rate < 0.02 || rate > 0.09 {
+		t.Fatalf("false rejection rate %.3f at alpha=0.05, want ~0.05", rate)
+	}
+}
+
+func TestOrdinaryRunsRejectsCorrelated(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		r := OrdinaryRuns{}.Apply(ar1Seq(320, 0.9, int64(i)))
+		if r.Accept(0.20) {
+			t.Fatalf("accepted strongly correlated AR(1) sequence (seed %d, z=%g)", i, r.Z)
+		}
+		if r.Z >= 0 {
+			t.Fatalf("positive correlation must reduce run count (z<0), got z=%g", r.Z)
+		}
+	}
+}
+
+func TestOrdinaryRunsRejectsAlternating(t *testing.T) {
+	// A perfectly alternating sequence has the maximum number of runs:
+	// nonrandom in the "mixing" direction, z > 0.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	r := OrdinaryRuns{}.Apply(xs)
+	if r.Accept(0.20) || r.Z <= 0 {
+		t.Fatalf("alternating sequence accepted or z<=0: %+v", r)
+	}
+}
+
+func TestOrdinaryRunsDegenerateCases(t *testing.T) {
+	// Constant sequence: all values equal the median, everything dropped.
+	xs := make([]float64, 100)
+	r := OrdinaryRuns{}.Apply(xs)
+	if !r.Degenerate || !r.Accept(0.2) {
+		t.Errorf("constant sequence: %+v, want degenerate accept", r)
+	}
+	// Too short.
+	r = OrdinaryRuns{}.Apply([]float64{1, 2, 3})
+	if !r.Degenerate {
+		t.Errorf("short sequence not degenerate: %+v", r)
+	}
+}
+
+func TestOrdinaryRunsTiesJoinSmallerSide(t *testing.T) {
+	// A third of the values tie with the median; the whole sequence must
+	// stay in play, with ties assigned to one side (balanced counts).
+	xs := make([]float64, 0, 120)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		xs = append(xs, 5) // ties
+		xs = append(xs, 5+rng.Float64())
+		xs = append(xs, 5-rng.Float64())
+	}
+	r := OrdinaryRuns{}.Apply(xs)
+	if r.N != 120 {
+		t.Fatalf("effective N = %d, want 120 (ties kept)", r.N)
+	}
+	if r.M+r.K != 120 || r.M == 0 || r.K == 0 {
+		t.Fatalf("symbol counts m=%d k=%d", r.M, r.K)
+	}
+}
+
+func TestOrdinaryRunsDetectsClusteredTies(t *testing.T) {
+	// The failure mode that motivated the tie rule: a sticky process
+	// whose most common value IS the median. More than half the samples
+	// are zero, in long bursts; a tie-dropping test would call this
+	// degenerate and accept. Ours must reject.
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 400)
+	state := 0.0
+	for i := range xs {
+		if rng.Float64() < 0.05 { // rare regime switches -> long runs
+			if state == 0 {
+				state = 1 + rng.Float64()
+			} else {
+				state = 0
+			}
+		}
+		xs[i] = state
+	}
+	r := OrdinaryRuns{}.Apply(xs)
+	if r.Degenerate {
+		t.Fatalf("clustered-ties sequence reported degenerate: %+v", r)
+	}
+	if r.Accept(0.20) {
+		t.Fatalf("clustered-ties sequence accepted as random (z=%g)", r.Z)
+	}
+}
+
+func TestZStatisticScalesWithSqrtN(t *testing.T) {
+	// For a fixed-correlation process, |z| grows like sqrt(L): the basis
+	// for the paper's choice of sequence length. Compare L and 4L.
+	var z1, z2 float64
+	for i := 0; i < 30; i++ {
+		z1 += math.Abs(OrdinaryRuns{}.Apply(ar1Seq(500, 0.8, int64(i))).Z)
+		z2 += math.Abs(OrdinaryRuns{}.Apply(ar1Seq(2000, 0.8, int64(100+i))).Z)
+	}
+	ratio := z2 / z1
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("|z| ratio for 4x length = %.2f, want ~2", ratio)
+	}
+}
+
+func TestUpDownRunsOnIIDAndTrend(t *testing.T) {
+	accept := 0
+	for i := 0; i < 100; i++ {
+		if (UpDownRuns{}).Apply(iidSeq(320, int64(i))).Accept(0.2) {
+			accept++
+		}
+	}
+	if accept < 70 {
+		t.Fatalf("up-down runs accepted %d/100 i.i.d. sequences", accept)
+	}
+	// Monotone ramp: one run, grossly nonrandom.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if (UpDownRuns{}).Apply(xs).Accept(0.2) {
+		t.Fatal("up-down runs accepted a monotone ramp")
+	}
+}
+
+func TestUpDownRunsDegenerate(t *testing.T) {
+	if r := (UpDownRuns{}).Apply(make([]float64, 50)); !r.Degenerate {
+		t.Fatalf("constant sequence should be degenerate for up-down runs: %+v", r)
+	}
+}
+
+func TestVonNeumannOnIIDAndAR1(t *testing.T) {
+	accept := 0
+	for i := 0; i < 100; i++ {
+		if (VonNeumann{}).Apply(iidSeq(320, int64(i))).Accept(0.2) {
+			accept++
+		}
+	}
+	if accept < 70 {
+		t.Fatalf("von Neumann accepted %d/100 i.i.d. sequences", accept)
+	}
+	for i := 0; i < 10; i++ {
+		r := (VonNeumann{}).Apply(ar1Seq(320, 0.9, int64(i)))
+		if r.Accept(0.2) {
+			t.Fatalf("von Neumann accepted AR(1) rho=0.9 (z=%g)", r.Z)
+		}
+		if r.Z >= 0 {
+			t.Fatalf("positive correlation should give eta<2 hence z<0, got %g", r.Z)
+		}
+	}
+}
+
+func TestCompositeWorstOf(t *testing.T) {
+	comp := Composite{Tests: []Test{OrdinaryRuns{}, UpDownRuns{}, VonNeumann{}}}
+	// Correlated data must be rejected by the battery.
+	r := comp.Apply(ar1Seq(320, 0.9, 1))
+	if r.Accept(0.2) {
+		t.Fatalf("composite accepted correlated data: %+v", r)
+	}
+	// i.i.d. data should usually pass (slightly less often than a single
+	// test; just check it is not always rejected).
+	accept := 0
+	for i := 0; i < 100; i++ {
+		if comp.Apply(iidSeq(320, int64(i))).Accept(0.2) {
+			accept++
+		}
+	}
+	if accept < 40 {
+		t.Fatalf("composite accepted only %d/100 i.i.d. sequences", accept)
+	}
+}
+
+func TestCompositeAllDegenerate(t *testing.T) {
+	comp := Composite{Tests: []Test{OrdinaryRuns{}, VonNeumann{}}}
+	r := comp.Apply(make([]float64, 50))
+	if !r.Degenerate || !r.Accept(0.01) {
+		t.Fatalf("composite on constant sequence: %+v", r)
+	}
+}
+
+func TestAcceptThresholdMatchesQuantile(t *testing.T) {
+	// |z| exactly at the threshold is accepted; just above is rejected.
+	c := stats.NormalQuantile(1 - 0.2/2)
+	r := Result{Z: c}
+	if !r.Accept(0.2) {
+		t.Error("z at threshold should be accepted")
+	}
+	r.Z = c + 1e-9
+	if r.Accept(0.2) {
+		t.Error("z above threshold should be rejected")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := OrdinaryRuns{}.Apply(iidSeq(320, 42))
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	d := Result{TestName: "x", Degenerate: true}
+	if s := d.String(); len(s) == 0 {
+		t.Error("empty degenerate String()")
+	}
+}

@@ -1,0 +1,102 @@
+package refsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// toggleCircuit: one DFF fed by the inverse of its output. Both nodes
+// transition every cycle, so the per-cycle power is an exact constant we
+// can compute by hand from the power model.
+func toggleCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.NewCircuit("toggle")
+	q, _ := c.AddNode("Q", logic.DFF)
+	nq, _ := c.AddNode("NQ", logic.Not, q)
+	_ = c.SetFanin(q, nq)
+	_ = c.MarkOutput(nq)
+	// A dummy input keeps the vector plumbing honest.
+	if _, err := c.AddNode("A", logic.Input); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestToggleExactPower(t *testing.T) {
+	c := toggleCircuit(t)
+	tb := core.DefaultTestbench(c)
+	s := tb.NewSession(vectors.NewIID(1, 0.5, 1))
+	res := Run(s, 10, 1000)
+
+	// Q and NQ each have fanout 1: C = 30fF + 10fF = 40fF each.
+	// P = (40f + 40f) * 25 / (2 * 50ns) = 80e-15 * 2.5e8 = 2e-5 W.
+	want := 2e-5
+	if math.Abs(res.Power-want) > 1e-12 {
+		t.Fatalf("toggle power = %g, want %g", res.Power, want)
+	}
+	// A constant power sequence has zero variance.
+	if res.StdErr != 0 {
+		t.Fatalf("toggle stderr = %g, want 0", res.StdErr)
+	}
+	if res.MinCycle != want || res.MaxCycle != want {
+		t.Fatalf("min/max = %g/%g, want both %g", res.MinCycle, res.MaxCycle, want)
+	}
+}
+
+func TestLongerRunsReduceStdErr(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := core.DefaultTestbench(c)
+	short := Run(tb.NewSession(vectors.NewIID(len(c.Inputs), 0.5, 2)), 50, 2000)
+	long := Run(tb.NewSession(vectors.NewIID(len(c.Inputs), 0.5, 2)), 50, 32000)
+	if long.RelStdErr() >= short.RelStdErr() {
+		t.Fatalf("stderr did not shrink: short %g, long %g", short.RelStdErr(), long.RelStdErr())
+	}
+	// Estimates from independent budgets should agree within joint noise.
+	diff := math.Abs(long.Power - short.Power)
+	tol := 4 * (long.StdErr + short.StdErr)
+	if diff > tol {
+		t.Fatalf("short and long references disagree: %g vs %g (tol %g)", short.Power, long.Power, tol)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := bench89.S27()
+	tb := core.DefaultTestbench(c)
+	a := Run(tb.NewSession(vectors.NewIID(4, 0.5, 3)), 20, 3000)
+	b := Run(tb.NewSession(vectors.NewIID(4, 0.5, 3)), 20, 3000)
+	if a.Power != b.Power {
+		t.Fatalf("same seed gave %g and %g", a.Power, b.Power)
+	}
+}
+
+func TestRunPanicsOnZeroCycles(t *testing.T) {
+	c := bench89.S27()
+	tb := core.DefaultTestbench(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for cycles=0")
+		}
+	}()
+	Run(tb.NewSession(vectors.NewIID(4, 0.5, 1)), 0, 0)
+}
+
+func TestResultString(t *testing.T) {
+	c := bench89.S27()
+	tb := core.DefaultTestbench(c)
+	res := Run(tb.NewSession(vectors.NewIID(4, 0.5, 1)), 10, 500)
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if res.Cycles != 500 || res.Warmup != 10 {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+}

@@ -1,0 +1,76 @@
+// Package sim provides the two gate-level simulators the estimation
+// technique relies on (Section IV of the paper):
+//
+//   - a zero-delay levelized functional simulator, used to advance the
+//     circuit state cheaply through the independence interval, and
+//   - an event-driven general-delay simulator with inertial gate delays,
+//     used on sampled cycles to observe every transition (including
+//     glitches) for the power computation of Eq. 1.
+//
+// Both simulators operate on the same dense value array, so a session can
+// interleave them cycle by cycle.
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// evalNode computes the functional value of a combinational node from the
+// current value array. It is the single source of truth for gate
+// semantics in both simulators (the zero-delay sweep and event-driven
+// re-evaluation), guaranteeing they agree on settled values.
+func evalNode(vals []bool, nd *netlist.Node) bool {
+	fi := nd.Fanin
+	switch nd.Kind {
+	case logic.Buf:
+		return vals[fi[0]]
+	case logic.Not:
+		return !vals[fi[0]]
+	case logic.And:
+		for _, f := range fi {
+			if !vals[f] {
+				return false
+			}
+		}
+		return true
+	case logic.Nand:
+		for _, f := range fi {
+			if !vals[f] {
+				return true
+			}
+		}
+		return false
+	case logic.Or:
+		for _, f := range fi {
+			if vals[f] {
+				return true
+			}
+		}
+		return false
+	case logic.Nor:
+		for _, f := range fi {
+			if vals[f] {
+				return false
+			}
+		}
+		return true
+	case logic.Xor:
+		x := false
+		for _, f := range fi {
+			x = x != vals[f]
+		}
+		return x
+	case logic.Xnor:
+		x := true
+		for _, f := range fi {
+			x = x != vals[f]
+		}
+		return x
+	case logic.Const0:
+		return false
+	case logic.Const1:
+		return true
+	}
+	panic("sim: evalNode on non-combinational node " + nd.Name)
+}

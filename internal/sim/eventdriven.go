@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+// EventDriven is a gate-level event-driven timing simulator with inertial
+// delays. Given a circuit settled for the previous cycle's inputs and
+// state, Cycle applies the new input pattern and new latch outputs
+// simultaneously at t=0 and propagates events until quiescence, counting
+// every output transition — functional transitions and glitches alike.
+// This is the "general-delay circuit simulator" of the paper's two-phase
+// sampling scheme.
+//
+// Inertial semantics: a gate re-evaluation schedules its new output value
+// after the gate delay; a re-evaluation that returns the gate to its
+// current value cancels any pending change (pulse filtering). At most one
+// change per node is pending at any time.
+type EventDriven struct {
+	c      *netlist.Circuit
+	delays []delay.Picoseconds
+	levels []int32 // logic level per node, for same-time event ordering
+
+	heap []event
+
+	pendingVal    []bool
+	pendingActive []bool
+	pendingGen    []uint32
+
+	seq uint64
+
+	// LastSettleTime is the simulated time at which the previous Cycle
+	// quiesced; callers can check it against the clock period.
+	LastSettleTime delay.Picoseconds
+	// LastEvents is the number of applied (non-stale) events in the
+	// previous Cycle, a machine-independent cost metric.
+	LastEvents uint64
+
+	// observer, when set, receives every committed transition (including
+	// the t=0 source changes). Used by waveform dumpers; nil in normal
+	// estimation runs.
+	observer func(id netlist.NodeID, t delay.Picoseconds, v bool)
+}
+
+type event struct {
+	t     delay.Picoseconds
+	level int32
+	seq   uint64
+	node  netlist.NodeID
+	gen   uint32
+}
+
+// NewEventDriven builds an event-driven simulator for a frozen circuit
+// under a delay table.
+func NewEventDriven(c *netlist.Circuit, dt *delay.Table) *EventDriven {
+	if !c.Frozen() {
+		panic("sim: NewEventDriven requires a frozen circuit")
+	}
+	if len(dt.Delays) != len(c.Nodes) {
+		panic(fmt.Sprintf("sim: delay table has %d entries, circuit has %d nodes",
+			len(dt.Delays), len(c.Nodes)))
+	}
+	n := len(c.Nodes)
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = int32(c.Level(netlist.NodeID(i)))
+	}
+	return &EventDriven{
+		c:             c,
+		delays:        dt.Delays,
+		levels:        levels,
+		heap:          make([]event, 0, 4*n),
+		pendingVal:    make([]bool, n),
+		pendingActive: make([]bool, n),
+		pendingGen:    make([]uint32, n),
+	}
+}
+
+// Cycle simulates one clock cycle. On entry vals must hold the settled
+// values for the previous (pattern, state) pair; on return vals holds the
+// settled values for (newPins, newQ).
+//
+// weights[i] is the power contribution of one transition at node i (zero
+// to exclude a node, e.g. primary inputs whose transitions are paid by
+// the external driver). The weighted sum over all transitions is
+// returned. If counts is non-nil, counts[i] is incremented once per
+// transition at node i (it is not cleared first, so callers can
+// accumulate energy breakdowns over many cycles).
+func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64 {
+	c := e.c
+	sum := 0.0
+	e.LastEvents = 0
+	e.LastSettleTime = 0
+
+	// Apply simultaneous source changes at t=0: the clock edge updates
+	// latch outputs while the environment presents the next pattern.
+	for i, id := range c.Inputs {
+		if vals[id] != newPins[i] {
+			vals[id] = newPins[i]
+			sum += weights[id]
+			if counts != nil {
+				counts[id]++
+			}
+			if e.observer != nil {
+				e.observer(id, 0, vals[id])
+			}
+			e.LastEvents++
+			e.fanoutEval(id, 0, vals)
+		}
+	}
+	for i, id := range c.Latches {
+		if vals[id] != newQ[i] {
+			vals[id] = newQ[i]
+			sum += weights[id]
+			if counts != nil {
+				counts[id]++
+			}
+			if e.observer != nil {
+				e.observer(id, 0, vals[id])
+			}
+			e.LastEvents++
+			e.fanoutEval(id, 0, vals)
+		}
+	}
+
+	// Propagate to quiescence.
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		id := ev.node
+		if !e.pendingActive[id] || e.pendingGen[id] != ev.gen {
+			continue // cancelled or superseded
+		}
+		e.pendingActive[id] = false
+		vals[id] = e.pendingVal[id]
+		sum += weights[id]
+		if counts != nil {
+			counts[id]++
+		}
+		if e.observer != nil {
+			e.observer(id, ev.t, vals[id])
+		}
+		e.LastEvents++
+		if ev.t > e.LastSettleTime {
+			e.LastSettleTime = ev.t
+		}
+		e.fanoutEval(id, ev.t, vals)
+	}
+	return sum
+}
+
+// SetObserver installs (or clears, with nil) a callback invoked for
+// every committed transition during subsequent Cycles. Observation slows
+// simulation; estimation runs leave it unset.
+func (e *EventDriven) SetObserver(fn func(id netlist.NodeID, t delay.Picoseconds, v bool)) {
+	e.observer = fn
+}
+
+// fanoutEval re-evaluates every combinational gate driven by id at time t.
+func (e *EventDriven) fanoutEval(id netlist.NodeID, t delay.Picoseconds, vals []bool) {
+	c := e.c
+	for _, g := range c.Nodes[id].Fanout {
+		nd := &c.Nodes[g]
+		if !nd.Kind.IsCombinational() {
+			continue // DFF D pins are captured at the next clock edge
+		}
+		newv := evalNode(vals, nd)
+		if e.pendingActive[g] {
+			if e.pendingVal[g] == newv {
+				continue // already scheduled to the right value
+			}
+			// Inertial cancellation of the pending (now wrong) change.
+			e.pendingGen[g]++
+			e.pendingActive[g] = false
+		}
+		if newv == vals[g] {
+			continue
+		}
+		e.pendingVal[g] = newv
+		e.pendingActive[g] = true
+		e.pendingGen[g]++
+		e.push(event{t: t + e.delays[g], level: e.levels[g], seq: e.seq, node: g, gen: e.pendingGen[g]})
+		e.seq++
+	}
+}
+
+// less orders events by time, then by logic level, then by scheduling
+// order. The level tiebreak makes zero-delay (and equal-delay) event
+// processing behave like a levelized sweep, so delta-cycle artifacts
+// cannot masquerade as glitches: an upstream same-time change always
+// lands before a downstream gate commits, letting inertial cancellation
+// absorb it.
+func (a event) less(b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.level != b.level {
+		return a.level < b.level
+	}
+	return a.seq < b.seq
+}
+
+func (e *EventDriven) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heap[i].less(e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *EventDriven) pop() event {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	h = e.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].less(h[small]) {
+			small = l
+		}
+		if r < len(h) && h[r].less(h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// Session drives a sequential circuit through clock cycles, maintaining
+// the (input pattern, latch state, settled node values) triple between
+// cycles. It is the substrate for the paper's two-phase sampling:
+//
+//   - StepHidden advances one cycle with the zero-delay simulator only
+//     (used inside the independence interval, no power observation);
+//   - StepSampled advances one cycle with the event-driven general-delay
+//     simulator and returns the weighted transition sum of Eq. 1.
+//
+// The class invariant is that vals always holds settled node values for
+// the current (pins, q) pair, so the two step kinds can be interleaved
+// freely.
+type Session struct {
+	c   *netlist.Circuit
+	zd  *ZeroDelay
+	ed  *EventDriven
+	src vectors.Source
+
+	weights []float64
+
+	vals  []bool
+	pins  []bool
+	q     []bool
+	nextQ []bool
+	buf   []bool
+
+	// HiddenCycles and SampledCycles count the work done since the last
+	// ResetCounters; they are the paper's simulation-cost metrics.
+	HiddenCycles  uint64
+	SampledCycles uint64
+}
+
+// NewSession builds a session. weights[i] is the per-transition power
+// contribution of node i (see power.BuildWeights); src must have width
+// len(c.Inputs). The circuit starts in the all-zero latch state with an
+// all-zero input pattern, settled.
+func NewSession(c *netlist.Circuit, dt *delay.Table, src vectors.Source, weights []float64) *Session {
+	if src.Width() != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: source width %d, circuit has %d inputs", src.Width(), len(c.Inputs)))
+	}
+	if len(weights) != len(c.Nodes) {
+		panic(fmt.Sprintf("sim: weights length %d, circuit has %d nodes", len(weights), len(c.Nodes)))
+	}
+	s := &Session{
+		c:       c,
+		zd:      NewZeroDelay(c),
+		ed:      NewEventDriven(c, dt),
+		src:     src,
+		weights: weights,
+		vals:    make([]bool, len(c.Nodes)),
+		pins:    make([]bool, len(c.Inputs)),
+		q:       make([]bool, len(c.Latches)),
+		nextQ:   make([]bool, len(c.Latches)),
+		buf:     make([]bool, len(c.Inputs)),
+	}
+	s.zd.Settle(s.vals, s.pins, s.q)
+	return s
+}
+
+// Circuit returns the simulated circuit.
+func (s *Session) Circuit() *netlist.Circuit { return s.c }
+
+// Source returns the session's input pattern source.
+func (s *Session) Source() vectors.Source { return s.src }
+
+// Reset returns the circuit to the all-zero reset state and re-settles.
+// Cycle counters are preserved; use ResetCounters to clear them.
+func (s *Session) Reset() {
+	for i := range s.pins {
+		s.pins[i] = false
+	}
+	for i := range s.q {
+		s.q[i] = false
+	}
+	s.zd.Settle(s.vals, s.pins, s.q)
+}
+
+// ResetCounters zeroes the cycle-cost counters.
+func (s *Session) ResetCounters() {
+	s.HiddenCycles = 0
+	s.SampledCycles = 0
+}
+
+// advance computes the next latch state from the current settled values
+// and draws the next input pattern; it returns them without applying.
+func (s *Session) advance() {
+	s.zd.NextState(s.vals, s.nextQ)
+	s.src.Next(s.buf)
+}
+
+// StepHidden advances one clock cycle using the zero-delay simulator.
+// No transitions are counted.
+func (s *Session) StepHidden() {
+	s.advance()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.zd.Settle(s.vals, s.pins, s.q)
+	s.HiddenCycles++
+}
+
+// StepHiddenN advances n cycles with StepHidden.
+func (s *Session) StepHiddenN(n int) {
+	for i := 0; i < n; i++ {
+		s.StepHidden()
+	}
+}
+
+// StepSampled advances one clock cycle using the event-driven simulator
+// and returns the weighted transition sum for the cycle: sum_i w_i * n_i,
+// which equals the cycle's average power when the weights are built as
+// C_i * VDD^2 / (2T) (see power.BuildWeights). If counts is non-nil, the
+// per-node transition counts are accumulated into it.
+func (s *Session) StepSampled(counts []uint32) float64 {
+	s.advance()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	p := s.ed.Cycle(s.vals, s.pins, s.q, s.weights, counts)
+	s.SampledCycles++
+	return p
+}
+
+// SettleTime returns the simulated settling time of the most recent
+// sampled cycle.
+func (s *Session) SettleTime() delay.Picoseconds { return s.ed.LastSettleTime }
+
+// Events returns the applied event count of the most recent sampled cycle.
+func (s *Session) Events() uint64 { return s.ed.LastEvents }
+
+// State copies the current latch state into dst (len = #latches).
+func (s *Session) State(dst []bool) { copy(dst, s.q) }
+
+// SetState forces the latch state (len = #latches) and re-settles with
+// the current input pattern. Used by the FSM-analysis estimator, which
+// samples states from a stationary distribution.
+func (s *Session) SetState(q []bool) {
+	copy(s.q, q)
+	s.zd.Settle(s.vals, s.pins, s.q)
+}
+
+// SetPins forces the current input pattern and re-settles.
+func (s *Session) SetPins(pins []bool) {
+	copy(s.pins, pins)
+	s.zd.Settle(s.vals, s.pins, s.q)
+}
+
+// Values returns the settled value array (live; callers must not modify).
+func (s *Session) Values() []bool { return s.vals }
+
+// SetObserver installs a per-transition callback on the underlying
+// event-driven simulator (see EventDriven.SetObserver). Only sampled
+// cycles produce observations; hidden cycles are functional.
+func (s *Session) SetObserver(fn func(id netlist.NodeID, t delay.Picoseconds, v bool)) {
+	s.ed.SetObserver(fn)
+}

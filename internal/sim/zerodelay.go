@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// ZeroDelay is a levelized functional simulator. One Settle call computes
+// the steady-state value of every node for a given input pattern and
+// latch state, in a single topological sweep. It performs no transition
+// accounting — it exists to advance the FSM through the cycles of the
+// independence interval at minimal cost ("zero-delay simulation of the
+// next-state logic", Section IV).
+type ZeroDelay struct {
+	c     *netlist.Circuit
+	order []netlist.NodeID
+}
+
+// NewZeroDelay builds a zero-delay simulator for a frozen circuit.
+func NewZeroDelay(c *netlist.Circuit) *ZeroDelay {
+	if !c.Frozen() {
+		panic("sim: NewZeroDelay requires a frozen circuit")
+	}
+	return &ZeroDelay{c: c, order: c.Order()}
+}
+
+// Settle writes the steady-state value of every node into vals, given the
+// primary-input pattern pins (aligned with c.Inputs) and latch outputs q
+// (aligned with c.Latches). len(vals) must be c.NumNodes().
+func (z *ZeroDelay) Settle(vals []bool, pins, q []bool) {
+	c := z.c
+	if len(vals) != len(c.Nodes) {
+		panic(fmt.Sprintf("sim: Settle vals length %d, want %d", len(vals), len(c.Nodes)))
+	}
+	for i, id := range c.Inputs {
+		vals[id] = pins[i]
+	}
+	for i, id := range c.Latches {
+		vals[id] = q[i]
+	}
+	for i := range c.Nodes {
+		switch c.Nodes[i].Kind {
+		case logic.Const0:
+			vals[i] = false
+		case logic.Const1:
+			vals[i] = true
+		}
+	}
+	for _, id := range z.order {
+		vals[id] = evalNode(vals, &c.Nodes[id])
+	}
+}
+
+// NextState reads the next latch state out of a settled value array into
+// nextQ (aligned with c.Latches): the value at each DFF's D pin.
+func (z *ZeroDelay) NextState(vals []bool, nextQ []bool) {
+	for i, id := range z.c.Latches {
+		nextQ[i] = vals[z.c.Nodes[id].Fanin[0]]
+	}
+}
+
+// Outputs reads the primary-output values out of a settled value array.
+func (z *ZeroDelay) Outputs(vals []bool, out []bool) {
+	for i, id := range z.c.Outputs {
+		out[i] = vals[id]
+	}
+}

@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes running mean, variance, skewness and kurtosis
+// with the one-pass Welford/Pébay update, plus min/max, without storing
+// the samples.
+type Accumulator struct {
+	n          int
+	mean       float64
+	m2, m3, m4 float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	n1 := float64(a.n)
+	a.n++
+	n := float64(a.n)
+	d := x - a.mean
+	dn := d / n
+	dn2 := dn * dn
+	t1 := d * dn * n1
+	a.mean += dn
+	a.m4 += t1*dn2*(n*n-3*n+3) + 6*dn2*a.m2 - 4*dn*a.m3
+	a.m3 += t1*dn*(n-2) - 3*dn*a.m2
+	a.m2 += t1
+	if !a.hasSamples || x < a.min {
+		a.min = x
+	}
+	if !a.hasSamples || x > a.max {
+		a.max = x
+	}
+	a.hasSamples = true
+}
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean, s/sqrt(n).
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// CV returns the coefficient of variation s/|mean| (0 if the mean is 0).
+func (a *Accumulator) CV() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.Std() / math.Abs(a.mean)
+}
+
+// Skewness returns the sample skewness g1 = m3 / m2^(3/2) (biased,
+// moment form; 0 for n < 3 or zero variance).
+func (a *Accumulator) Skewness() float64 {
+	if a.n < 3 || a.m2 == 0 {
+		return 0
+	}
+	n := float64(a.n)
+	return math.Sqrt(n) * a.m3 / math.Pow(a.m2, 1.5)
+}
+
+// ExcessKurtosis returns the sample excess kurtosis g2 = n*m4/m2^2 - 3
+// (0 for n < 4 or zero variance; normal data gives ~0).
+func (a *Accumulator) ExcessKurtosis() float64 {
+	if a.n < 4 || a.m2 == 0 {
+		return 0
+	}
+	n := float64(a.n)
+	return n*a.m4/(a.m2*a.m2) - 3
+}
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// String summarizes the accumulator.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g",
+		a.n, a.Mean(), a.Std(), a.min, a.max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Std returns the sample standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median (average of middle pair for even n).
+// It copies and sorts; callers in hot paths should use SortedMedian.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return SortedMedian(cp)
+}
+
+// SortedMedian returns the median of an already-sorted slice.
+func SortedMedian(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return 0.5 * (sorted[n/2-1] + sorted[n/2])
+}
+
+// Quantile returns the q-quantile of xs using the common "type 7" linear
+// interpolation (the default of R and NumPy). q must be in [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) outside [0,1]", q))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return SortedQuantile(cp, q)
+}
+
+// SortedQuantile is Quantile over an already-sorted slice.
+func SortedQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Autocorrelation returns the sample autocorrelation function of xs at
+// lags 0..maxLag (acf[0] == 1). The biased estimator (dividing by n) is
+// used, as is standard for correlograms. A constant series returns all
+// zeros past lag 0.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	acf := make([]float64, maxLag+1)
+	m := Mean(xs)
+	var c0 float64
+	for _, x := range xs {
+		d := x - m
+		c0 += d * d
+	}
+	acf[0] = 1
+	if c0 == 0 {
+		return acf
+	}
+	for k := 1; k <= maxLag; k++ {
+		var ck float64
+		for i := 0; i+k < n; i++ {
+			ck += (xs[i] - m) * (xs[i+k] - m)
+		}
+		acf[k] = ck / c0
+	}
+	return acf
+}
+
+// EDF is an empirical distribution function over a fixed sample.
+type EDF struct {
+	sorted []float64
+}
+
+// NewEDF builds an empirical CDF (copies and sorts the sample).
+func NewEDF(xs []float64) *EDF {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return &EDF{sorted: cp}
+}
+
+// At returns F_n(x) = (#samples <= x) / n.
+func (e *EDF) At(x float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; advance
+	// over equal values to count "<= x".
+	for i < n && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(n)
+}
+
+// N returns the sample size.
+func (e *EDF) N() int { return len(e.sorted) }
+
+// Quantile returns the q-quantile of the sample.
+func (e *EDF) Quantile(q float64) float64 { return SortedQuantile(e.sorted, q) }
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between two
+// empirical distributions: sup_x |F(x) - G(x)|.
+func KSDistance(f, g *EDF) float64 {
+	d := 0.0
+	for _, x := range f.sorted {
+		if v := math.Abs(f.At(x) - g.At(x)); v > d {
+			d = v
+		}
+	}
+	for _, x := range g.sorted {
+		if v := math.Abs(f.At(x) - g.At(x)); v > d {
+			d = v
+		}
+	}
+	return d
+}

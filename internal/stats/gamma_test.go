@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegLowerGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		almost(t, "P(1,x)", RegLowerGamma(1, x), 1-math.Exp(-x), 1e-12)
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		almost(t, "P(0.5,x)", RegLowerGamma(0.5, x), math.Erf(math.Sqrt(x)), 1e-12)
+	}
+	almost(t, "P(a,0)", RegLowerGamma(3, 0), 0, 0)
+}
+
+func TestRegLowerGammaMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x < 30; x += 0.25 {
+		v := RegLowerGamma(2.5, x)
+		if v < prev-1e-14 {
+			t.Fatalf("P(2.5, %g) = %g decreased from %g", x, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("P(2.5, %g) = %g outside [0,1]", x, v)
+		}
+		prev = v
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Chi-square with 2 dof is Exponential(1/2): F(x) = 1 - e^{-x/2}.
+	for _, x := range []float64{0.5, 2, 5.991} {
+		almost(t, "chi2(2)", ChiSquareCDF(x, 2), 1-math.Exp(-x/2), 1e-12)
+	}
+	// Classical critical values: P(chi2_10 <= 18.307) = 0.95.
+	almost(t, "chi2(10) 95%", ChiSquareCDF(18.307038, 10), 0.95, 1e-6)
+	almost(t, "chi2(1) at 3.841", ChiSquareCDF(3.841459, 1), 0.95, 1e-6)
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Error("negative x should give 0")
+	}
+}
+
+func TestChiSquareQuantileInvertsCDF(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 10, 50} {
+		for _, p := range []float64{0.01, 0.5, 0.95, 0.99} {
+			q := ChiSquareQuantile(p, k)
+			almost(t, "chi2 roundtrip", ChiSquareCDF(q, k), p, 1e-9)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RegLowerGamma(0, 1) },
+		func() { RegLowerGamma(1, -1) },
+		func() { ChiSquareCDF(1, 0) },
+		func() { ChiSquareQuantile(0, 3) },
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Error("expected panic")
+		}()
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSkewnessKnownDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Symmetric data: skewness ~ 0.
+	var sym Accumulator
+	for i := 0; i < 100_000; i++ {
+		sym.Add(rng.NormFloat64())
+	}
+	if g1 := sym.Skewness(); math.Abs(g1) > 0.05 {
+		t.Errorf("normal skewness = %g, want ~0", g1)
+	}
+	// Exponential: skewness = 2.
+	var exp Accumulator
+	for i := 0; i < 200_000; i++ {
+		exp.Add(rng.ExpFloat64())
+	}
+	if g1 := exp.Skewness(); math.Abs(g1-2) > 0.15 {
+		t.Errorf("exponential skewness = %g, want 2", g1)
+	}
+}
+
+func TestExcessKurtosisKnownDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var norm Accumulator
+	for i := 0; i < 200_000; i++ {
+		norm.Add(rng.NormFloat64())
+	}
+	if g2 := norm.ExcessKurtosis(); math.Abs(g2) > 0.12 {
+		t.Errorf("normal excess kurtosis = %g, want ~0", g2)
+	}
+	// Uniform: excess kurtosis = -1.2.
+	var uni Accumulator
+	for i := 0; i < 200_000; i++ {
+		uni.Add(rng.Float64())
+	}
+	if g2 := uni.ExcessKurtosis(); math.Abs(g2+1.2) > 0.1 {
+		t.Errorf("uniform excess kurtosis = %g, want -1.2", g2)
+	}
+	// Exponential: excess kurtosis = 6.
+	var exp Accumulator
+	for i := 0; i < 400_000; i++ {
+		exp.Add(rng.ExpFloat64())
+	}
+	if g2 := exp.ExcessKurtosis(); math.Abs(g2-6) > 1.0 {
+		t.Errorf("exponential excess kurtosis = %g, want 6", g2)
+	}
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(1)
+	if a.Skewness() != 0 || a.ExcessKurtosis() != 0 {
+		t.Error("constant data should have zero higher moments")
+	}
+	var b Accumulator
+	b.Add(3)
+	if b.Skewness() != 0 || b.ExcessKurtosis() != 0 {
+		t.Error("single sample should have zero higher moments")
+	}
+}
+
+func TestMomentsShiftInvariance(t *testing.T) {
+	// Skewness and kurtosis are invariant under affine shift; skewness
+	// flips sign under negation.
+	rng := rand.New(rand.NewSource(23))
+	var a, b, c Accumulator
+	for i := 0; i < 50_000; i++ {
+		x := rng.ExpFloat64()
+		a.Add(x)
+		b.Add(x + 1000)
+		c.Add(-x)
+	}
+	if math.Abs(a.Skewness()-b.Skewness()) > 1e-6 {
+		t.Errorf("skewness not shift invariant: %g vs %g", a.Skewness(), b.Skewness())
+	}
+	if math.Abs(a.Skewness()+c.Skewness()) > 1e-9 {
+		t.Errorf("skewness sign under negation: %g vs %g", a.Skewness(), c.Skewness())
+	}
+	if math.Abs(a.ExcessKurtosis()-c.ExcessKurtosis()) > 1e-9 {
+		t.Errorf("kurtosis under negation: %g vs %g", a.ExcessKurtosis(), c.ExcessKurtosis())
+	}
+}
+
+func TestMomentsMatchDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	xs := make([]float64, 5000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 5
+		acc.Add(xs[i])
+	}
+	m := Mean(xs)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	n := float64(len(xs))
+	wantSkew := math.Sqrt(n) * m3 / math.Pow(m2, 1.5)
+	wantKurt := n*m4/(m2*m2) - 3
+	if math.Abs(acc.Skewness()-wantSkew) > 1e-9 {
+		t.Errorf("skewness %g vs direct %g", acc.Skewness(), wantSkew)
+	}
+	if math.Abs(acc.ExcessKurtosis()-wantKurt) > 1e-9 {
+		t.Errorf("kurtosis %g vs direct %g", acc.ExcessKurtosis(), wantKurt)
+	}
+}

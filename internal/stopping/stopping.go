@@ -1,0 +1,315 @@
+// Package stopping implements the stopping criteria of Section IV: given
+// a stream of i.i.d. power samples and an accuracy specification
+// (maximum relative error epsilon with confidence 1-delta), a criterion
+// decides when enough samples have been collected.
+//
+// Three interchangeable criteria are provided, mirroring the choices the
+// paper lists:
+//
+//   - Normal: the parametric criterion based on the central limit
+//     theorem (Burch et al., the paper's ref [11]);
+//   - KS: a distribution-free criterion built on the
+//     Dvoretzky–Kiefer–Wolfowitz uniform confidence band for the
+//     empirical CDF (a reconstruction of the Kolmogorov–Smirnov
+//     criterion of the paper's ref [6]);
+//   - OrderStatistics: a distribution-free criterion built on binomial
+//     order statistics of batch means (a reconstruction of the paper's
+//     ref [7], the criterion DIPE uses by default).
+package stopping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Spec is the user accuracy specification: the estimate must be within
+// RelErr of the true mean with probability at least Confidence. The
+// paper's experiments use {0.05, 0.99}.
+type Spec struct {
+	RelErr     float64
+	Confidence float64
+}
+
+// DefaultSpec returns the paper's accuracy specification: 5% maximum
+// error with 0.99 confidence.
+func DefaultSpec() Spec { return Spec{RelErr: 0.05, Confidence: 0.99} }
+
+// Validate checks the specification is usable.
+func (s Spec) Validate() error {
+	if s.RelErr <= 0 || s.RelErr >= 1 {
+		return fmt.Errorf("stopping: relative error %g outside (0,1)", s.RelErr)
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return fmt.Errorf("stopping: confidence %g outside (0,1)", s.Confidence)
+	}
+	return nil
+}
+
+// Criterion consumes samples one at a time and reports convergence.
+// Implementations are not safe for concurrent use.
+type Criterion interface {
+	// Add incorporates one sample.
+	Add(x float64)
+	// Done reports whether the accuracy specification is met.
+	Done() bool
+	// Estimate returns the current point estimate of the mean.
+	Estimate() float64
+	// HalfWidth returns the current confidence half-width (absolute).
+	HalfWidth() float64
+	// N returns the number of samples consumed.
+	N() int
+	// Reset clears all state for reuse.
+	Reset()
+	// Name identifies the criterion in reports.
+	Name() string
+}
+
+// Factory builds a fresh criterion for a given accuracy spec; the
+// estimation core uses factories so each run gets independent state.
+type Factory func(Spec) Criterion
+
+// minSamplesNormal is the smallest sample size at which the CLT-based
+// criterion may fire; below it the t-quantile times a noisy variance
+// estimate is unreliable.
+const minSamplesNormal = 30
+
+// Normal is the CLT criterion: stop when
+//
+//	t_{1-delta/2, n-1} * s / (sqrt(n) * |mean|) <= epsilon.
+type Normal struct {
+	spec Spec
+	acc  stats.Accumulator
+}
+
+// NewNormal builds the CLT criterion.
+func NewNormal(spec Spec) *Normal { return &Normal{spec: spec} }
+
+// NormalFactory is the Factory for Normal.
+func NormalFactory(spec Spec) Criterion { return NewNormal(spec) }
+
+// Add implements Criterion.
+func (c *Normal) Add(x float64) { c.acc.Add(x) }
+
+// N implements Criterion.
+func (c *Normal) N() int { return c.acc.N() }
+
+// Estimate implements Criterion.
+func (c *Normal) Estimate() float64 { return c.acc.Mean() }
+
+// HalfWidth implements Criterion.
+func (c *Normal) HalfWidth() float64 {
+	n := c.acc.N()
+	if n < 2 {
+		return math.Inf(1)
+	}
+	t := stats.StudentTQuantile(1-(1-c.spec.Confidence)/2, float64(n-1))
+	return t * c.acc.StdErr()
+}
+
+// Done implements Criterion.
+func (c *Normal) Done() bool {
+	if c.acc.N() < minSamplesNormal {
+		return false
+	}
+	m := c.acc.Mean()
+	if m == 0 {
+		// A zero mean with samples present means every sample was zero
+		// (power is nonnegative): converged trivially.
+		return c.acc.Max() == 0
+	}
+	return c.HalfWidth() <= c.spec.RelErr*math.Abs(m)
+}
+
+// Reset implements Criterion.
+func (c *Normal) Reset() { c.acc.Reset() }
+
+// Name implements Criterion.
+func (c *Normal) Name() string { return "normal" }
+
+// KS is a distribution-free criterion from the DKW inequality. With
+// probability >= 1-delta the true CDF F lies in the band F_n +/- eps_n,
+// eps_n = sqrt(ln(2/delta)/(2n)). For a distribution supported on [a,b],
+// any CDF in the band has mean within eps_n*(b-a) of the sample mean, so
+// we stop when eps_n*(max-min) <= epsilon*|mean|. The observed range
+// stands in for the support, making the criterion exact for bounded
+// power (switched capacitance is bounded by total circuit capacitance)
+// up to range underestimation; it is the most conservative of the three.
+type KS struct {
+	spec Spec
+	acc  stats.Accumulator
+}
+
+// NewKS builds the DKW/Kolmogorov–Smirnov criterion.
+func NewKS(spec Spec) *KS { return &KS{spec: spec} }
+
+// KSFactory is the Factory for KS.
+func KSFactory(spec Spec) Criterion { return NewKS(spec) }
+
+// Add implements Criterion.
+func (c *KS) Add(x float64) { c.acc.Add(x) }
+
+// N implements Criterion.
+func (c *KS) N() int { return c.acc.N() }
+
+// Estimate implements Criterion.
+func (c *KS) Estimate() float64 { return c.acc.Mean() }
+
+// HalfWidth implements Criterion.
+func (c *KS) HalfWidth() float64 {
+	n := c.acc.N()
+	if n < 2 {
+		return math.Inf(1)
+	}
+	eps := stats.DKWEpsilon(n, 1-c.spec.Confidence)
+	return eps * (c.acc.Max() - c.acc.Min())
+}
+
+// Done implements Criterion.
+func (c *KS) Done() bool {
+	if c.acc.N() < minSamplesNormal {
+		return false
+	}
+	m := c.acc.Mean()
+	if m == 0 {
+		return c.acc.Max() == 0
+	}
+	return c.HalfWidth() <= c.spec.RelErr*math.Abs(m)
+}
+
+// Reset implements Criterion.
+func (c *KS) Reset() { c.acc.Reset() }
+
+// Name implements Criterion.
+func (c *KS) Name() string { return "ks" }
+
+// DefaultBatchSize is the number of raw samples aggregated into one batch
+// mean by the order-statistics criterion.
+const DefaultBatchSize = 16
+
+// OrderStatistics is the distribution-independent criterion DIPE uses by
+// default (reconstruction of the paper's ref [7]). Samples are grouped
+// into batches of BatchSize; batch means are nearly symmetric about the
+// population mean regardless of the sample distribution (CLT acting
+// within each batch), so the median of batch means tracks the mean. A
+// distribution-free confidence interval for that median is read off the
+// order statistics y_(r) <= median <= y_(k+1-r), where r is the largest
+// rank with BinomialCDF(r-1, k, 1/2) <= delta/2. The criterion stops
+// when the interval half-width is within epsilon of the estimate. The
+// point estimate returned is the overall sample mean.
+type OrderStatistics struct {
+	spec      Spec
+	BatchSize int
+
+	acc      stats.Accumulator // over raw samples (point estimate)
+	batchAcc float64
+	batchN   int
+	batches  []float64 // completed batch means
+	sorted   bool
+}
+
+// NewOrderStatistics builds the criterion with DefaultBatchSize.
+func NewOrderStatistics(spec Spec) *OrderStatistics {
+	return &OrderStatistics{spec: spec, BatchSize: DefaultBatchSize}
+}
+
+// OrderStatisticsFactory is the Factory for OrderStatistics.
+func OrderStatisticsFactory(spec Spec) Criterion { return NewOrderStatistics(spec) }
+
+// Add implements Criterion.
+func (c *OrderStatistics) Add(x float64) {
+	c.acc.Add(x)
+	c.batchAcc += x
+	c.batchN++
+	if c.batchN == c.BatchSize {
+		c.batches = append(c.batches, c.batchAcc/float64(c.BatchSize))
+		c.batchAcc, c.batchN = 0, 0
+		c.sorted = false
+	}
+}
+
+// N implements Criterion.
+func (c *OrderStatistics) N() int { return c.acc.N() }
+
+// Estimate implements Criterion.
+func (c *OrderStatistics) Estimate() float64 { return c.acc.Mean() }
+
+// interval returns the distribution-free CI for the median of batch
+// means, or infinite width when too few batches exist.
+func (c *OrderStatistics) interval() (lo, hi float64, ok bool) {
+	k := len(c.batches)
+	if k < 8 {
+		return 0, 0, false
+	}
+	delta := 1 - c.spec.Confidence
+	r := medianCIRank(k, delta)
+	if r < 1 {
+		return 0, 0, false
+	}
+	if !c.sorted {
+		sort.Float64s(c.batches)
+		c.sorted = true
+	}
+	return c.batches[r-1], c.batches[k-r], true
+}
+
+// HalfWidth implements Criterion.
+func (c *OrderStatistics) HalfWidth() float64 {
+	lo, hi, ok := c.interval()
+	if !ok {
+		return math.Inf(1)
+	}
+	return (hi - lo) / 2
+}
+
+// Done implements Criterion.
+func (c *OrderStatistics) Done() bool {
+	lo, hi, ok := c.interval()
+	if !ok {
+		return false
+	}
+	m := c.acc.Mean()
+	if m == 0 {
+		return c.acc.Max() == 0
+	}
+	return (hi-lo)/2 <= c.spec.RelErr*math.Abs(m)
+}
+
+// Reset implements Criterion.
+func (c *OrderStatistics) Reset() {
+	c.acc.Reset()
+	c.batchAcc, c.batchN = 0, 0
+	c.batches = c.batches[:0]
+	c.sorted = false
+}
+
+// Name implements Criterion.
+func (c *OrderStatistics) Name() string { return "order-statistics" }
+
+// medianCIRank returns the largest rank r such that the two-sided
+// distribution-free confidence interval [y_(r), y_(k+1-r)] for the median
+// of k i.i.d. observations has coverage >= 1-delta, i.e.
+// BinomialCDF(r-1, k, 0.5) <= delta/2. Returns 0 if even r=1 (the full
+// range) fails, which only happens for tiny k.
+func medianCIRank(k int, delta float64) int {
+	lo, hi := 1, k/2
+	if hi < 1 {
+		return 0
+	}
+	if stats.BinomialCDF(0, k, 0.5) > delta/2 {
+		return 0
+	}
+	// Binary search the largest r with CDF(r-1) <= delta/2; the CDF is
+	// increasing in r.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if stats.BinomialCDF(mid-1, k, 0.5) <= delta/2 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,295 @@
+package stopping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feedUntilDone streams samples from gen into the criterion until Done or
+// the cap; returns the sample count at convergence and whether it stopped.
+func feedUntilDone(c Criterion, gen func() float64, cap int) (int, bool) {
+	for i := 0; i < cap; i++ {
+		c.Add(gen())
+		if i%32 == 31 && c.Done() {
+			return c.N(), true
+		}
+	}
+	return c.N(), c.Done()
+}
+
+func normalGen(mean, sd float64, seed int64) func() float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return func() float64 { return mean + sd*rng.NormFloat64() }
+}
+
+// lognormalGen is a skewed, heavy-tailed distribution: the stress case
+// for "distribution-independent" claims.
+func lognormalGen(mu, sigma float64, seed int64) func() float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return func() float64 { return math.Exp(mu + sigma*rng.NormFloat64()) }
+}
+
+var allFactories = []struct {
+	name string
+	f    Factory
+}{
+	{"normal", NormalFactory},
+	{"ks", KSFactory},
+	{"order-statistics", OrderStatisticsFactory},
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{RelErr: 0, Confidence: 0.99},
+		{RelErr: 1.5, Confidence: 0.99},
+		{RelErr: 0.05, Confidence: 0},
+		{RelErr: 0.05, Confidence: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+}
+
+func TestCriteriaConvergeOnNormalData(t *testing.T) {
+	spec := Spec{RelErr: 0.05, Confidence: 0.99}
+	for _, tc := range allFactories {
+		c := tc.f(spec)
+		n, done := feedUntilDone(c, normalGen(10, 3, 1), 1<<20)
+		if !done {
+			t.Errorf("%s: did not converge in %d samples", tc.name, n)
+			continue
+		}
+		if got := c.Estimate(); math.Abs(got-10) > 0.05*10 {
+			t.Errorf("%s: estimate %.4f deviates more than 5%% from 10", tc.name, got)
+		}
+	}
+}
+
+func TestCriteriaConvergeOnBoundedSkewedData(t *testing.T) {
+	// X = 10*U^4 with U uniform: bounded on [0,10], heavily right-skewed,
+	// mean = 10/5 = 2. Per-cycle power is likewise bounded and skewed,
+	// so this is the realistic stress case for all three criteria.
+	want := 2.0
+	spec := Spec{RelErr: 0.05, Confidence: 0.95}
+	for _, tc := range allFactories {
+		rng := rand.New(rand.NewSource(2))
+		gen := func() float64 { u := rng.Float64(); return 10 * u * u * u * u }
+		c := tc.f(spec)
+		n, done := feedUntilDone(c, gen, 1<<22)
+		if !done {
+			t.Errorf("%s: did not converge in %d samples", tc.name, n)
+			continue
+		}
+		if got := c.Estimate(); math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s: estimate %.4f vs true mean %.4f", tc.name, got, want)
+		}
+	}
+}
+
+func TestUnboundedHeavyTailConvergence(t *testing.T) {
+	// Lognormal(0, 1): mean = exp(0.5) ~ 1.6487. The CLT and
+	// order-statistics criteria converge; the KS criterion is documented
+	// to require bounded support and is exempt here.
+	want := math.Exp(0.5)
+	spec := Spec{RelErr: 0.05, Confidence: 0.95}
+	for _, tc := range allFactories {
+		if tc.name == "ks" {
+			continue
+		}
+		c := tc.f(spec)
+		n, done := feedUntilDone(c, lognormalGen(0, 1, 2), 1<<22)
+		if !done {
+			t.Errorf("%s: did not converge in %d samples", tc.name, n)
+			continue
+		}
+		if got := c.Estimate(); math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s: estimate %.4f vs true mean %.4f", tc.name, got, want)
+		}
+	}
+}
+
+func TestCoverageOnNormalData(t *testing.T) {
+	// Repeated runs: the fraction of estimates within RelErr of the truth
+	// must be at least roughly the confidence level. This is the
+	// statistical contract of Table 2's Err(%) column.
+	spec := Spec{RelErr: 0.05, Confidence: 0.95}
+	const runs = 120
+	for _, tc := range allFactories {
+		bad := 0
+		for r := 0; r < runs; r++ {
+			c := tc.f(spec)
+			_, done := feedUntilDone(c, normalGen(7, 5, int64(100+r)), 1<<20)
+			if !done {
+				t.Fatalf("%s run %d did not converge", tc.name, r)
+			}
+			if math.Abs(c.Estimate()-7)/7 > spec.RelErr {
+				bad++
+			}
+		}
+		rate := float64(bad) / runs
+		// Allow slack: 95% nominal coverage, require <= 10% violations.
+		if rate > 0.10 {
+			t.Errorf("%s: violation rate %.3f exceeds 0.10 (spec 0.05)", tc.name, rate)
+		}
+	}
+}
+
+func TestTighterSpecNeedsMoreSamples(t *testing.T) {
+	for _, tc := range allFactories {
+		loose := tc.f(Spec{RelErr: 0.10, Confidence: 0.95})
+		tight := tc.f(Spec{RelErr: 0.02, Confidence: 0.95})
+		nLoose, okL := feedUntilDone(loose, normalGen(10, 4, 3), 1<<22)
+		nTight, okT := feedUntilDone(tight, normalGen(10, 4, 3), 1<<22)
+		if !okL || !okT {
+			t.Fatalf("%s: convergence failure (loose %v tight %v)", tc.name, okL, okT)
+		}
+		if nTight <= nLoose {
+			t.Errorf("%s: tight spec used %d samples, loose used %d", tc.name, nTight, nLoose)
+		}
+	}
+}
+
+func TestHigherVarianceNeedsMoreSamples(t *testing.T) {
+	spec := Spec{RelErr: 0.05, Confidence: 0.95}
+	for _, tc := range allFactories {
+		lo := tc.f(spec)
+		hi := tc.f(spec)
+		nLo, _ := feedUntilDone(lo, normalGen(10, 1, 4), 1<<22)
+		nHi, _ := feedUntilDone(hi, normalGen(10, 6, 4), 1<<22)
+		if nHi <= nLo {
+			t.Errorf("%s: high-variance run used %d samples, low-variance %d", tc.name, nHi, nLo)
+		}
+	}
+}
+
+func TestCriterionReset(t *testing.T) {
+	for _, tc := range allFactories {
+		c := tc.f(DefaultSpec())
+		for i := 0; i < 100; i++ {
+			c.Add(float64(i))
+		}
+		c.Reset()
+		if c.N() != 0 {
+			t.Errorf("%s: N=%d after Reset", tc.name, c.N())
+		}
+		if c.Done() {
+			t.Errorf("%s: Done immediately after Reset", tc.name)
+		}
+		if !math.IsInf(c.HalfWidth(), 1) {
+			t.Errorf("%s: HalfWidth finite after Reset: %g", tc.name, c.HalfWidth())
+		}
+	}
+}
+
+func TestAllZeroSamplesConvergeTrivially(t *testing.T) {
+	// A gate-free circuit dissipates nothing; the criteria must not spin
+	// forever on mean zero.
+	for _, tc := range allFactories {
+		c := tc.f(DefaultSpec())
+		n, done := feedUntilDone(c, func() float64 { return 0 }, 4096)
+		if !done {
+			t.Errorf("%s: all-zero stream did not converge in %d", tc.name, n)
+		}
+		if c.Estimate() != 0 {
+			t.Errorf("%s: estimate %g for all-zero stream", tc.name, c.Estimate())
+		}
+	}
+}
+
+func TestEstimateIsSampleMean(t *testing.T) {
+	for _, tc := range allFactories {
+		c := tc.f(DefaultSpec())
+		sum := 0.0
+		for i := 1; i <= 1000; i++ {
+			x := float64(i % 17)
+			c.Add(x)
+			sum += x
+		}
+		want := sum / 1000
+		if math.Abs(c.Estimate()-want) > 1e-9 {
+			t.Errorf("%s: estimate %.9f, want sample mean %.9f", tc.name, c.Estimate(), want)
+		}
+	}
+}
+
+func TestNamesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tc := range allFactories {
+		name := tc.f(DefaultSpec()).Name()
+		if seen[name] {
+			t.Errorf("duplicate criterion name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestMedianCIRankProperties(t *testing.T) {
+	// Rank must give coverage >= 1-delta and be maximal.
+	for _, k := range []int{8, 20, 50, 101, 500} {
+		for _, delta := range []float64{0.01, 0.05, 0.2} {
+			r := medianCIRank(k, delta)
+			if r < 1 {
+				if k >= 20 {
+					t.Errorf("medianCIRank(%d,%g) = %d", k, delta, r)
+				}
+				continue
+			}
+			// Coverage check: P(y_(r) <= med <= y_(k+1-r)) =
+			// 1 - 2*BinomialCDF(r-1, k, 1/2) >= 1-delta.
+			// (Strictly, >= by construction of r.)
+			if got := cdfHalf(r-1, k); got > delta/2+1e-12 {
+				t.Errorf("rank %d for k=%d delta=%g has tail %g > %g", r, k, delta, got, delta/2)
+			}
+			if r2 := r + 1; r2 <= k/2 {
+				if got := cdfHalf(r2-1, k); got <= delta/2 {
+					t.Errorf("rank %d for k=%d delta=%g is not maximal", r, k, delta)
+				}
+			}
+		}
+	}
+}
+
+// cdfHalf is BinomialCDF(j, k, 0.5) via direct summation (independent of
+// the production implementation).
+func cdfHalf(j, k int) float64 {
+	sum := 0.0
+	c := math.Pow(0.5, float64(k))
+	binom := 1.0
+	for i := 0; i <= j; i++ {
+		sum += binom * c
+		binom = binom * float64(k-i) / float64(i+1)
+	}
+	return sum
+}
+
+func TestOrderStatisticsBatching(t *testing.T) {
+	c := NewOrderStatistics(DefaultSpec())
+	for i := 0; i < DefaultBatchSize*10; i++ {
+		c.Add(1)
+	}
+	if len(c.batches) != 10 {
+		t.Fatalf("batches = %d, want 10", len(c.batches))
+	}
+	for _, b := range c.batches {
+		if b != 1 {
+			t.Fatalf("batch mean %g, want 1", b)
+		}
+	}
+}
+
+func TestKSMoreConservativeThanNormal(t *testing.T) {
+	// On the same data stream the DKW band is wider than the CLT CI, so
+	// KS must need at least as many samples.
+	spec := Spec{RelErr: 0.05, Confidence: 0.95}
+	nN, _ := feedUntilDone(NewNormal(spec), normalGen(10, 3, 9), 1<<22)
+	nK, _ := feedUntilDone(NewKS(spec), normalGen(10, 3, 9), 1<<22)
+	if nK < nN {
+		t.Fatalf("KS converged faster (%d) than normal (%d)", nK, nN)
+	}
+}
