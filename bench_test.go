@@ -175,7 +175,7 @@ func BenchmarkEventDrivenCycle(b *testing.B) {
 // BenchmarkZeroDelayCycle measures one hidden (zero-delay) cycle — the
 // cost of advancing through the independence interval.
 func BenchmarkZeroDelayCycle(b *testing.B) {
-	for _, name := range []string{"s298", "s1494", "s5378", "s15850"} {
+	for _, name := range []string{"s298", "s832", "s1494", "s5378", "s15850"} {
 		c := bench89.MustGet(name)
 		tb := dipe.NewTestbench(c)
 		b.Run(name, func(b *testing.B) {
@@ -184,6 +184,76 @@ func BenchmarkZeroDelayCycle(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s.StepHidden()
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
+// BenchmarkPackedHidden measures one packed hidden cycle: 64
+// replications advance per iteration, so the cycles/sec metric counts
+// per-replication clock cycles and is directly comparable with
+// BenchmarkZeroDelayCycle's. The ≥10x target over the scalar baseline
+// is the acceptance bar recorded in BENCH_1.json.
+func BenchmarkPackedHidden(b *testing.B) {
+	for _, name := range []string{"s298", "s832", "s1494", "s5378"} {
+		c := bench89.MustGet(name)
+		b.Run(name, func(b *testing.B) {
+			srcs := make([]vectors.Source, sim.MaxLanes)
+			for k := range srcs {
+				srcs[k] = vectors.NewIID(len(c.Inputs), 0.5, int64(k+1))
+			}
+			s := sim.NewPackedSession(c, srcs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepHidden()
+			}
+			b.ReportMetric(float64(b.N*sim.MaxLanes)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
+// BenchmarkPackedSampled measures one packed sampled cycle (64 lanes
+// through the scalar event-driven observer).
+func BenchmarkPackedSampled(b *testing.B) {
+	for _, name := range []string{"s298", "s1494"} {
+		c := bench89.MustGet(name)
+		tb := dipe.NewTestbench(c)
+		b.Run(name, func(b *testing.B) {
+			srcs := make([]vectors.Source, sim.MaxLanes)
+			for k := range srcs {
+				srcs[k] = vectors.NewIID(len(c.Inputs), 0.5, int64(k+1))
+			}
+			s := sim.NewPackedSession(c, srcs)
+			ed := sim.NewEventDriven(c, tb.Delays)
+			powers := make([]float64, sim.MaxLanes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepSampled(ed, tb.Weights(), powers)
+			}
+			b.ReportMetric(float64(b.N*sim.MaxLanes)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
+// BenchmarkEstimateParallel measures one full bit-parallel estimation
+// run (64 replications, default workers) next to BenchmarkTable1Estimate.
+func BenchmarkEstimateParallel(b *testing.B) {
+	for _, name := range []string{"s298", "s1494"} {
+		c := bench89.MustGet(name)
+		tb := dipe.NewTestbench(c)
+		factory := dipe.NewIIDSourceFactory(len(c.Inputs), 0.5)
+		b.Run(name, func(b *testing.B) {
+			var samples, cycles float64
+			for i := 0; i < b.N; i++ {
+				res, err := dipe.EstimateParallel(tb, factory, int64(i+1), dipe.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples += float64(res.SampleSize)
+				cycles += float64(res.TotalCycles())
+			}
+			b.ReportMetric(samples/float64(b.N), "samples/run")
+			b.ReportMetric(cycles/float64(b.N), "cycles/run")
 		})
 	}
 }

@@ -35,6 +35,11 @@ func main() {
 		small    = flag.Bool("small", false, "restrict to circuits with < 700 gates")
 		runs     = flag.Int("runs", 100, "runs per circuit for Table 2 / ablations (paper: 1000)")
 		parallel = flag.Int("parallel", 0, "concurrent estimation runs in Table 2 (0 = serial)")
+		reps     = flag.Int("replications", 0, "Table 1: bit-parallel replications (0 = serial estimator)")
+		workers  = flag.Int("workers", 0, "goroutine pool for -replications (0 = GOMAXPROCS)")
+		packed   = flag.Bool("packed", false, "run the packed-vs-scalar hidden-cycle throughput benchmark")
+		packedN  = flag.Int("packed-cycles", 200_000, "scalar cycle budget for -packed")
+		packedJS = flag.String("packed-json", "", "write the -packed report as JSON to this file")
 		paper    = flag.Bool("paper", false, "use the paper's 1e6-cycle references")
 		seed     = flag.Int64("seed", 1997, "base seed for the whole campaign")
 		fig3Len  = flag.Int("fig3-len", 10000, "Figure 3 sequence length")
@@ -48,6 +53,8 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = *runs
 	cfg.Parallel = *parallel
+	cfg.Replications = *reps
+	cfg.Workers = *workers
 	cfg.BaseSeed = *seed
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -62,7 +69,7 @@ func main() {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,6 +77,25 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dipe-experiments:", err)
 		os.Exit(1)
+	}
+
+	if *packed {
+		set := cfg.Circuits
+		if *circuits == "" && !*small {
+			// Default to the regression trio unless the user chose a set.
+			set = []string{"s298", "s832", "s1494"}
+		}
+		rows, err := experiments.PackedThroughput(set, *packedN, 64, cfg.BaseSeed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderPackedBench(rows))
+		if *packedJS != "" {
+			if err := os.WriteFile(*packedJS, []byte(experiments.PackedBenchJSON(rows)), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *packedJS)
+		}
 	}
 
 	if *table1 || *all {

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro"
 	"repro/internal/delay"
@@ -86,6 +87,8 @@ func main() {
 		inputRho    = flag.Float64("rho", 0, "primary-input lag-1 autocorrelation (0 = i.i.d.)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		fixed       = flag.Int("interval", -1, "fixed independence interval (skip selection; -1 = dynamic)")
+		reps        = flag.Int("replications", 0, "parallel replications (bit-packed, 64 per word; 0 = serial estimator)")
+		workers     = flag.Int("workers", 0, "goroutine pool for -replications (0 = GOMAXPROCS)")
 		ztrace      = flag.Int("ztrace", -1, "print z statistic for trial intervals 0..N and exit")
 		ztraceLen   = flag.Int("ztrace-len", 10000, "sequence length for -ztrace")
 		refCycles   = flag.Int("ref", 0, "run an N-cycle consecutive reference instead of DIPE")
@@ -98,7 +101,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
-		*criterion, *test, *inputProb, *inputRho, *seed, *fixed, *ztrace, *ztraceLen,
+		*criterion, *test, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
 		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "dipe:", err)
 		os.Exit(1)
@@ -106,7 +109,7 @@ func main() {
 }
 
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
-	criterion, test string, inputProb, inputRho float64, seed int64, fixed, ztrace, ztraceLen,
+	criterion, test string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
 	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int) error {
 
 	var (
@@ -162,12 +165,13 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 		return fmt.Errorf("unknown randomness test %q", test)
 	}
 
-	newSource := func() dipe.Source {
+	newFactory := func() dipe.SourceFactory {
 		if inputRho > 0 {
-			return dipe.NewLagCorrelatedSource(len(c.Inputs), inputProb, inputRho, seed)
+			return dipe.NewLagCorrelatedSourceFactory(len(c.Inputs), inputProb, inputRho)
 		}
-		return dipe.NewIIDSource(len(c.Inputs), inputProb, seed)
+		return dipe.NewIIDSourceFactory(len(c.Inputs), inputProb)
 	}
+	newSource := func() dipe.Source { return newFactory()(seed) }
 	tb := dipe.NewTestbench(c)
 
 	if refCycles > 0 {
@@ -218,14 +222,34 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 		return nil
 	}
 
+	opts.Replications = reps
+	opts.Workers = workers
+
 	var res dipe.Result
-	if fixed >= 0 {
+	switch {
+	case reps > 0 && fixed >= 0:
+		res, err = dipe.EstimateParallelWithInterval(tb, newFactory(), seed, opts, fixed)
+	case reps > 0:
+		res, err = dipe.EstimateParallel(tb, newFactory(), seed, opts)
+	case fixed >= 0:
 		res, err = dipe.EstimateWithInterval(tb.NewSession(newSource()), opts, fixed)
-	} else {
+	default:
 		res, err = dipe.Estimate(tb.NewSession(newSource()), opts)
 	}
 	if err != nil {
 		return err
+	}
+	if reps > 0 {
+		// Mirror the estimator's effective pool size: GOMAXPROCS when
+		// unset, never more workers than replications.
+		w := workers
+		if w == 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > reps {
+			w = reps
+		}
+		fmt.Printf("replications      : %d (bit-packed, %d workers)\n", reps, w)
 	}
 	if verbose {
 		// Post-hoc audit: a fresh sequence at the selected interval run

@@ -10,19 +10,20 @@ import (
 // runDefaults wraps run() with the flag defaults so each test overrides
 // only what it cares about.
 type runArgs struct {
-	circuit, bench, blif     string
-	alpha                    float64
-	seqLen                   int
-	relErr, confidence       float64
-	criterion, test          string
-	inputProb, inputRho      float64
-	seed                     int64
-	fixed, ztrace, ztraceLen int
-	refCycles                int
-	verbose                  bool
-	topN, maxBudget          int
-	vcdPath                  string
-	vcdCycles                int
+	circuit, bench, blif string
+	alpha                float64
+	seqLen               int
+	relErr, confidence   float64
+	criterion, test      string
+	inputProb, inputRho  float64
+	seed                 int64
+	fixed, reps, workers int
+	ztrace, ztraceLen    int
+	refCycles            int
+	verbose              bool
+	topN, maxBudget      int
+	vcdPath              string
+	vcdCycles            int
 }
 
 func defaults() runArgs {
@@ -36,8 +37,8 @@ func defaults() runArgs {
 
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
-		a.criterion, a.test, a.inputProb, a.inputRho, a.seed, a.fixed, a.ztrace, a.ztraceLen,
-		a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
+		a.criterion, a.test, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
+		a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
 }
 
 func TestRunEstimate(t *testing.T) {
@@ -92,6 +93,21 @@ func TestRunZTraceMode(t *testing.T) {
 func TestRunFixedInterval(t *testing.T) {
 	a := defaults()
 	a.circuit = "s27"
+	a.fixed = 2
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelReplications(t *testing.T) {
+	a := defaults()
+	a.circuit = "s27"
+	a.reps = 16
+	a.workers = 2
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	// Fixed interval + replications takes the parallel fixed path.
 	a.fixed = 2
 	if err := a.run(); err != nil {
 		t.Fatal(err)

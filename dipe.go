@@ -133,6 +133,40 @@ func DefaultSupply() Supply { return power.DefaultSupply() }
 // interval selection, two-phase sampling, stopping criterion.
 func Estimate(s *Session, opts Options) (Result, error) { return core.Estimate(s, opts) }
 
+// SourceFactory builds an independent input source for a given seed;
+// estimators that run many replications use it to give every
+// replication fresh, reproducible randomness.
+type SourceFactory = vectors.Factory
+
+// NewIIDSourceFactory returns a factory of i.i.d. Bernoulli(p) sources.
+func NewIIDSourceFactory(width int, p float64) SourceFactory {
+	return vectors.IIDFactory(width, p)
+}
+
+// NewLagCorrelatedSourceFactory returns a factory of lag-1 Markov
+// sources (see NewLagCorrelatedSource).
+func NewLagCorrelatedSourceFactory(width int, p, rho float64) SourceFactory {
+	return vectors.LagCorrelatedFactory(width, p, rho)
+}
+
+// EstimateParallel runs the DIPE flow with Options.Replications
+// independent replications advanced concurrently: hidden cycles run on
+// a bit-packed zero-delay simulator (64 replications per machine word)
+// and sampled cycles on per-worker event-driven simulators, sharded
+// across an Options.Workers goroutine pool. Replication r is seeded
+// baseSeed+1+r (interval selection uses baseSeed), and samples merge
+// into the stopping criterion in a fixed order, so results are
+// reproducible and independent of the worker count.
+func EstimateParallel(tb *Testbench, src SourceFactory, baseSeed int64, opts Options) (Result, error) {
+	return core.EstimateParallel(tb, src, baseSeed, opts)
+}
+
+// EstimateParallelWithInterval is EstimateParallel at a fixed
+// independence interval, bypassing selection.
+func EstimateParallelWithInterval(tb *Testbench, src SourceFactory, baseSeed int64, opts Options, interval int) (Result, error) {
+	return core.EstimateParallelWithInterval(tb, src, baseSeed, opts, interval)
+}
+
 // EstimateWithInterval runs the sampling phase at a fixed interval,
 // bypassing selection (the fixed-warm-up baseline of the paper's ref [9]).
 func EstimateWithInterval(s *Session, opts Options, interval int) (Result, error) {

@@ -66,6 +66,16 @@ type Options struct {
 	// the stopping criterion as its first SeqLen samples. Table 1's
 	// sample sizes (all = 320 + k*32) indicate the paper does this.
 	ReuseTestSamples bool
+	// Replications is the number of independent replications
+	// EstimateParallel runs concurrently (bit-packed, up to 64 per
+	// machine word). 0 means the default of 64 — one full word. Ignored
+	// by the serial estimators.
+	Replications int
+	// Workers bounds the goroutine pool of EstimateParallel. 0 means
+	// GOMAXPROCS. The estimate is independent of the worker count:
+	// replication seeds are fixed and samples are merged in replication
+	// order.
+	Workers int
 }
 
 // DefaultOptions returns the paper's experimental configuration.
@@ -112,6 +122,12 @@ func (o Options) Validate() error {
 	}
 	if o.WarmupCycles < 0 {
 		return fmt.Errorf("core: negative WarmupCycles %d", o.WarmupCycles)
+	}
+	if o.Replications < 0 {
+		return fmt.Errorf("core: negative Replications %d", o.Replications)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", o.Workers)
 	}
 	return nil
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vectors"
+)
+
+// shard is one worker's slice of the replication space: a contiguous
+// range of replication indices driven by a single packed session (at
+// most sim.MaxLanes lanes) plus a private scalar event-driven simulator
+// for the sampled cycles.
+type shard struct {
+	ps     *sim.PackedSession
+	ed     *sim.EventDriven
+	lanes  int
+	powers []float64 // per-block lane powers, round-major: [round*lanes + lane]
+}
+
+// EstimateParallel runs the DIPE flow with many independent replications
+// advanced concurrently. Interval selection runs once on a scalar
+// session seeded baseSeed (exactly like Estimate); sampling then shards
+// opts.Replications independent sequences — replication r is seeded
+// baseSeed+1+r, a fixed lane→seed mapping — across a goroutine worker
+// pool. Each worker drives a bit-packed zero-delay session (up to 64
+// replications per machine word) through the hidden cycles of the
+// independence interval and hands each lane to a scalar event-driven
+// simulator on sampled cycles. Samples are merged into the stopping
+// criterion deterministically (round-major, in replication order), so
+// the result is reproducible and independent of opts.Workers and of
+// goroutine scheduling.
+//
+// Compared to Estimate, the power samples come from Replications
+// parallel sequences instead of one long sequence; samples remain
+// i.i.d. across replications by construction (independent seeds), and
+// within a replication at the selected independence interval.
+func EstimateParallel(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	// Phase 1: independence-interval selection on a scalar session, as in
+	// Estimate. The selected interval is shared by every replication.
+	sel0 := tb.NewSession(src(baseSeed))
+	sel0.StepHiddenN(opts.WarmupCycles)
+	sel, err := SelectInterval(sel0, opts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := parallelTail(tb, src, baseSeed, opts, sel.Interval, sel.Sequence)
+	res.Trials = sel.Trials
+	res.IntervalCapped = sel.Capped
+	res.HiddenCycles += sel0.HiddenCycles
+	res.SampledCycles += sel0.SampledCycles
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EstimateParallelWithInterval is the fixed-interval variant of
+// EstimateParallel (the parallel analogue of EstimateWithInterval): it
+// skips selection and samples every replication at the given interval.
+func EstimateParallelWithInterval(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if interval < 0 {
+		return Result{}, fmt.Errorf("core: negative interval %d", interval)
+	}
+	start := time.Now()
+	res := parallelTail(tb, src, baseSeed, opts, interval, nil)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// parallelTail runs the parallel sampling/stopping phase at a fixed
+// interval, optionally seeded with an already-collected random sequence
+// (consumed only when opts.ReuseTestSamples is set, as in estimateTail).
+func parallelTail(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64) Result {
+	reps := opts.Replications
+	if reps == 0 {
+		reps = sim.MaxLanes
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+
+	// Shard the replication space: at least `workers` shards so the pool
+	// is saturated, and enough shards that none exceeds 64 lanes. Lane
+	// counts differ by at most one, and every replication keeps its
+	// globally fixed seed regardless of the shard/worker layout.
+	nShards := workers
+	if min := (reps + sim.MaxLanes - 1) / sim.MaxLanes; nShards < min {
+		nShards = min
+	}
+	shards := make([]*shard, 0, nShards)
+	next := 0
+	for i := 0; i < nShards; i++ {
+		lanes := (reps - next + nShards - i - 1) / (nShards - i)
+		srcs := make([]vectors.Source, lanes)
+		for k := range srcs {
+			srcs[k] = src(baseSeed + 1 + int64(next+k))
+		}
+		next += lanes
+		shards = append(shards, &shard{
+			ps:    sim.NewPackedSession(tb.Circuit, srcs),
+			ed:    sim.NewEventDriven(tb.Circuit, tb.Delays),
+			lanes: lanes,
+		})
+	}
+
+	// Warm every replication up from reset in parallel.
+	runShards(shards, workers, func(sh *shard) {
+		sh.ps.StepHiddenN(opts.WarmupCycles)
+	})
+
+	crit := opts.NewCriterion(opts.Spec)
+	if opts.ReuseTestSamples {
+		for _, p := range seed {
+			crit.Add(p)
+		}
+	}
+
+	// Sampling proceeds in blocks of `rounds` rounds; one round yields
+	// one sample per replication. Workers fill their shard's power
+	// buffers concurrently; the merge into the criterion is single-
+	// threaded and ordered (round-major, replication order).
+	rounds := opts.CheckEvery / reps
+	if rounds < 1 {
+		rounds = 1
+	}
+	for _, sh := range shards {
+		sh.powers = make([]float64, rounds*sh.lanes)
+	}
+	weights := tb.Weights()
+	result := func(converged bool) Result {
+		var hidden, sampled uint64
+		for _, sh := range shards {
+			hidden += sh.ps.HiddenCycles
+			sampled += sh.ps.SampledCycles
+		}
+		return Result{
+			Power:         crit.Estimate(),
+			Interval:      interval,
+			SampleSize:    crit.N(),
+			HalfWidth:     crit.HalfWidth(),
+			HiddenCycles:  hidden,
+			SampledCycles: sampled,
+			Criterion:     crit.Name(),
+			Converged:     converged,
+		}
+	}
+	for !crit.Done() {
+		// Run as many whole rounds as the sample budget allows (one round
+		// is the reps-sample granularity of the parallel scheme); give up
+		// unconverged only when not even one more round fits.
+		n := rounds
+		if remaining := (opts.MaxSamples - crit.N()) / reps; n > remaining {
+			n = remaining
+		}
+		if n < 1 {
+			return result(false)
+		}
+		runShards(shards, workers, func(sh *shard) {
+			for t := 0; t < n; t++ {
+				sh.ps.StepHiddenN(interval)
+				sh.ps.StepSampled(sh.ed, weights, sh.powers[t*sh.lanes:(t+1)*sh.lanes])
+			}
+		})
+		for t := 0; t < n; t++ {
+			for _, sh := range shards {
+				for _, p := range sh.powers[t*sh.lanes : (t+1)*sh.lanes] {
+					crit.Add(p)
+				}
+			}
+		}
+	}
+	return result(true)
+}
+
+// runShards applies fn to every shard with at most `workers` goroutines
+// in flight, and waits for all of them.
+func runShards(shards []*shard, workers int, fn func(*shard)) {
+	if workers <= 1 || len(shards) == 1 {
+		for _, sh := range shards {
+			fn(sh)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(sh *shard) {
+			defer wg.Done()
+			fn(sh)
+			<-sem
+		}(sh)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/stopping"
+	"repro/internal/vectors"
+)
+
+// TestEstimateParallelDeterministic: the same seeds give the same result,
+// bit for bit, regardless of the worker count — the fixed lane→seed
+// mapping plus ordered merge make scheduling invisible.
+func TestEstimateParallelDeterministic(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+	opts.Replications = 16
+	var ref Result
+	for i, workers := range []int{1, 2, 7} {
+		opts.Workers = workers
+		res, err := EstimateParallel(tb, factory, 42, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Power != ref.Power || res.SampleSize != ref.SampleSize ||
+			res.Interval != ref.Interval || res.HalfWidth != ref.HalfWidth {
+			t.Fatalf("workers=%d: result %v differs from workers=1 result %v", workers, res, ref)
+		}
+	}
+	if ref.Power <= 0 {
+		t.Fatalf("power = %g, want > 0", ref.Power)
+	}
+	if !ref.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+// TestEstimateParallelMatchesSerial: the parallel estimate agrees with
+// the serial estimate within the accuracy specification (both converged
+// to 5% at 0.99, so they must be within ~2x the relative error of each
+// other with huge probability).
+func TestEstimateParallelMatchesSerial(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+
+	serial, err := Estimate(tb.NewSession(factory(7)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Replications = 64
+	par, err := EstimateParallel(tb, factory, 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Converged {
+		t.Fatal("parallel run did not converge")
+	}
+	rel := math.Abs(par.Power-serial.Power) / serial.Power
+	if rel > 3*opts.Spec.RelErr {
+		t.Fatalf("parallel %g W vs serial %g W: relative gap %.1f%% too large",
+			par.Power, serial.Power, 100*rel)
+	}
+	if par.SampleSize < opts.SeqLen {
+		t.Fatalf("sample size %d below the reused test sequence length", par.SampleSize)
+	}
+}
+
+// TestEstimateParallelReplicationSharding: replication counts that do
+// not divide evenly across workers or exceed one word still work and
+// stay deterministic.
+func TestEstimateParallelReplicationSharding(t *testing.T) {
+	c := bench89.MustGet("s27")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	for _, reps := range []int{1, 3, 64, 130} {
+		opts := DefaultOptions()
+		opts.Replications = reps
+		opts.Workers = 3
+		a, err := EstimateParallel(tb, factory, 11, opts)
+		if err != nil {
+			t.Fatalf("reps=%d: %v", reps, err)
+		}
+		opts.Workers = 5
+		b, err := EstimateParallel(tb, factory, 11, opts)
+		if err != nil {
+			t.Fatalf("reps=%d: %v", reps, err)
+		}
+		if a.Power != b.Power || a.SampleSize != b.SampleSize {
+			t.Fatalf("reps=%d: results differ across worker counts: %v vs %v", reps, a, b)
+		}
+	}
+}
+
+// TestEstimateParallelWithInterval: the fixed-interval parallel variant
+// runs and converges on a small circuit.
+func TestEstimateParallelWithInterval(t *testing.T) {
+	c := bench89.MustGet("s27")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+	opts.Replications = 8
+	res, err := EstimateParallelWithInterval(tb, factory, 3, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval != 2 {
+		t.Fatalf("interval = %d, want 2", res.Interval)
+	}
+	if res.Power <= 0 || !res.Converged {
+		t.Fatalf("bad result: %v", res)
+	}
+	if _, err := EstimateParallelWithInterval(tb, factory, 3, opts, -1); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+// TestEstimateParallelMaxSamples: the sample budget is honored at
+// round granularity — an unconverged run still collects every whole
+// round that fits under MaxSamples instead of aborting a block early.
+func TestEstimateParallelMaxSamples(t *testing.T) {
+	c := bench89.MustGet("s27")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+	opts.Replications = 64
+	opts.Spec = stopping.Spec{RelErr: 0.0005, Confidence: 0.999} // unreachable
+	opts.MaxSamples = 500
+	res, err := EstimateParallelWithInterval(tb, factory, 1, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("converged at an unreachable spec")
+	}
+	want := (opts.MaxSamples / opts.Replications) * opts.Replications // 448
+	if res.SampleSize != want {
+		t.Fatalf("sample size %d, want %d (every whole round under the budget)", res.SampleSize, want)
+	}
+}
+
+// TestEstimateParallelValidate: negative knobs are rejected.
+func TestEstimateParallelValidate(t *testing.T) {
+	c := bench89.MustGet("s27")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+	opts.Replications = -1
+	if _, err := EstimateParallel(tb, factory, 1, opts); err == nil {
+		t.Fatal("negative Replications accepted")
+	}
+	opts = DefaultOptions()
+	opts.Workers = -2
+	if _, err := EstimateParallel(tb, factory, 1, opts); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}

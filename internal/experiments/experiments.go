@@ -50,6 +50,14 @@ type Config struct {
 	// Results are independent of the parallelism level: runs are seeded
 	// individually and aggregated in run order.
 	Parallel int
+	// Replications switches Table1 to the bit-parallel multi-replication
+	// estimator (core.EstimateParallel) with this many concurrent
+	// replication sequences. 0 keeps the serial single-sequence
+	// estimator.
+	Replications int
+	// Workers bounds the estimator's goroutine pool when Replications is
+	// set (0 = GOMAXPROCS). The results do not depend on it.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -150,7 +158,15 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		ref := cfg.reference(tb, width, seed)
 
 		start := time.Now()
-		res, err := core.Estimate(tb.NewSession(cfg.factory(width)(seed+1)), cfg.Opts)
+		var res core.Result
+		if cfg.Replications > 0 {
+			opts := cfg.Opts
+			opts.Replications = cfg.Replications
+			opts.Workers = cfg.Workers
+			res, err = core.EstimateParallel(tb, cfg.factory(width), seed+1, opts)
+		} else {
+			res, err = core.Estimate(tb.NewSession(cfg.factory(width)(seed+1)), cfg.Opts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", name, err)
 		}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vectors"
+)
+
+// PackedBenchRow compares hidden-cycle (zero-delay) throughput of the
+// scalar and the bit-parallel 64-lane simulator on one circuit. Cycles
+// per second count per-replication clock cycles, so the packed figure
+// already includes the lane fan-out.
+type PackedBenchRow struct {
+	Name          string  `json:"circuit"`
+	Gates         int     `json:"gates"`
+	Lanes         int     `json:"lanes"`
+	ScalarCPS     float64 `json:"scalar_cycles_per_sec"`
+	PackedCPS     float64 `json:"packed_cycles_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	ScalarCycles  int     `json:"scalar_cycles_measured"`
+	PackedCycles  int     `json:"packed_cycles_measured"`
+	ElapsedScalar float64 `json:"scalar_seconds"`
+	ElapsedPacked float64 `json:"packed_seconds"`
+}
+
+// PackedThroughput measures scalar-vs-packed hidden-cycle throughput for
+// the given circuits. cycles is the per-replication cycle budget for the
+// scalar run; the packed run advances the same number of wall-clock
+// sweeps so both sides do comparable amounts of timed work. lanes is the
+// packed session width (usually sim.MaxLanes).
+func PackedThroughput(circuits []string, cycles, lanes int, seed int64) ([]PackedBenchRow, error) {
+	if cycles < 1 || lanes < 1 || lanes > sim.MaxLanes {
+		return nil, fmt.Errorf("experiments: bad packed bench config (cycles=%d lanes=%d)", cycles, lanes)
+	}
+	rows := make([]PackedBenchRow, 0, len(circuits))
+	for _, name := range circuits {
+		c, err := bench89.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tb := core.DefaultTestbench(c)
+		width := len(c.Inputs)
+
+		scalar := tb.NewSession(vectors.NewIID(width, 0.5, seed))
+		scalar.StepHiddenN(64) // touch everything once before timing
+		t0 := time.Now()
+		scalar.StepHiddenN(cycles)
+		scalarSec := time.Since(t0).Seconds()
+
+		srcs := make([]vectors.Source, lanes)
+		for k := range srcs {
+			srcs[k] = vectors.NewIID(width, 0.5, seed+1+int64(k))
+		}
+		ps := sim.NewPackedSession(c, srcs)
+		ps.StepHiddenN(64)
+		t0 = time.Now()
+		ps.StepHiddenN(cycles)
+		packedSec := time.Since(t0).Seconds()
+
+		row := PackedBenchRow{
+			Name:          name,
+			Gates:         c.NumGates(),
+			Lanes:         lanes,
+			ScalarCycles:  cycles,
+			PackedCycles:  cycles * lanes,
+			ElapsedScalar: scalarSec,
+			ElapsedPacked: packedSec,
+		}
+		if scalarSec > 0 {
+			row.ScalarCPS = float64(cycles) / scalarSec
+		}
+		if packedSec > 0 {
+			row.PackedCPS = float64(cycles*lanes) / packedSec
+		}
+		if row.ScalarCPS > 0 {
+			row.Speedup = row.PackedCPS / row.ScalarCPS
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PackedBenchReport is the JSON document emitted for regression tracking
+// (BENCH_1.json): the machine context plus one row per circuit.
+type PackedBenchReport struct {
+	Benchmark string           `json:"benchmark"`
+	GoVersion string           `json:"go_version"`
+	NumCPU    int              `json:"num_cpu"`
+	Rows      []PackedBenchRow `json:"rows"`
+}
+
+// PackedBenchJSON renders rows as an indented JSON report.
+func PackedBenchJSON(rows []PackedBenchRow) string {
+	rep := PackedBenchReport{
+		Benchmark: "packed-vs-scalar hidden cycles",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		// Marshal of a plain struct cannot fail; keep the API total anyway.
+		return "{}"
+	}
+	return string(b) + "\n"
+}
+
+// RenderPackedBench renders rows as an ASCII table.
+func RenderPackedBench(rows []PackedBenchRow) string {
+	s := fmt.Sprintf("%-8s %7s %6s %14s %14s %8s\n",
+		"circuit", "gates", "lanes", "scalar c/s", "packed c/s", "speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %7d %6d %14.3g %14.3g %7.1fx\n",
+			r.Name, r.Gates, r.Lanes, r.ScalarCPS, r.PackedCPS, r.Speedup)
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPackedThroughput(t *testing.T) {
+	rows, err := PackedThroughput([]string{"s27", "s298"}, 2_000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ScalarCPS <= 0 || r.PackedCPS <= 0 {
+			t.Errorf("%s: nonpositive throughput: %+v", r.Name, r)
+		}
+		if r.Lanes != 64 || r.PackedCycles != 64*r.ScalarCycles {
+			t.Errorf("%s: lane accounting wrong: %+v", r.Name, r)
+		}
+	}
+
+	var rep PackedBenchReport
+	if err := json.Unmarshal([]byte(PackedBenchJSON(rows)), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Name != "s27" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if !strings.Contains(RenderPackedBench(rows), "s298") {
+		t.Fatal("ASCII render missing circuit name")
+	}
+}
+
+func TestPackedThroughputErrors(t *testing.T) {
+	if _, err := PackedThroughput([]string{"s27"}, 0, 64, 1); err == nil {
+		t.Fatal("cycles=0 accepted")
+	}
+	if _, err := PackedThroughput([]string{"s27"}, 100, 65, 1); err == nil {
+		t.Fatal("lanes=65 accepted")
+	}
+	if _, err := PackedThroughput([]string{"sNOPE"}, 100, 64, 1); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+// TestTable1Parallel: Table1 over the bit-parallel estimator produces
+// sane rows (the serial path is covered by the existing tests).
+func TestTable1Parallel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Circuits = []string{"s27"}
+	cfg.RefCycles = func(int) int { return 5_000 }
+	cfg.Replications = 8
+	cfg.Workers = 2
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Estimate <= 0 {
+		t.Fatalf("bad rows: %+v", rows)
+	}
+	if rows[0].ErrPct > 25 {
+		t.Fatalf("parallel estimate off by %.1f%% from reference", rows[0].ErrPct)
+	}
+}

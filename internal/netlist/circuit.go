@@ -40,6 +40,7 @@ type Circuit struct {
 	byName map[string]NodeID
 	order  []NodeID // levelized combinational evaluation order
 	levels []int32  // per-node level (sources are 0)
+	csr    *CSR     // flattened view, built by Freeze
 	frozen bool
 }
 
@@ -149,6 +150,7 @@ func (c *Circuit) Freeze() error {
 	if err := c.levelize(); err != nil {
 		return err
 	}
+	c.buildCSR()
 	c.frozen = true
 	return nil
 }

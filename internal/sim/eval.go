@@ -1,28 +1,33 @@
-// Package sim provides the two gate-level simulators the estimation
+// Package sim provides the gate-level simulators the estimation
 // technique relies on (Section IV of the paper):
 //
 //   - a zero-delay levelized functional simulator, used to advance the
-//     circuit state cheaply through the independence interval, and
+//     circuit state cheaply through the independence interval,
+//   - a bit-parallel 64-lane variant of it (PackedZeroDelay), which
+//     advances 64 independent replications per machine word, and
 //   - an event-driven general-delay simulator with inertial gate delays,
 //     used on sampled cycles to observe every transition (including
 //     glitches) for the power computation of Eq. 1.
 //
-// Both simulators operate on the same dense value array, so a session can
-// interleave them cycle by cycle.
+// The scalar simulators operate on the same dense value array, so a
+// session can interleave them cycle by cycle; the packed simulator keeps
+// one uint64 word per node and can extract any single lane into the
+// scalar representation. All inner loops run over the circuit's frozen
+// CSR view (netlist.CSR): flat kind/level/fanin/fanout arrays instead of
+// per-Node slice chasing.
 package sim
 
 import (
 	"repro/internal/logic"
-	"repro/internal/netlist"
 )
 
-// evalNode computes the functional value of a combinational node from the
-// current value array. It is the single source of truth for gate
-// semantics in both simulators (the zero-delay sweep and event-driven
-// re-evaluation), guaranteeing they agree on settled values.
-func evalNode(vals []bool, nd *netlist.Node) bool {
-	fi := nd.Fanin
-	switch nd.Kind {
+// evalCSR computes the functional value of a combinational node from the
+// current value array, given its kind and flat CSR fanin list. It is the
+// single source of truth for gate semantics in the scalar simulators
+// (the zero-delay sweep and event-driven re-evaluation), guaranteeing
+// they agree on settled values. evalPacked is its 64-lane counterpart.
+func evalCSR(vals []bool, kind logic.Kind, fi []int32) bool {
+	switch kind {
 	case logic.Buf:
 		return vals[fi[0]]
 	case logic.Not:
@@ -72,5 +77,58 @@ func evalNode(vals []bool, nd *netlist.Node) bool {
 	case logic.Const1:
 		return true
 	}
-	panic("sim: evalNode on non-combinational node " + nd.Name)
+	panic("sim: evalCSR on non-combinational kind " + kind.String())
+}
+
+// evalPacked computes the 64-lane value word of a combinational node:
+// bit k of the result is the node's value in replication lane k. The
+// n-ary reductions are the bitwise analogues of evalCSR.
+func evalPacked(vals []uint64, kind logic.Kind, fi []int32) uint64 {
+	switch kind {
+	case logic.Buf:
+		return vals[fi[0]]
+	case logic.Not:
+		return ^vals[fi[0]]
+	case logic.And:
+		v := ^uint64(0)
+		for _, f := range fi {
+			v &= vals[f]
+		}
+		return v
+	case logic.Nand:
+		v := ^uint64(0)
+		for _, f := range fi {
+			v &= vals[f]
+		}
+		return ^v
+	case logic.Or:
+		v := uint64(0)
+		for _, f := range fi {
+			v |= vals[f]
+		}
+		return v
+	case logic.Nor:
+		v := uint64(0)
+		for _, f := range fi {
+			v |= vals[f]
+		}
+		return ^v
+	case logic.Xor:
+		v := uint64(0)
+		for _, f := range fi {
+			v ^= vals[f]
+		}
+		return v
+	case logic.Xnor:
+		v := uint64(0)
+		for _, f := range fi {
+			v ^= vals[f]
+		}
+		return ^v
+	case logic.Const0:
+		return 0
+	case logic.Const1:
+		return ^uint64(0)
+	}
+	panic("sim: evalPacked on non-combinational kind " + kind.String())
 }

@@ -19,10 +19,12 @@ import (
 // after the gate delay; a re-evaluation that returns the gate to its
 // current value cancels any pending change (pulse filtering). At most one
 // change per node is pending at any time.
+//
+// The fanout walk and gate re-evaluation run over the circuit's CSR view
+// (flat kind/level/fanin/fanout arrays).
 type EventDriven struct {
-	c      *netlist.Circuit
+	csr    *netlist.CSR
 	delays []delay.Picoseconds
-	levels []int32 // logic level per node, for same-time event ordering
 
 	heap []event
 
@@ -64,14 +66,9 @@ func NewEventDriven(c *netlist.Circuit, dt *delay.Table) *EventDriven {
 			len(dt.Delays), len(c.Nodes)))
 	}
 	n := len(c.Nodes)
-	levels := make([]int32, n)
-	for i := range levels {
-		levels[i] = int32(c.Level(netlist.NodeID(i)))
-	}
 	return &EventDriven{
-		c:             c,
+		csr:           c.CSR(),
 		delays:        dt.Delays,
-		levels:        levels,
 		heap:          make([]event, 0, 4*n),
 		pendingVal:    make([]bool, n),
 		pendingActive: make([]bool, n),
@@ -90,14 +87,18 @@ func NewEventDriven(c *netlist.Circuit, dt *delay.Table) *EventDriven {
 // transition at node i (it is not cleared first, so callers can
 // accumulate energy breakdowns over many cycles).
 func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64 {
-	c := e.c
+	r := e.csr
 	sum := 0.0
 	e.LastEvents = 0
 	e.LastSettleTime = 0
+	// The heap is always drained by the previous Cycle; reslice anyway so
+	// an aborted cycle can never leak stale events, while the backing
+	// array (pre-sized at construction) is reused across cycles.
+	e.heap = e.heap[:0]
 
 	// Apply simultaneous source changes at t=0: the clock edge updates
 	// latch outputs while the environment presents the next pattern.
-	for i, id := range c.Inputs {
+	for i, id := range r.Inputs {
 		if vals[id] != newPins[i] {
 			vals[id] = newPins[i]
 			sum += weights[id]
@@ -105,13 +106,13 @@ func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64
 				counts[id]++
 			}
 			if e.observer != nil {
-				e.observer(id, 0, vals[id])
+				e.observer(netlist.NodeID(id), 0, vals[id])
 			}
 			e.LastEvents++
 			e.fanoutEval(id, 0, vals)
 		}
 	}
-	for i, id := range c.Latches {
+	for i, id := range r.Latches {
 		if vals[id] != newQ[i] {
 			vals[id] = newQ[i]
 			sum += weights[id]
@@ -119,34 +120,55 @@ func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64
 				counts[id]++
 			}
 			if e.observer != nil {
-				e.observer(id, 0, vals[id])
+				e.observer(netlist.NodeID(id), 0, vals[id])
 			}
 			e.LastEvents++
 			e.fanoutEval(id, 0, vals)
 		}
 	}
 
-	// Propagate to quiescence.
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		id := ev.node
-		if !e.pendingActive[id] || e.pendingGen[id] != ev.gen {
-			continue // cancelled or superseded
+	// Propagate to quiescence. The commit loop is duplicated so the
+	// counts branch is taken once per cycle, not once per event; the
+	// counting variant only runs for energy-breakdown callers.
+	if counts == nil {
+		for len(e.heap) > 0 {
+			ev := e.pop()
+			id := ev.node
+			if !e.pendingActive[id] || e.pendingGen[id] != ev.gen {
+				continue // cancelled or superseded
+			}
+			e.pendingActive[id] = false
+			vals[id] = e.pendingVal[id]
+			sum += weights[id]
+			if e.observer != nil {
+				e.observer(id, ev.t, vals[id])
+			}
+			e.LastEvents++
+			if ev.t > e.LastSettleTime {
+				e.LastSettleTime = ev.t
+			}
+			e.fanoutEval(int32(id), ev.t, vals)
 		}
-		e.pendingActive[id] = false
-		vals[id] = e.pendingVal[id]
-		sum += weights[id]
-		if counts != nil {
+	} else {
+		for len(e.heap) > 0 {
+			ev := e.pop()
+			id := ev.node
+			if !e.pendingActive[id] || e.pendingGen[id] != ev.gen {
+				continue
+			}
+			e.pendingActive[id] = false
+			vals[id] = e.pendingVal[id]
+			sum += weights[id]
 			counts[id]++
+			if e.observer != nil {
+				e.observer(id, ev.t, vals[id])
+			}
+			e.LastEvents++
+			if ev.t > e.LastSettleTime {
+				e.LastSettleTime = ev.t
+			}
+			e.fanoutEval(int32(id), ev.t, vals)
 		}
-		if e.observer != nil {
-			e.observer(id, ev.t, vals[id])
-		}
-		e.LastEvents++
-		if ev.t > e.LastSettleTime {
-			e.LastSettleTime = ev.t
-		}
-		e.fanoutEval(id, ev.t, vals)
 	}
 	return sum
 }
@@ -159,14 +181,12 @@ func (e *EventDriven) SetObserver(fn func(id netlist.NodeID, t delay.Picoseconds
 }
 
 // fanoutEval re-evaluates every combinational gate driven by id at time t.
-func (e *EventDriven) fanoutEval(id netlist.NodeID, t delay.Picoseconds, vals []bool) {
-	c := e.c
-	for _, g := range c.Nodes[id].Fanout {
-		nd := &c.Nodes[g]
-		if !nd.Kind.IsCombinational() {
-			continue // DFF D pins are captured at the next clock edge
-		}
-		newv := evalNode(vals, nd)
+// It walks the CSR gate-fanout row of the node (non-combinational sinks —
+// DFF D pins — are excluded at Freeze time).
+func (e *EventDriven) fanoutEval(id int32, t delay.Picoseconds, vals []bool) {
+	r := e.csr
+	for _, g := range r.GateFanoutList[r.GateFanoutIdx[id]:r.GateFanoutIdx[id+1]] {
+		newv := evalCSR(vals, r.Kind[g], r.FaninList[r.FaninIdx[g]:r.FaninIdx[g+1]])
 		if e.pendingActive[g] {
 			if e.pendingVal[g] == newv {
 				continue // already scheduled to the right value
@@ -181,7 +201,8 @@ func (e *EventDriven) fanoutEval(id netlist.NodeID, t delay.Picoseconds, vals []
 		e.pendingVal[g] = newv
 		e.pendingActive[g] = true
 		e.pendingGen[g]++
-		e.push(event{t: t + e.delays[g], level: e.levels[g], seq: e.seq, node: g, gen: e.pendingGen[g]})
+		e.push(event{t: t + e.delays[g], level: r.Level[g], seq: e.seq,
+			node: netlist.NodeID(g), gen: e.pendingGen[g]})
 		e.seq++
 	}
 }

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// MaxLanes is the number of independent replications a packed simulator
+// advances concurrently: one per bit of a machine word.
+const MaxLanes = 64
+
+// PackedZeroDelay is the bit-parallel counterpart of ZeroDelay: every
+// node value is a 64-bit word whose bit k holds the node's value in
+// replication lane k, so one levelized sweep settles 64 independent
+// copies of the circuit at once. Gate evaluation is pure bitwise logic
+// (AND/OR/XOR/NOT and their n-ary reductions over the CSR fanin rows),
+// which is the software analogue of evaluating many patterns per gate
+// concurrently in hardware-accelerated power estimation.
+type PackedZeroDelay struct {
+	csr *netlist.CSR
+}
+
+// NewPackedZeroDelay builds a packed zero-delay simulator for a frozen
+// circuit.
+func NewPackedZeroDelay(c *netlist.Circuit) *PackedZeroDelay {
+	if !c.Frozen() {
+		panic("sim: NewPackedZeroDelay requires a frozen circuit")
+	}
+	return &PackedZeroDelay{csr: c.CSR()}
+}
+
+// Settle writes the steady-state value word of every node into vals,
+// given the packed primary-input patterns pins (one word per input,
+// aligned with c.Inputs) and packed latch outputs q (one word per latch,
+// aligned with c.Latches). len(vals) must be c.NumNodes(). Lane k of the
+// result is exactly what scalar ZeroDelay.Settle would produce for lane
+// k's (pins, q).
+func (z *PackedZeroDelay) Settle(vals []uint64, pins, q []uint64) {
+	r := z.csr
+	if len(vals) != r.NumNodes() {
+		panic(fmt.Sprintf("sim: packed Settle vals length %d, want %d", len(vals), r.NumNodes()))
+	}
+	for i, id := range r.Inputs {
+		vals[id] = pins[i]
+	}
+	for i, id := range r.Latches {
+		vals[id] = q[i]
+	}
+	for _, id := range r.Const0s {
+		vals[id] = 0
+	}
+	for _, id := range r.Const1s {
+		vals[id] = ^uint64(0)
+	}
+	faninIdx, faninList, kinds := r.FaninIdx, r.FaninList, r.Kind
+	for _, id := range r.Order {
+		vals[id] = evalPacked(vals, kinds[id], faninList[faninIdx[id]:faninIdx[id+1]])
+	}
+}
+
+// NextState reads the packed next latch state out of a settled value
+// array into nextQ: the value word at each DFF's D pin.
+func (z *PackedZeroDelay) NextState(vals []uint64, nextQ []uint64) {
+	for i, d := range z.csr.LatchD {
+		nextQ[i] = vals[d]
+	}
+}
+
+// Outputs reads the packed primary-output values out of a settled value
+// array.
+func (z *PackedZeroDelay) Outputs(vals []uint64, out []uint64) {
+	for i, id := range z.csr.Outputs {
+		out[i] = vals[id]
+	}
+}
+
+// PackedSession drives up to 64 independent replications of a sequential
+// circuit through clock cycles in lock-step, one replication per word
+// lane. Each lane has its own input source (fixed lane→source mapping,
+// so results are reproducible and lane k is bit-for-bit identical to a
+// scalar Session over the same source). Hidden cycles advance all lanes
+// with one packed sweep; sampled cycles hand each lane to a scalar
+// event-driven simulator for transition accounting, then re-settle the
+// packed state.
+//
+// The class invariant mirrors Session's: vals always holds the packed
+// settled node values for the current (pins, q) pair.
+type PackedSession struct {
+	c     *netlist.Circuit
+	pz    *PackedZeroDelay
+	srcs  []vectors.Source
+	lanes int
+
+	vals  []uint64 // one word per node
+	pins  []uint64 // one word per input
+	q     []uint64 // one word per latch
+	nextQ []uint64
+	buf   []uint64 // next packed pattern under construction
+
+	laneBuf []bool // one lane's pattern, as drawn from its source
+
+	// scratch for sampled cycles: one lane in scalar representation.
+	svals []bool
+	spins []bool
+	sq    []bool
+
+	// HiddenCycles and SampledCycles count per-replication cycles (one
+	// StepHidden over L lanes adds L), so they are directly comparable
+	// with the scalar Session's cost counters.
+	HiddenCycles  uint64
+	SampledCycles uint64
+}
+
+// NewPackedSession builds a packed session over 1..64 per-lane sources.
+// Each source must have width len(c.Inputs). Every lane starts in the
+// all-zero latch state with an all-zero input pattern, settled — the
+// same reset state as a scalar Session.
+func NewPackedSession(c *netlist.Circuit, srcs []vectors.Source) *PackedSession {
+	if len(srcs) == 0 || len(srcs) > MaxLanes {
+		panic(fmt.Sprintf("sim: NewPackedSession needs 1..%d sources, got %d", MaxLanes, len(srcs)))
+	}
+	for k, src := range srcs {
+		if src.Width() != len(c.Inputs) {
+			panic(fmt.Sprintf("sim: lane %d source width %d, circuit has %d inputs",
+				k, src.Width(), len(c.Inputs)))
+		}
+	}
+	s := &PackedSession{
+		c:       c,
+		pz:      NewPackedZeroDelay(c),
+		srcs:    append([]vectors.Source(nil), srcs...),
+		lanes:   len(srcs),
+		vals:    make([]uint64, c.NumNodes()),
+		pins:    make([]uint64, len(c.Inputs)),
+		q:       make([]uint64, len(c.Latches)),
+		nextQ:   make([]uint64, len(c.Latches)),
+		buf:     make([]uint64, len(c.Inputs)),
+		laneBuf: make([]bool, len(c.Inputs)),
+		svals:   make([]bool, c.NumNodes()),
+		spins:   make([]bool, len(c.Inputs)),
+		sq:      make([]bool, len(c.Latches)),
+	}
+	s.pz.Settle(s.vals, s.pins, s.q)
+	return s
+}
+
+// Circuit returns the simulated circuit.
+func (s *PackedSession) Circuit() *netlist.Circuit { return s.c }
+
+// Lanes returns the number of active replication lanes.
+func (s *PackedSession) Lanes() int { return s.lanes }
+
+// ResetCounters zeroes the cycle-cost counters.
+func (s *PackedSession) ResetCounters() {
+	s.HiddenCycles = 0
+	s.SampledCycles = 0
+}
+
+// advance computes the packed next latch state from the current settled
+// values and draws every lane's next input pattern into buf.
+func (s *PackedSession) advance() {
+	s.pz.NextState(s.vals, s.nextQ)
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+	for k := 0; k < s.lanes; k++ {
+		s.srcs[k].Next(s.laneBuf)
+		bit := uint64(1) << uint(k)
+		for i, v := range s.laneBuf {
+			if v {
+				s.buf[i] |= bit
+			}
+		}
+	}
+}
+
+// StepHidden advances every lane one clock cycle with the packed
+// zero-delay simulator. No transitions are counted.
+func (s *PackedSession) StepHidden() {
+	s.advance()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.pz.Settle(s.vals, s.pins, s.q)
+	s.HiddenCycles += uint64(s.lanes)
+}
+
+// StepHiddenN advances n cycles with StepHidden.
+func (s *PackedSession) StepHiddenN(n int) {
+	for i := 0; i < n; i++ {
+		s.StepHidden()
+	}
+}
+
+// StepSampled advances every lane one clock cycle, observing each lane's
+// transitions with the scalar event-driven simulator ed (which must be
+// built for the same circuit). powers[k] receives lane k's weighted
+// transition sum (len(powers) >= Lanes()). The packed state is advanced
+// by a zero-delay settle — event-driven and zero-delay simulation agree
+// on settled values, so lane equivalence with scalar sessions is exact.
+func (s *PackedSession) StepSampled(ed *EventDriven, weights []float64, powers []float64) {
+	if len(powers) < s.lanes {
+		panic(fmt.Sprintf("sim: packed StepSampled powers length %d, want >= %d", len(powers), s.lanes))
+	}
+	s.advance()
+	for k := 0; k < s.lanes; k++ {
+		extractWord(k, s.svals, s.vals)
+		extractWord(k, s.spins, s.buf)
+		extractWord(k, s.sq, s.nextQ)
+		powers[k] = ed.Cycle(s.svals, s.spins, s.sq, weights, nil)
+	}
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.pz.Settle(s.vals, s.pins, s.q)
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// ExtractLane copies lane k's settled state into scalar arrays: node
+// values (len NumNodes), input pattern (len #inputs) and latch state
+// (len #latches). Any destination may be nil to skip it. This is the
+// bridge that hands a single replication to scalar simulators.
+func (s *PackedSession) ExtractLane(k int, vals, pins, q []bool) {
+	if k < 0 || k >= s.lanes {
+		panic(fmt.Sprintf("sim: ExtractLane %d of %d", k, s.lanes))
+	}
+	if vals != nil {
+		extractWord(k, vals, s.vals)
+	}
+	if pins != nil {
+		extractWord(k, pins, s.pins)
+	}
+	if q != nil {
+		extractWord(k, q, s.q)
+	}
+}
+
+// extractWord unpacks bit k of every word in src into dst.
+func extractWord(k int, dst []bool, src []uint64) {
+	bit := uint64(1) << uint(k)
+	for i, w := range src {
+		dst[i] = w&bit != 0
+	}
+}

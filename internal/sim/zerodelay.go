@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/logic"
 	"repro/internal/netlist"
 )
 
@@ -13,9 +12,11 @@ import (
 // accounting — it exists to advance the FSM through the cycles of the
 // independence interval at minimal cost ("zero-delay simulation of the
 // next-state logic", Section IV).
+//
+// The sweep runs entirely over the circuit's CSR view: flat kind and
+// fanin arrays, no per-Node pointer chasing.
 type ZeroDelay struct {
-	c     *netlist.Circuit
-	order []netlist.NodeID
+	csr *netlist.CSR
 }
 
 // NewZeroDelay builds a zero-delay simulator for a frozen circuit.
@@ -23,47 +24,46 @@ func NewZeroDelay(c *netlist.Circuit) *ZeroDelay {
 	if !c.Frozen() {
 		panic("sim: NewZeroDelay requires a frozen circuit")
 	}
-	return &ZeroDelay{c: c, order: c.Order()}
+	return &ZeroDelay{csr: c.CSR()}
 }
 
 // Settle writes the steady-state value of every node into vals, given the
 // primary-input pattern pins (aligned with c.Inputs) and latch outputs q
 // (aligned with c.Latches). len(vals) must be c.NumNodes().
 func (z *ZeroDelay) Settle(vals []bool, pins, q []bool) {
-	c := z.c
-	if len(vals) != len(c.Nodes) {
-		panic(fmt.Sprintf("sim: Settle vals length %d, want %d", len(vals), len(c.Nodes)))
+	r := z.csr
+	if len(vals) != r.NumNodes() {
+		panic(fmt.Sprintf("sim: Settle vals length %d, want %d", len(vals), r.NumNodes()))
 	}
-	for i, id := range c.Inputs {
+	for i, id := range r.Inputs {
 		vals[id] = pins[i]
 	}
-	for i, id := range c.Latches {
+	for i, id := range r.Latches {
 		vals[id] = q[i]
 	}
-	for i := range c.Nodes {
-		switch c.Nodes[i].Kind {
-		case logic.Const0:
-			vals[i] = false
-		case logic.Const1:
-			vals[i] = true
-		}
+	for _, id := range r.Const0s {
+		vals[id] = false
 	}
-	for _, id := range z.order {
-		vals[id] = evalNode(vals, &c.Nodes[id])
+	for _, id := range r.Const1s {
+		vals[id] = true
+	}
+	faninIdx, faninList, kinds := r.FaninIdx, r.FaninList, r.Kind
+	for _, id := range r.Order {
+		vals[id] = evalCSR(vals, kinds[id], faninList[faninIdx[id]:faninIdx[id+1]])
 	}
 }
 
 // NextState reads the next latch state out of a settled value array into
 // nextQ (aligned with c.Latches): the value at each DFF's D pin.
 func (z *ZeroDelay) NextState(vals []bool, nextQ []bool) {
-	for i, id := range z.c.Latches {
-		nextQ[i] = vals[z.c.Nodes[id].Fanin[0]]
+	for i, d := range z.csr.LatchD {
+		nextQ[i] = vals[d]
 	}
 }
 
 // Outputs reads the primary-output values out of a settled value array.
 func (z *ZeroDelay) Outputs(vals []bool, out []bool) {
-	for i, id := range z.c.Outputs {
+	for i, id := range z.csr.Outputs {
 		out[i] = vals[id]
 	}
 }
