@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,30 +26,44 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dipe-experiments:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable body of the command: it parses args, runs the
+// selected campaigns, and writes reports to stdout (progress to
+// stderr).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dipe-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table1   = flag.Bool("table1", false, "regenerate Table 1")
-		table2   = flag.Bool("table2", false, "regenerate Table 2")
-		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
-		ablation = flag.String("ablation", "", "run one ablation: seqlen | alpha | stopping | warmup | inputs")
-		all      = flag.Bool("all", false, "run every table, figure and ablation")
-		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all 24)")
-		small    = flag.Bool("small", false, "restrict to circuits with < 700 gates")
-		runs     = flag.Int("runs", 100, "runs per circuit for Table 2 / ablations (paper: 1000)")
-		parallel = flag.Int("parallel", 0, "concurrent estimation runs in Table 2 (0 = serial)")
-		reps     = flag.Int("replications", 0, "Table 1: bit-parallel replications (0 = serial estimator)")
-		workers  = flag.Int("workers", 0, "goroutine pool for -replications (0 = GOMAXPROCS)")
-		packed   = flag.Bool("packed", false, "run the packed-vs-scalar hidden-cycle throughput benchmark")
-		packedN  = flag.Int("packed-cycles", 200_000, "scalar cycle budget for -packed")
-		packedJS = flag.String("packed-json", "", "write the -packed report as JSON to this file")
-		paper    = flag.Bool("paper", false, "use the paper's 1e6-cycle references")
-		seed     = flag.Int64("seed", 1997, "base seed for the whole campaign")
-		fig3Len  = flag.Int("fig3-len", 10000, "Figure 3 sequence length")
-		fig3Max  = flag.Int("fig3-max", 30, "Figure 3 maximum trial interval")
-		fig3Circ = flag.String("fig3-circuit", "s1494", "Figure 3 circuit")
-		csv      = flag.Bool("csv", false, "emit Figure 3 as CSV instead of ASCII")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
+		table1   = fs.Bool("table1", false, "regenerate Table 1")
+		table2   = fs.Bool("table2", false, "regenerate Table 2")
+		fig3     = fs.Bool("fig3", false, "regenerate Figure 3")
+		ablation = fs.String("ablation", "", "run one ablation: seqlen | alpha | stopping | warmup | inputs")
+		all      = fs.Bool("all", false, "run every table, figure and ablation")
+		circuits = fs.String("circuits", "", "comma-separated circuit subset (default: all 24)")
+		small    = fs.Bool("small", false, "restrict to circuits with < 700 gates")
+		runs     = fs.Int("runs", 100, "runs per circuit for Table 2 / ablations (paper: 1000)")
+		parallel = fs.Int("parallel", 0, "concurrent estimation runs in Table 2 (0 = serial)")
+		reps     = fs.Int("replications", 0, "Table 1: bit-parallel replications (0 = serial estimator)")
+		workers  = fs.Int("workers", 0, "goroutine pool for -replications (0 = GOMAXPROCS)")
+		packed   = fs.Bool("packed", false, "run the packed-vs-scalar hidden-cycle throughput benchmark")
+		packedN  = fs.Int("packed-cycles", 200_000, "scalar cycle budget for -packed")
+		packedJS = fs.String("packed-json", "", "write the -packed report as JSON to this file")
+		paper    = fs.Bool("paper", false, "use the paper's 1e6-cycle references")
+		seed     = fs.Int64("seed", 1997, "base seed for the whole campaign")
+		fig3Len  = fs.Int("fig3-len", 10000, "Figure 3 sequence length")
+		fig3Max  = fs.Int("fig3-max", 30, "Figure 3 maximum trial interval")
+		fig3Circ = fs.String("fig3-circuit", "s1494", "Figure 3 circuit")
+		csv      = fs.Bool("csv", false, "emit Figure 3 as CSV instead of ASCII")
+		quiet    = fs.Bool("q", false, "suppress progress logging")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = *runs
@@ -57,7 +72,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.BaseSeed = *seed
 	if !*quiet {
-		cfg.Log = os.Stderr
+		cfg.Log = stderr
 	}
 	if *paper {
 		cfg.RefCycles = experiments.PaperRefCycles
@@ -70,13 +85,8 @@ func main() {
 	}
 
 	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed {
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "dipe-experiments:", err)
-		os.Exit(1)
+		fs.Usage()
+		return fmt.Errorf("no campaign selected")
 	}
 
 	if *packed {
@@ -87,78 +97,78 @@ func main() {
 		}
 		rows, err := experiments.PackedThroughput(set, *packedN, 64, cfg.BaseSeed)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.RenderPackedBench(rows))
+		fmt.Fprint(stdout, experiments.RenderPackedBench(rows))
 		if *packedJS != "" {
 			if err := os.WriteFile(*packedJS, []byte(experiments.PackedBenchJSON(rows)), 0o644); err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Printf("wrote %s\n", *packedJS)
+			fmt.Fprintf(stdout, "wrote %s\n", *packedJS)
 		}
 	}
 
 	if *table1 || *all {
 		rows, err := experiments.Table1(cfg)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(experiments.RenderTable1(rows))
+		fmt.Fprintln(stdout, experiments.RenderTable1(rows))
 	}
 	if *table2 || *all {
 		rows, err := experiments.Table2(cfg)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(experiments.RenderTable2(rows))
+		fmt.Fprintln(stdout, experiments.RenderTable2(rows))
 	}
 	if *fig3 || *all {
 		pts, err := experiments.Figure3(cfg, *fig3Circ, *fig3Len, *fig3Max)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if *csv {
-			fmt.Print(experiments.Figure3CSV(pts))
+			fmt.Fprint(stdout, experiments.Figure3CSV(pts))
 		} else {
 			c := stats.NormalQuantile(1 - cfg.Opts.Alpha/2)
-			fmt.Println(experiments.RenderFigure3(pts, c))
+			fmt.Fprintln(stdout, experiments.RenderFigure3(pts, c))
 		}
 	}
 
-	runAblation := func(which string) {
+	runAblation := func(which string) error {
 		// Ablations run on one representative circuit each; s298 is small
 		// and strongly correlated, s27 is the fast smoke case.
 		switch which {
 		case "seqlen":
 			rows, err := experiments.AblationSeqLen(cfg, "s298", []int{80, 160, 320, 640, 1280})
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderSeqLen(rows))
+			fmt.Fprintln(stdout, experiments.RenderSeqLen(rows))
 		case "alpha":
 			rows, err := experiments.AblationAlpha(cfg, "s298", []float64{0.05, 0.10, 0.20, 0.30, 0.50})
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderAlpha(rows))
+			fmt.Fprintln(stdout, experiments.RenderAlpha(rows))
 		case "stopping":
 			rows, err := experiments.AblationStopping(cfg, "s298")
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderStopping(rows))
+			fmt.Fprintln(stdout, experiments.RenderStopping(rows))
 		case "warmup":
 			rows, err := experiments.AblationWarmup(cfg, "s298", []int{10, 50, 100})
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderWarmup(rows))
+			fmt.Fprintln(stdout, experiments.RenderWarmup(rows))
 		case "inputs":
 			rows, err := experiments.AblationInputs(cfg, "s298", []float64{0, 0.5, 0.9})
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderInputs(rows))
+			fmt.Fprintln(stdout, experiments.RenderInputs(rows))
 		case "delay":
 			dcfg := cfg
 			if len(dcfg.Circuits) > 8 {
@@ -166,13 +176,13 @@ func main() {
 			}
 			rows, err := experiments.AblationDelayModels(dcfg)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderDelayModels(rows))
+			fmt.Fprintln(stdout, experiments.RenderDelayModels(rows))
 		case "calibration":
 			rows := experiments.CalibrationRunsTest(cfg, cfg.Opts.Test, cfg.Opts.SeqLen, 2000,
 				[]float64{0.05, 0.10, 0.20, 0.30, 0.50})
-			fmt.Println(experiments.RenderCalibration(rows))
+			fmt.Fprintln(stdout, experiments.RenderCalibration(rows))
 		case "proba":
 			pcfg := cfg
 			if len(pcfg.Circuits) > 12 {
@@ -180,19 +190,25 @@ func main() {
 			}
 			rows, err := experiments.ProbabilisticBaseline(pcfg)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Println(experiments.RenderProba(rows))
+			fmt.Fprintln(stdout, experiments.RenderProba(rows))
 		default:
-			fail(fmt.Errorf("unknown ablation %q (seqlen|alpha|stopping|warmup|inputs|delay|calibration|proba)", which))
+			return fmt.Errorf("unknown ablation %q (seqlen|alpha|stopping|warmup|inputs|delay|calibration|proba)", which)
 		}
+		return nil
 	}
 	if *ablation != "" {
-		runAblation(*ablation)
+		if err := runAblation(*ablation); err != nil {
+			return err
+		}
 	}
 	if *all {
 		for _, a := range []string{"seqlen", "alpha", "stopping", "warmup", "inputs", "delay", "calibration", "proba"} {
-			runAblation(a)
+			if err := runAblation(a); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

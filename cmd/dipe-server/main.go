@@ -1,0 +1,111 @@
+// Command dipe-server is the long-running power-estimation service: an
+// HTTP/JSON front end over the DIPE estimator with a frozen-circuit
+// LRU cache, an asynchronous bounded job pool, and batch fan-out.
+//
+//	dipe-server                          # listen on :8415
+//	dipe-server -addr :9000 -workers 4   # bigger pool
+//	dipe-server -cache 32 -queue 256     # more cached circuits / queue depth
+//
+// Endpoints (see internal/service for the full API):
+//
+//	curl -s localhost:8415/healthz
+//	curl -s -X POST localhost:8415/v1/jobs -d '{"circuit":"s298","seed":1}'
+//	curl -s localhost:8415/v1/jobs/job-000001
+//	curl -s localhost:8415/v1/jobs/job-000001/wait
+//	curl -s -X POST localhost:8415/v1/batch -d '{"jobs":[{"circuit":"s298","seed":1},{"circuit":"s832","seed":2}]}'
+//	curl -s localhost:8415/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dipe-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, serves until the stop channel (or SIGINT/SIGTERM
+// when stop is nil) fires, and reports the bound address on ready when
+// non-nil — the test harness uses ready/stop to drive a real listener
+// on a kernel-assigned port.
+func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("dipe-server", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8415", "listen address")
+		cache   = fs.Int("cache", 0, "frozen-circuit LRU capacity (0 = default)")
+		workers = fs.Int("workers", 0, "concurrent estimation jobs (0 = default)")
+		queue   = fs.Int("queue", 0, "pending-job queue bound (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		CacheSize: *cache,
+		Workers:   *workers,
+		QueueSize: *queue,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(out, "dipe-server listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	if stop == nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		select {
+		case err := <-errc:
+			return err
+		case <-sigc:
+		}
+	} else {
+		select {
+		case err := <-errc:
+			return err
+		case <-stop:
+		}
+	}
+
+	// Close the service first: it cancels every live job, which closes
+	// the per-job done channels that parked /v1/jobs/{id}/wait handlers
+	// block on. Otherwise a client long-polling a slow job would hold an
+	// in-flight request past the Shutdown deadline and turn every
+	// routine SIGTERM into a failed shutdown.
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "dipe-server stopped")
+	return nil
+}

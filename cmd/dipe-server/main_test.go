@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs the real binary entry point on a kernel-assigned
+// port and returns its base URL plus a shutdown func.
+func startServer(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &out, ready, stop)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			close(stop)
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("server did not shut down")
+			}
+		}
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+		return "", nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+		return "", nil
+	}
+}
+
+func TestServeEstimateRoundTrip(t *testing.T) {
+	base, shutdown := startServer(t, "-workers", "2", "-cache", "4")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	body := `{"circuit":"s27","seed":11,"options":{"replications":16,"workers":2}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit status = %d, id = %q", resp.StatusCode, submitted.ID)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + submitted.ID + "/wait?timeout=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final struct {
+		State  string `json:"state"`
+		Result *struct {
+			Power float64 `json:"power"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if final.State != "done" || final.Result == nil || final.Result.Power <= 0 {
+		t.Fatalf("final job = %+v", final)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, &out, nil, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -1,32 +1,7 @@
-// Package dipe is the public API of this repository: a from-scratch Go
-// reproduction of
-//
-//	L.-P. Yuan, C.-C. Teng, S.-M. Kang,
-//	"Statistical Estimation of Average Power Dissipation in Sequential
-//	Circuits", 34th Design Automation Conference (DAC), 1997.
-//
-// DIPE ("distribution-independent power estimation") estimates the
-// average power of a gate-level sequential circuit by Monte-Carlo
-// simulation. Because latch feedback makes consecutive-cycle power
-// temporally correlated, DIPE first determines an independence interval
-// with a randomness test (the ordinary runs test), samples power once
-// per interval with an event-driven general-delay simulator (cheap
-// zero-delay simulation in between), and stops when a
-// distribution-independent criterion certifies the requested accuracy.
-//
-// Quick start:
-//
-//	c, _ := dipe.Benchmark("s298")          // or dipe.LoadBench(path)
-//	tb := dipe.NewTestbench(c)
-//	src := dipe.NewIIDSource(len(c.Inputs), 0.5, 1)
-//	res, _ := dipe.Estimate(tb.NewSession(src), dipe.DefaultOptions())
-//	fmt.Println(res.Power, res.Interval, res.SampleSize)
-//
-// The package is a thin facade; the implementation lives in the internal
-// packages (netlist, sim, power, randtest, stopping, core, ...).
 package dipe
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -41,6 +16,7 @@ import (
 	"repro/internal/proba"
 	"repro/internal/randtest"
 	"repro/internal/refsim"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stopping"
 	"repro/internal/vectors"
@@ -166,6 +142,39 @@ func EstimateParallel(tb *Testbench, src SourceFactory, baseSeed int64, opts Opt
 func EstimateParallelWithInterval(tb *Testbench, src SourceFactory, baseSeed int64, opts Options, interval int) (Result, error) {
 	return core.EstimateParallelWithInterval(tb, src, baseSeed, opts, interval)
 }
+
+// EstimateParallelCtx is EstimateParallel with cancellation: the
+// sampling loop checks ctx between stopping-criterion blocks and
+// returns the partial (unconverged) result together with ctx.Err() when
+// the context is cancelled. Combine with Options.Progress for live
+// status of long runs.
+func EstimateParallelCtx(ctx context.Context, tb *Testbench, src SourceFactory, baseSeed int64, opts Options) (Result, error) {
+	return core.EstimateParallelCtx(ctx, tb, src, baseSeed, opts)
+}
+
+// Progress is a point-in-time snapshot of a running estimation,
+// delivered to Options.Progress as samples accumulate.
+type Progress = core.Progress
+
+// ServerConfig sizes the estimation service: frozen-circuit cache
+// capacity, concurrent-job pool width, pending-queue bound. The zero
+// value means defaults everywhere.
+type ServerConfig = service.Config
+
+// Server is a long-running power-estimation service: a circuit registry
+// with an LRU cache of frozen circuits, an asynchronous job pool over
+// EstimateParallel, and an HTTP/JSON API (submit/poll/wait/cancel,
+// batch fan-out, netlist upload, statistics). cmd/dipe-server is a thin
+// wrapper around it; see internal/service for the endpoint table.
+type Server = service.Service
+
+// NewServer builds an estimation service and starts its worker pool.
+// Mount Handler() on an http.Server (or httptest.Server) and Close()
+// on shutdown.
+func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
+
+// DefaultServerConfig returns the default service sizing.
+func DefaultServerConfig() ServerConfig { return service.DefaultConfig() }
 
 // EstimateWithInterval runs the sampling phase at a fixed interval,
 // bypassing selection (the fixed-warm-up baseline of the paper's ref [9]).

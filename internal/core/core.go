@@ -1,17 +1,3 @@
-// Package core implements the paper's contribution: DIPE, the
-// distribution-independent statistical power estimator for sequential
-// circuits.
-//
-// The estimation flow follows Fig. 1 of the paper:
-//
-//  1. Load the circuit, timing model and power model (Testbench).
-//  2. Select an independence interval m with a sequential procedure
-//     built on a randomness test (Fig. 2; SelectInterval).
-//  3. Generate a random power sample two-phase: m zero-delay cycles
-//     between sampled cycles, each sampled cycle simulated with the
-//     event-driven general-delay simulator (sim.Session).
-//  4. Feed samples to a distribution-independent stopping criterion and
-//     stop when the accuracy specification is met (Estimate).
 package core
 
 import (
@@ -76,6 +62,27 @@ type Options struct {
 	// replication seeds are fixed and samples are merged in replication
 	// order.
 	Workers int
+	// Progress, if non-nil, is called from the estimator goroutine after
+	// every merged block of samples (roughly every CheckEvery) with a
+	// running snapshot of the estimate. It must be cheap; it is never
+	// called concurrently with itself. Long-running callers (the
+	// dipe-server job manager) use it to surface live job status. It does
+	// not affect the estimate.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a running estimation,
+// delivered to Options.Progress as samples accumulate.
+type Progress struct {
+	// Samples is the number of power samples consumed by the stopping
+	// criterion so far.
+	Samples int
+	// Power is the running estimate in watts.
+	Power float64
+	// HalfWidth is the current confidence half-width in watts.
+	HalfWidth float64
+	// Interval is the independence interval in use.
+	Interval int
 }
 
 // DefaultOptions returns the paper's experimental configuration.

@@ -1,0 +1,23 @@
+// Package core implements the paper's contribution: DIPE, the
+// distribution-independent statistical power estimator for sequential
+// circuits.
+//
+// The estimation flow follows Fig. 1 of the paper:
+//
+//  1. Load the circuit, timing model and power model (Testbench).
+//  2. Select an independence interval m with a sequential procedure
+//     built on a randomness test (Fig. 2; SelectInterval).
+//  3. Generate a random power sample two-phase: m zero-delay cycles
+//     between sampled cycles, each sampled cycle simulated with the
+//     event-driven general-delay simulator (sim.Session).
+//  4. Feed samples to a distribution-independent stopping criterion and
+//     stop when the accuracy specification is met (Estimate).
+//
+// Interval selection implements Section III (Fig. 2's sequential
+// procedure over the runs test); the sampling/stopping phase implements
+// Section IV. EstimateParallel runs the same flow with many independent
+// replications advanced concurrently on the bit-packed simulator, with
+// deterministic seeding and merge order. The Ctx variants add
+// cooperative cancellation, and Options.Progress streams running
+// snapshots — the hooks the dipe-server job manager is built on.
+package core

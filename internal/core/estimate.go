@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,6 +57,15 @@ func (r Result) String() string {
 // independence-interval selection, then two-phase random sampling until
 // the stopping criterion reports convergence.
 func Estimate(s *sim.Session, opts Options) (Result, error) {
+	return EstimateCtx(context.Background(), s, opts)
+}
+
+// EstimateCtx is Estimate with cancellation: the sampling loop checks
+// ctx between stopping-criterion blocks and returns the partial
+// (unconverged) result together with ctx.Err() when the context is
+// cancelled. Interval selection itself is not interruptible; on
+// benchmark-scale circuits it completes in milliseconds.
+func EstimateCtx(ctx context.Context, s *sim.Session, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -67,14 +77,11 @@ func Estimate(s *sim.Session, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := estimateTail(s, opts, sel.Interval, sel.Sequence)
-	if err != nil {
-		return Result{}, err
-	}
+	res, err := estimateTail(ctx, s, opts, sel.Interval, sel.Sequence)
 	res.Trials = sel.Trials
 	res.IntervalCapped = sel.Capped
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, err
 }
 
 // EstimateWithInterval skips interval selection and samples at a fixed
@@ -83,6 +90,12 @@ func Estimate(s *sim.Session, opts Options) (Result, error) {
 // the warm-up ablation; interval 0 gives the naive consecutive-cycle
 // estimator that ignores temporal correlation.
 func EstimateWithInterval(s *sim.Session, opts Options, interval int) (Result, error) {
+	return EstimateWithIntervalCtx(context.Background(), s, opts, interval)
+}
+
+// EstimateWithIntervalCtx is EstimateWithInterval with cancellation (see
+// EstimateCtx).
+func EstimateWithIntervalCtx(ctx context.Context, s *sim.Session, opts Options, interval int) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -92,51 +105,54 @@ func EstimateWithInterval(s *sim.Session, opts Options, interval int) (Result, e
 	start := time.Now()
 	s.ResetCounters()
 	s.StepHiddenN(opts.WarmupCycles)
-	res, err := estimateTail(s, opts, interval, nil)
-	if err != nil {
-		return Result{}, err
-	}
+	res, err := estimateTail(ctx, s, opts, interval, nil)
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, err
 }
 
 // estimateTail runs the sampling/stopping phase at a fixed interval,
-// optionally seeded with an already-collected random sequence.
-func estimateTail(s *sim.Session, opts Options, interval int, seed []float64) (Result, error) {
+// optionally seeded with an already-collected random sequence. On
+// cancellation it returns the partial result together with ctx.Err().
+func estimateTail(ctx context.Context, s *sim.Session, opts Options, interval int, seed []float64) (Result, error) {
 	crit := opts.NewCriterion(opts.Spec)
 	if opts.ReuseTestSamples {
 		for _, p := range seed {
 			crit.Add(p)
 		}
 	}
+	result := func(converged bool) Result {
+		return Result{
+			Power:         crit.Estimate(),
+			Interval:      interval,
+			SampleSize:    crit.N(),
+			HalfWidth:     crit.HalfWidth(),
+			HiddenCycles:  s.HiddenCycles,
+			SampledCycles: s.SampledCycles,
+			Criterion:     crit.Name(),
+			Converged:     converged,
+		}
+	}
 	for !crit.Done() {
+		if err := ctx.Err(); err != nil {
+			return result(false), err
+		}
 		if crit.N()+opts.CheckEvery > opts.MaxSamples {
-			return Result{
-				Power:         crit.Estimate(),
-				Interval:      interval,
-				SampleSize:    crit.N(),
-				HalfWidth:     crit.HalfWidth(),
-				HiddenCycles:  s.HiddenCycles,
-				SampledCycles: s.SampledCycles,
-				Criterion:     crit.Name(),
-				Converged:     false,
-			}, nil
+			return result(false), nil
 		}
 		for i := 0; i < opts.CheckEvery; i++ {
 			s.StepHiddenN(interval)
 			crit.Add(s.StepSampled(nil))
 		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Samples:   crit.N(),
+				Power:     crit.Estimate(),
+				HalfWidth: crit.HalfWidth(),
+				Interval:  interval,
+			})
+		}
 	}
-	return Result{
-		Power:         crit.Estimate(),
-		Interval:      interval,
-		SampleSize:    crit.N(),
-		HalfWidth:     crit.HalfWidth(),
-		HiddenCycles:  s.HiddenCycles,
-		SampledCycles: s.SampledCycles,
-		Criterion:     crit.Name(),
-		Converged:     true,
-	}, nil
+	return result(true), nil
 }
 
 // criterionName is a small helper for reports when only a factory is at

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,6 +40,14 @@ type shard struct {
 // i.i.d. across replications by construction (independent seeds), and
 // within a replication at the selected independence interval.
 func EstimateParallel(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options) (Result, error) {
+	return EstimateParallelCtx(context.Background(), tb, src, baseSeed, opts)
+}
+
+// EstimateParallelCtx is EstimateParallel with cancellation: the
+// sampling loop checks ctx between merged blocks and returns the partial
+// (unconverged) result together with ctx.Err() when the context is
+// cancelled. The dipe-server job manager uses this to abort jobs.
+func EstimateParallelCtx(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -53,19 +62,25 @@ func EstimateParallel(tb *Testbench, src vectors.Factory, baseSeed int64, opts O
 		return Result{}, err
 	}
 
-	res := parallelTail(tb, src, baseSeed, opts, sel.Interval, sel.Sequence)
+	res, err := parallelTail(ctx, tb, src, baseSeed, opts, sel.Interval, sel.Sequence)
 	res.Trials = sel.Trials
 	res.IntervalCapped = sel.Capped
 	res.HiddenCycles += sel0.HiddenCycles
 	res.SampledCycles += sel0.SampledCycles
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, err
 }
 
 // EstimateParallelWithInterval is the fixed-interval variant of
 // EstimateParallel (the parallel analogue of EstimateWithInterval): it
 // skips selection and samples every replication at the given interval.
 func EstimateParallelWithInterval(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int) (Result, error) {
+	return EstimateParallelWithIntervalCtx(context.Background(), tb, src, baseSeed, opts, interval)
+}
+
+// EstimateParallelWithIntervalCtx is EstimateParallelWithInterval with
+// cancellation (see EstimateParallelCtx).
+func EstimateParallelWithIntervalCtx(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -73,15 +88,16 @@ func EstimateParallelWithInterval(tb *Testbench, src vectors.Factory, baseSeed i
 		return Result{}, fmt.Errorf("core: negative interval %d", interval)
 	}
 	start := time.Now()
-	res := parallelTail(tb, src, baseSeed, opts, interval, nil)
+	res, err := parallelTail(ctx, tb, src, baseSeed, opts, interval, nil)
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, err
 }
 
 // parallelTail runs the parallel sampling/stopping phase at a fixed
 // interval, optionally seeded with an already-collected random sequence
 // (consumed only when opts.ReuseTestSamples is set, as in estimateTail).
-func parallelTail(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64) Result {
+// On cancellation it returns the partial result together with ctx.Err().
+func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64) (Result, error) {
 	reps := opts.Replications
 	if reps == 0 {
 		reps = sim.MaxLanes
@@ -160,6 +176,9 @@ func parallelTail(tb *Testbench, src vectors.Factory, baseSeed int64, opts Optio
 		}
 	}
 	for !crit.Done() {
+		if err := ctx.Err(); err != nil {
+			return result(false), err
+		}
 		// Run as many whole rounds as the sample budget allows (one round
 		// is the reps-sample granularity of the parallel scheme); give up
 		// unconverged only when not even one more round fits.
@@ -168,7 +187,7 @@ func parallelTail(tb *Testbench, src vectors.Factory, baseSeed int64, opts Optio
 			n = remaining
 		}
 		if n < 1 {
-			return result(false)
+			return result(false), nil
 		}
 		runShards(shards, workers, func(sh *shard) {
 			for t := 0; t < n; t++ {
@@ -183,8 +202,16 @@ func parallelTail(tb *Testbench, src vectors.Factory, baseSeed int64, opts Optio
 				}
 			}
 		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Samples:   crit.N(),
+				Power:     crit.Estimate(),
+				HalfWidth: crit.HalfWidth(),
+				Interval:  interval,
+			})
+		}
 	}
-	return result(true)
+	return result(true), nil
 }
 
 // runShards applies fn to every shard with at most `workers` goroutines

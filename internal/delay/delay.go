@@ -1,7 +1,3 @@
-// Package delay provides the timing and load models used by the
-// simulators and the power model. Delays are integer picoseconds so the
-// event-driven simulator can order events exactly, with no floating-point
-// ties.
 package delay
 
 import (

@@ -1,0 +1,12 @@
+// Package delay provides the timing and load models used by the
+// simulators and the power model. Delays are integer picoseconds so the
+// event-driven simulator can order events exactly, with no floating-point
+// ties.
+//
+// In the paper's structure this is the "Timing Model" box of Fig. 1:
+// the general-delay model that makes glitches observable on sampled
+// cycles (Section IV). The default is a fanout-loaded linear model
+// (d = 200ps + 100ps × fanout); Zero and Unit models exist for
+// ablations and for the hidden zero-delay cycles of the two-phase
+// scheme.
+package delay

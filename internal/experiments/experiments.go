@@ -1,14 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section V) plus the ablations documented in DESIGN.md:
-//
-//	Table 1  — per-circuit estimation results against a long reference
-//	Table 2  — many-run summary (II spread, average sample size, Davg, Err%)
-//	Figure 3 — runs-test z statistic vs. trial interval length
-//	A1..A5   — sequence length, significance level, stopping criterion,
-//	           fixed-warm-up baseline, and correlated-input ablations
-//
-// The functions are deterministic given Config.BaseSeed. Rendered tables
-// are plain text; Figure data can also be rendered as CSV.
 package experiments
 
 import (

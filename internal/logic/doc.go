@@ -1,0 +1,15 @@
+// Package logic defines the gate-level logic primitives used by the
+// netlist representation and the simulators: gate kinds, their boolean
+// semantics, and helpers for evaluating a gate over its fanin values.
+//
+// The simulation model is two-valued (true/false). Sequential elements
+// (DFFs) are represented as a gate kind so that a netlist is a single
+// homogeneous node array, but their evaluation is handled by the
+// simulators (a DFF's output is state, not a combinational function of
+// its fanin).
+//
+// The package has no direct counterpart in the paper — it is the shared
+// substrate under the circuit model of Section II (gate-level
+// sequential circuits whose state elements induce the temporal power
+// correlation DIPE is designed around).
+package logic

@@ -1,12 +1,3 @@
-// Package logic defines the gate-level logic primitives used by the
-// netlist representation and the simulators: gate kinds, their boolean
-// semantics, and helpers for evaluating a gate over its fanin values.
-//
-// The simulation model is two-valued (true/false). Sequential elements
-// (DFFs) are represented as a gate kind so that a netlist is a single
-// homogeneous node array, but their evaluation is handled by the
-// simulators (a DFF's output is state, not a combinational function of
-// its fanin).
 package logic
 
 import "fmt"

@@ -1,14 +1,3 @@
-// Package markov implements the FSM-analysis substrate of Section III's
-// "first approach": extracting the state transition graph (STG) of a
-// sequential circuit, solving the Chapman–Kolmogorov equations for the
-// stationary state distribution, and estimating mixing/warm-up times.
-//
-// The paper argues this approach is exponential in the latch count and
-// therefore impractical for real circuits — this package exists (a) to
-// reproduce that argument quantitatively, (b) to provide an exact
-// baseline estimator on small circuits, and (c) to implement the
-// fixed-warm-up baseline (the paper's ref [9], Chou et al.) that DIPE's
-// dynamic independence interval is compared against.
 package markov
 
 import (

@@ -1,19 +1,3 @@
-// Package maxpower implements simulation-based maximum power estimation
-// in the spirit of the paper's ref [8] (Hill, Teng, Kang, ISCAS'96): a
-// randomized search for the (state, pattern, next-pattern) triple that
-// maximizes single-cycle power dissipation. Where the average-power
-// problem (the main paper) is statistical estimation, the maximum-power
-// problem is optimization: peak cycles drive IR-drop and reliability
-// analysis.
-//
-// Two searchers are provided:
-//
-//   - RandomSearch: the Monte-Carlo baseline, best of N random cycles;
-//   - HillClimb: greedy bit-flip local search with random restarts,
-//     which consistently finds higher peaks on the same budget.
-//
-// Both report machine-independent cost (cycles simulated) so they are
-// comparable.
 package maxpower
 
 import (

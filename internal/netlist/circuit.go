@@ -1,10 +1,3 @@
-// Package netlist defines the gate-level circuit representation used
-// throughout the library, together with an ISCAS89 ".bench" reader and
-// writer, structural validation, and levelization of the combinational
-// part (the evaluation order used by the zero-delay simulator).
-//
-// A Circuit is a flat array of nodes. Node IDs are dense indices into
-// that array, which lets simulators use plain slices for node state.
 package netlist
 
 import (

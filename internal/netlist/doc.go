@@ -1,0 +1,14 @@
+// Package netlist defines the gate-level circuit representation used
+// throughout the library, together with an ISCAS89 ".bench" reader and
+// writer, structural validation, and levelization of the combinational
+// part (the evaluation order used by the zero-delay simulator).
+//
+// A Circuit is a flat array of nodes. Node IDs are dense indices into
+// that array, which lets simulators use plain slices for node state.
+//
+// This is the "Circuit Description" box of Fig. 1 (the paper's circuit
+// model, Section II). Freeze validates the netlist, derives fanouts,
+// levelizes the combinational part and builds the flat CSR view
+// (csr.go) that every simulator inner loop runs over; freezing is the
+// per-design cost the dipe-server registry amortizes across requests.
+package netlist

@@ -1,12 +1,3 @@
-// Package power implements the paper's power dissipation model (Eq. 1):
-//
-//	P = VDD^2 / (2T) * sum_i C_i * n_i
-//
-// where C_i is the load capacitance at node i, n_i the number of logic
-// transitions at node i during the clock cycle, T the clock period and
-// VDD the supply voltage. C_i can absorb second-order contributions
-// (short-circuit current, internal capacitance) by adjustment, exactly as
-// the paper notes.
 package power
 
 import (

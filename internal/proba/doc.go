@@ -1,0 +1,21 @@
+// Package proba implements the classical *probabilistic* power
+// estimation baseline the paper's introduction describes and argues
+// against: propagate signal probabilities through the gate network under
+// a spatial-independence assumption, lump the FSM's statistics into the
+// latch probabilities by fixpoint iteration (the approach of the paper's
+// refs [2][3][4]), and convert per-node switching activities into power.
+//
+// Three approximations are involved, each documented where it is made:
+//
+//  1. spatial independence — gate fanins are treated as independent,
+//     ignoring reconvergent fanout correlation;
+//  2. temporal independence — a node's values in consecutive cycles are
+//     treated as independent, giving activity 2p(1-p);
+//  3. zero delay — glitches are invisible to probabilities.
+//
+// The paper's whole point is that these approximations cost accuracy on
+// sequential circuits ("as the average power is very sensitive to signal
+// correlations, neglecting such information will yield poor estimation
+// accuracy"); the probabilistic-baseline experiment quantifies exactly
+// that against DIPE and the simulation reference.
+package proba

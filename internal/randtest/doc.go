@@ -1,0 +1,14 @@
+// Package randtest implements the nonparametric randomness tests of
+// Section III.A of the paper, centered on the ordinary runs test (with
+// the continuity-corrected z statistic of Eq. 4), plus two additional
+// tests from the same family (runs up-and-down, von Neumann serial
+// correlation) that the paper alludes to with "the ordinary runs test is
+// adopted among others".
+//
+// Every test examines the hypothesis
+//
+//	H: the sequence is random (i.i.d.)     vs.     A: it is not,
+//
+// and is accepted at significance level alpha iff |z| <= Phi^-1(1-alpha/2)
+// (Eqs. 5–7).
+package randtest

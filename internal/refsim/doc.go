@@ -1,0 +1,11 @@
+// Package refsim computes the reference average power the paper calls
+// "SIM": the mean per-cycle power over a long run of consecutive clock
+// cycles under the general-delay simulator. Table 1 uses one million
+// cycles; the cycle budget here is a parameter so the full suite remains
+// runnable in minutes, and the reference's own statistical uncertainty
+// is reported via batch means.
+//
+// In the paper this is the accuracy yardstick of Section V: Table 1's
+// "SIM" column and the Davg/Err% columns of Table 2 are deviations of
+// DIPE estimates from exactly this kind of long consecutive-cycle run.
+package refsim

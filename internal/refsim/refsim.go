@@ -1,9 +1,3 @@
-// Package refsim computes the reference average power the paper calls
-// "SIM": the mean per-cycle power over a long run of consecutive clock
-// cycles under the general-delay simulator. Table 1 uses one million
-// cycles; the cycle budget here is a parameter so the full suite remains
-// runnable in minutes, and the reference's own statistical uncertainty
-// is reported via batch means.
 package refsim
 
 import (

@@ -1,0 +1,30 @@
+// Package service is the long-running power-estimation service behind
+// cmd/dipe-server: it turns the one-shot DIPE estimator of the paper
+// (Yuan/Teng/Kang, DAC 1997) into a shared HTTP/JSON system that
+// amortizes circuit preparation across requests.
+//
+// It has three layers:
+//
+//   - Registry (registry.go): a named circuit store — the built-in
+//     ISCAS89 benchmark set plus uploaded .bench/BLIF netlists — with an
+//     LRU cache of frozen circuits and their instrumented testbenches
+//     (CSR view, delay table, power weights). Parsing and freezing a
+//     design is paid once, not per request; cache hits and misses are
+//     observable via Stats.
+//
+//   - Manager (jobs.go): an asynchronous job manager. Clients submit an
+//     estimation request (circuit, input source, options, seed) and get
+//     a job ID back; a bounded worker pool runs jobs through
+//     core.EstimateParallelCtx with live progress snapshots,
+//     cancellation, and deterministic seeding — two identical requests
+//     return bit-identical estimates regardless of pool load.
+//
+//   - HTTP API (handlers.go, server.go): submit/poll/wait/cancel job
+//     endpoints, a batch endpoint that fans a list of jobs across the
+//     pool, circuit upload/list, and registry/pool statistics.
+//
+// The package is deliberately independent of any particular transport
+// policy: Service.Handler returns a plain http.Handler, so it can be
+// mounted under a larger mux, wrapped with middleware, or driven
+// directly from httptest in handler tests.
+package service

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// API shapes specific to the HTTP layer. Job and result shapes live in
+// jobs.go (JobRequest, JobView, ...).
+
+// UploadRequest registers a netlist under a name.
+type UploadRequest struct {
+	Name string `json:"name"`
+	// Format is "bench" (default) or "blif".
+	Format string `json:"format,omitempty"`
+	// Text is the netlist source.
+	Text string `json:"text"`
+}
+
+// UploadResponse echoes the circuit statistics of a successful upload.
+type UploadResponse struct {
+	Name    string `json:"name"`
+	Stats   string `json:"stats"`
+	Inputs  int    `json:"inputs"`
+	Gates   int    `json:"gates"`
+	Latches int    `json:"latches"`
+}
+
+// BatchRequest fans a list of jobs across the pool in one call.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchResponse lists the job IDs in request order.
+type BatchResponse struct {
+	IDs []string `json:"ids"`
+}
+
+// StatsResponse aggregates registry and pool statistics.
+type StatsResponse struct {
+	Registry RegistryStats `json:"registry"`
+	Pool     PoolStats     `json:"pool"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// routes builds the service mux:
+//
+//	GET    /healthz            liveness
+//	GET    /v1/circuits        list resolvable circuit names
+//	POST   /v1/circuits        upload a .bench/BLIF netlist
+//	POST   /v1/jobs            submit one estimation job
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}       poll one job
+//	GET    /v1/jobs/{id}/wait  block until the job finishes (?timeout=30s)
+//	DELETE /v1/jobs/{id}       cancel a job
+//	POST   /v1/batch           submit a list of jobs
+//	GET    /v1/stats           registry + pool statistics
+func (s *Service) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/circuits", s.handleListCircuits)
+	mux.HandleFunc("POST /v1/circuits", s.handleUpload)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWaitJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleListCircuits(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"circuits": s.Registry.Names()})
+}
+
+func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	stats, err := s.Registry.Upload(req.Name, req.Format, req.Text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, UploadResponse{
+		Name:    req.Name,
+		Stats:   stats.String(),
+		Inputs:  stats.Inputs,
+		Gates:   stats.Gates,
+		Latches: stats.Latches,
+	})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.Jobs.Submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	view, _ := s.Jobs.Get(id)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]JobView{"jobs": s.Jobs.List()})
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleWaitJob(w http.ResponseWriter, r *http.Request) {
+	timeout := 30 * time.Second
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", q))
+			return
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	view, err := s.Jobs.Wait(ctx, r.PathValue("id"))
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// Not done yet: report current state instead of an error so
+		// clients can keep polling.
+		view, ok := s.Jobs.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	case err != nil:
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	// Validate everything first so a batch is all-or-nothing at the
+	// request level; a full queue mid-batch still cancels the remainder.
+	for i, jr := range req.Jobs {
+		if err := jr.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+	}
+	ids := make([]string, 0, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		id, err := s.Jobs.Submit(jr)
+		if err != nil {
+			for _, prev := range ids {
+				s.Jobs.Cancel(prev)
+			}
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrQueueFull) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, http.StatusAccepted, BatchResponse{IDs: ids})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Registry: s.Registry.Stats(),
+		Pool:     s.Jobs.Stats(),
+	})
+}
+
+// readJSON decodes the request body into v, writing a 400 and returning
+// false on malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// maxBodyBytes bounds request bodies (netlist uploads dominate; the
+// largest ISCAS89 .bench is well under 1 MiB).
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,507 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vectors"
+)
+
+// JobState is the lifecycle state of a submitted estimation job.
+type JobState string
+
+// Job lifecycle: Submit puts a job in StateQueued; a pool worker moves
+// it to StateRunning; it terminates in exactly one of StateDone,
+// StateFailed or StateCancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SourceSpec selects the primary-input model of a job. The zero value
+// is the paper's input model: i.i.d. Bernoulli(0.5).
+type SourceSpec struct {
+	// Kind is "iid" (independent Bernoulli bits, the default) or "lag"
+	// (per-bit two-state Markov chains with lag-1 autocorrelation Rho).
+	Kind string `json:"kind,omitempty"`
+	// P is the stationary one-probability of each input bit (0 means the
+	// default of 0.5).
+	P float64 `json:"p,omitempty"`
+	// Rho is the lag-1 autocorrelation for Kind "lag".
+	Rho float64 `json:"rho,omitempty"`
+}
+
+// factory builds the input-source factory for a circuit with the given
+// number of primary inputs. Parameter ranges are checked here (not
+// deferred to the vectors constructors, which panic) so bad requests
+// are rejected at Validate time instead of crashing a pool worker.
+func (s SourceSpec) factory(width int) (vectors.Factory, error) {
+	p := s.P
+	if p == 0 {
+		p = 0.5
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("service: source probability %g out of [0,1]", s.P)
+	}
+	switch s.Kind {
+	case "", "iid":
+		return vectors.IIDFactory(width, p), nil
+	case "lag":
+		if s.Rho < 0 || s.Rho >= 1 {
+			return nil, fmt.Errorf("service: lag-1 correlation %g out of [0,1)", s.Rho)
+		}
+		return vectors.LagCorrelatedFactory(width, p, s.Rho), nil
+	default:
+		return nil, fmt.Errorf("service: unknown source kind %q (want \"iid\" or \"lag\")", s.Kind)
+	}
+}
+
+// OptionsSpec is the client-settable subset of core.Options. Zero
+// fields keep the paper defaults (DefaultOptions), so an empty object
+// is a valid request.
+type OptionsSpec struct {
+	// RelErr and Confidence override the accuracy specification
+	// (defaults 0.05 and 0.99).
+	RelErr     float64 `json:"relErr,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// Alpha is the randomness-test significance level (default 0.20).
+	Alpha float64 `json:"alpha,omitempty"`
+	// SeqLen is the randomness-test sequence length (default 320).
+	SeqLen int `json:"seqLen,omitempty"`
+	// Replications is the number of bit-packed parallel replications
+	// (default 64, one full machine word).
+	Replications int `json:"replications,omitempty"`
+	// Workers bounds the per-job goroutine pool (default GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// MaxSamples caps the sample budget (default 2^21).
+	MaxSamples int `json:"maxSamples,omitempty"`
+}
+
+// options expands the spec over the paper defaults.
+func (o OptionsSpec) options() core.Options {
+	opts := core.DefaultOptions()
+	if o.RelErr != 0 {
+		opts.Spec.RelErr = o.RelErr
+	}
+	if o.Confidence != 0 {
+		opts.Spec.Confidence = o.Confidence
+	}
+	if o.Alpha != 0 {
+		opts.Alpha = o.Alpha
+	}
+	if o.SeqLen != 0 {
+		opts.SeqLen = o.SeqLen
+	}
+	if o.Replications != 0 {
+		opts.Replications = o.Replications
+	}
+	if o.Workers != 0 {
+		opts.Workers = o.Workers
+	}
+	if o.MaxSamples != 0 {
+		opts.MaxSamples = o.MaxSamples
+	}
+	return opts
+}
+
+// JobRequest is one estimation request. Identical requests (same
+// circuit content, source, seed and options) produce bit-identical
+// results: the estimator's replication seeding is fixed and merge order
+// is deterministic, independent of pool scheduling.
+type JobRequest struct {
+	// Circuit names a registry circuit (built-in benchmark or upload).
+	Circuit string `json:"circuit"`
+	// Source selects the primary-input model.
+	Source SourceSpec `json:"source"`
+	// Seed is the base seed of the run (replication r uses Seed+1+r).
+	Seed int64 `json:"seed"`
+	// Options overrides estimation tunables; zero fields keep defaults.
+	Options OptionsSpec `json:"options"`
+	// Interval, if non-nil, fixes the independence interval and skips
+	// the Fig. 2 selection procedure.
+	Interval *int `json:"interval,omitempty"`
+}
+
+// Validate rejects requests the pool would fail on anyway.
+func (r JobRequest) Validate() error {
+	if r.Circuit == "" {
+		return errors.New("service: request missing circuit name")
+	}
+	if r.Interval != nil && *r.Interval < 0 {
+		return fmt.Errorf("service: negative interval %d", *r.Interval)
+	}
+	if _, err := r.Source.factory(1); err != nil {
+		return err
+	}
+	return r.Options.options().Validate()
+}
+
+// ResultView is the JSON rendering of a finished estimation.
+type ResultView struct {
+	Power          float64 `json:"power"`
+	Interval       int     `json:"interval"`
+	IntervalCapped bool    `json:"intervalCapped,omitempty"`
+	SampleSize     int     `json:"sampleSize"`
+	HalfWidth      float64 `json:"halfWidth"`
+	RelHalfWidth   float64 `json:"relHalfWidth"`
+	HiddenCycles   uint64  `json:"hiddenCycles"`
+	SampledCycles  uint64  `json:"sampledCycles"`
+	Criterion      string  `json:"criterion"`
+	Converged      bool    `json:"converged"`
+	ElapsedMS      float64 `json:"elapsedMs"`
+}
+
+func viewResult(res core.Result) *ResultView {
+	return &ResultView{
+		Power:          res.Power,
+		Interval:       res.Interval,
+		IntervalCapped: res.IntervalCapped,
+		SampleSize:     res.SampleSize,
+		HalfWidth:      res.HalfWidth,
+		RelHalfWidth:   res.RelHalfWidth(),
+		HiddenCycles:   res.HiddenCycles,
+		SampledCycles:  res.SampledCycles,
+		Criterion:      res.Criterion,
+		Converged:      res.Converged,
+		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// ProgressView is the JSON rendering of a live progress snapshot.
+type ProgressView struct {
+	Samples   int     `json:"samples"`
+	Power     float64 `json:"power"`
+	HalfWidth float64 `json:"halfWidth"`
+	Interval  int     `json:"interval"`
+}
+
+// JobView is the externally visible snapshot of a job.
+type JobView struct {
+	ID       string        `json:"id"`
+	State    JobState      `json:"state"`
+	Request  JobRequest    `json:"request"`
+	Progress *ProgressView `json:"progress,omitempty"`
+	Result   *ResultView   `json:"result,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// job is the manager-internal job record. All mutable fields are
+// guarded by the owning Manager's mutex.
+type job struct {
+	id       string
+	req      JobRequest
+	state    JobState
+	progress *ProgressView
+	result   *ResultView
+	err      string
+	cancel   context.CancelFunc
+	done     chan struct{} // closed on terminal state
+}
+
+// PoolStats is a snapshot of the job pool.
+type PoolStats struct {
+	Workers   int `json:"workers"`
+	QueueCap  int `json:"queueCap"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// ErrQueueFull is returned by Submit when the pending-job queue is at
+// capacity; clients should retry with backoff.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// Manager owns the asynchronous job lifecycle: a bounded FIFO queue
+// feeding a fixed worker pool, with per-job cancellation and live
+// progress. Jobs are never forgotten; completed records stay queryable
+// until the manager is closed.
+type Manager struct {
+	reg     *Registry
+	workers int
+
+	ctx   context.Context // parent of every job context
+	stop  context.CancelFunc
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for List
+	seq   uint64
+}
+
+// NewManager starts a pool of `workers` goroutines (default 2 if
+// non-positive) consuming a queue of up to queueCap pending jobs
+// (default 64). Each job may itself fan out over
+// Options.Workers simulation goroutines, so the pool size bounds
+// concurrent *jobs*, not goroutines.
+func NewManager(reg *Registry, workers, queueCap int) *Manager {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		reg:     reg,
+		workers: workers,
+		ctx:     ctx,
+		stop:    stop,
+		queue:   make(chan *job, queueCap),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and enqueues a request, returning the job ID. The
+// non-blocking enqueue and the registration happen under one lock so a
+// full queue never leaves a half-registered job behind.
+func (m *Manager) Submit(req JobRequest) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := &job{
+		id:    fmt.Sprintf("job-%06d", m.seq+1),
+		req:   req,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return "", ErrQueueFull
+	}
+	m.seq++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j.id, nil
+}
+
+// Get returns a snapshot of the job, if it exists.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return m.viewLocked(j), true
+}
+
+// Wait blocks until the job reaches a terminal state or the context is
+// done, and returns the final snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewLocked(j), nil
+}
+
+// Cancel requests cancellation of a job. Queued jobs terminate
+// immediately; running jobs stop at the next stopping-criterion block.
+// Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobView, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobView{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		m.finishLocked(j, StateCancelled, nil, "cancelled before start")
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	view := m.viewLocked(j)
+	m.mu.Unlock()
+	return view, true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.viewLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Stats returns a snapshot of the pool counters.
+func (m *Manager) Stats() PoolStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := PoolStats{Workers: m.workers, QueueCap: cap(m.queue)}
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Close cancels every live job, stops the workers and waits for them.
+// The manager must not be used afterwards.
+func (m *Manager) Close() {
+	m.stop()
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if j.state == StateQueued {
+			m.finishLocked(j, StateCancelled, nil, "service shutting down")
+		}
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// worker consumes the queue until the manager is closed.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job end to end. A panic anywhere in the estimation
+// stack fails the job instead of killing the pool worker (and with it
+// the whole server).
+func (m *Manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			m.finish(j, StateFailed, nil, fmt.Sprintf("internal panic: %v", r))
+		}
+	}()
+
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	m.mu.Unlock()
+
+	tb, err := m.reg.Testbench(j.req.Circuit)
+	if err != nil {
+		m.finish(j, StateFailed, nil, err.Error())
+		return
+	}
+	factory, err := j.req.Source.factory(len(tb.Circuit.Inputs))
+	if err != nil {
+		m.finish(j, StateFailed, nil, err.Error())
+		return
+	}
+	opts := j.req.Options.options()
+	opts.Progress = func(p core.Progress) {
+		m.mu.Lock()
+		j.progress = &ProgressView{
+			Samples:   p.Samples,
+			Power:     p.Power,
+			HalfWidth: p.HalfWidth,
+			Interval:  p.Interval,
+		}
+		m.mu.Unlock()
+	}
+
+	var res core.Result
+	if j.req.Interval != nil {
+		res, err = core.EstimateParallelWithIntervalCtx(ctx, tb, factory, j.req.Seed, opts, *j.req.Interval)
+	} else {
+		res, err = core.EstimateParallelCtx(ctx, tb, factory, j.req.Seed, opts)
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		m.finish(j, StateCancelled, nil, "cancelled")
+	case err != nil:
+		m.finish(j, StateFailed, nil, err.Error())
+	default:
+		m.finish(j, StateDone, viewResult(res), "")
+	}
+}
+
+func (m *Manager) finish(j *job, state JobState, res *ResultView, msg string) {
+	m.mu.Lock()
+	m.finishLocked(j, state, res, msg)
+	m.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state. Caller holds m.mu.
+func (m *Manager) finishLocked(j *job, state JobState, res *ResultView, msg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.err = msg
+	close(j.done)
+}
+
+// viewLocked snapshots a job. Caller holds m.mu.
+func (m *Manager) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:      j.id,
+		State:   j.state,
+		Request: j.req,
+		Error:   j.err,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		v.Progress = &p
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// DefaultCacheSize is the frozen-circuit LRU capacity used when a
+// Registry is built with a non-positive capacity.
+const DefaultCacheSize = 16
+
+// RegistryStats is a snapshot of the registry's cache behaviour. The
+// Hits/Misses split is the service's cache-effectiveness signal: a
+// second request for the same circuit must be a hit (no re-parse, no
+// re-freeze).
+type RegistryStats struct {
+	// Hits counts Testbench calls answered from the LRU cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts Testbench calls that had to parse/generate and
+	// freeze the circuit.
+	Misses uint64 `json:"misses"`
+	// Evictions counts frozen circuits dropped by the LRU policy.
+	Evictions uint64 `json:"evictions"`
+	// Cached is the current number of frozen testbenches held.
+	Cached int `json:"cached"`
+	// Uploaded is the number of user-uploaded netlists registered.
+	Uploaded int `json:"uploaded"`
+}
+
+// uploadEntry retains the source text of an uploaded netlist so the
+// circuit can be re-frozen after an LRU eviction.
+type uploadEntry struct {
+	format string // "bench" or "blif"
+	text   string
+}
+
+// cacheEntry is one LRU slot: a circuit name bound to its instrumented
+// testbench (frozen circuit + delay table + power model).
+type cacheEntry struct {
+	name string
+	tb   *core.Testbench
+}
+
+// Registry resolves circuit names to instrumented testbenches. Names
+// cover the built-in ISCAS89 benchmark set (bench89) and netlists
+// uploaded at runtime; resolved testbenches are kept in an LRU cache so
+// the parse/freeze/instrument cost is paid once per design, not per
+// request. All methods are safe for concurrent use.
+//
+// A testbench is built under the registry lock, so concurrent first
+// requests for distinct circuits serialize; benchmark-scale circuits
+// freeze in milliseconds, which keeps this simple policy adequate.
+type Registry struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List               // front = most recently used
+	cache     map[string]*list.Element // name -> element holding *cacheEntry
+	uploads   map[string]uploadEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewRegistry builds a registry whose LRU cache holds up to capacity
+// frozen testbenches (DefaultCacheSize if capacity <= 0).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Registry{
+		cap:     capacity,
+		order:   list.New(),
+		cache:   make(map[string]*list.Element),
+		uploads: make(map[string]uploadEntry),
+	}
+}
+
+// Upload registers a netlist under name. Format is "bench" (ISCAS89
+// .bench) or "blif"; the text is parsed and frozen immediately so
+// malformed netlists are rejected at upload time, and the frozen
+// testbench is installed in the cache. Uploading over an existing
+// uploaded name replaces it; names of built-in benchmarks are reserved.
+func (r *Registry) Upload(name, format, text string) (netlist.Stats, error) {
+	if name == "" {
+		return netlist.Stats{}, fmt.Errorf("service: empty circuit name")
+	}
+	if builtin(name) {
+		return netlist.Stats{}, fmt.Errorf("service: %q is a built-in benchmark name", name)
+	}
+	c, err := parseNetlist(name, format, text)
+	if err != nil {
+		return netlist.Stats{}, err
+	}
+	tb := core.DefaultTestbench(c)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.uploads[name] = uploadEntry{format: format, text: text}
+	r.install(name, tb)
+	return c.ComputeStats(), nil
+}
+
+// Testbench resolves a circuit name to its instrumented testbench,
+// from cache when possible. The returned testbench is shared and
+// read-only; sessions are created per job.
+func (r *Registry) Testbench(name string) (*core.Testbench, error) {
+	r.mu.Lock()
+	if el, ok := r.cache[name]; ok {
+		r.order.MoveToFront(el)
+		r.hits++
+		tb := el.Value.(*cacheEntry).tb
+		r.mu.Unlock()
+		return tb, nil
+	}
+	r.misses++
+	up, uploaded := r.uploads[name]
+	r.mu.Unlock()
+
+	// Build outside the hot path bookkeeping but re-lock to install;
+	// a concurrent duplicate build is harmless (last writer wins, both
+	// testbenches are equivalent and deterministic).
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	if uploaded {
+		c, err = parseNetlist(name, up.format, up.text)
+	} else {
+		c, err = bench89.Get(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tb := core.DefaultTestbench(c)
+	r.mu.Lock()
+	r.install(name, tb)
+	r.mu.Unlock()
+	return tb, nil
+}
+
+// install puts (name, tb) at the front of the LRU, evicting from the
+// back if over capacity. Caller holds r.mu.
+func (r *Registry) install(name string, tb *core.Testbench) {
+	if el, ok := r.cache[name]; ok {
+		el.Value.(*cacheEntry).tb = tb
+		r.order.MoveToFront(el)
+		return
+	}
+	r.cache[name] = r.order.PushFront(&cacheEntry{name: name, tb: tb})
+	for r.order.Len() > r.cap {
+		back := r.order.Back()
+		ent := back.Value.(*cacheEntry)
+		r.order.Remove(back)
+		delete(r.cache, ent.name)
+		r.evictions++
+	}
+}
+
+// Names lists every resolvable circuit name: the built-in benchmark set
+// (including s27) plus all uploads, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string{"s27"}, bench89.Names()...)
+	for name := range r.uploads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns a snapshot of the cache counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Hits:      r.hits,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+		Cached:    r.order.Len(),
+		Uploaded:  len(r.uploads),
+	}
+}
+
+// builtin reports whether name belongs to the built-in benchmark set.
+func builtin(name string) bool {
+	if name == "s27" {
+		return true
+	}
+	_, ok := bench89.Lookup(name)
+	return ok
+}
+
+// parseNetlist parses netlist text in the given format and returns the
+// frozen circuit.
+func parseNetlist(name, format, text string) (*netlist.Circuit, error) {
+	switch format {
+	case "", "bench":
+		return netlist.ParseBenchString(name, text)
+	case "blif":
+		return netlist.ParseBLIFString(name, text)
+	default:
+		return nil, fmt.Errorf("service: unknown netlist format %q (want \"bench\" or \"blif\")", format)
+	}
+}

@@ -1,0 +1,44 @@
+package service
+
+import "net/http"
+
+// Config sizes the service. The zero value means defaults everywhere,
+// so Config{} is a valid production starting point.
+type Config struct {
+	// CacheSize is the frozen-circuit LRU capacity (default
+	// DefaultCacheSize).
+	CacheSize int
+	// Workers is the number of concurrently running estimation jobs
+	// (default 2). Each job additionally fans out over its own
+	// Options.Workers simulation goroutines.
+	Workers int
+	// QueueSize bounds pending (queued, not yet running) jobs
+	// (default 64); Submit beyond it returns ErrQueueFull.
+	QueueSize int
+}
+
+// DefaultConfig returns the default sizing.
+func DefaultConfig() Config { return Config{} }
+
+// Service bundles the circuit registry, the job pool and the HTTP API.
+// Create one with New, mount Handler on an http.Server, and Close on
+// shutdown.
+type Service struct {
+	Registry *Registry
+	Jobs     *Manager
+	mux      *http.ServeMux
+}
+
+// New builds a service from the config and starts its worker pool.
+func New(cfg Config) *Service {
+	s := &Service{Registry: NewRegistry(cfg.CacheSize)}
+	s.Jobs = NewManager(s.Registry, cfg.Workers, cfg.QueueSize)
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the HTTP API (see routes for the endpoint table).
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Close cancels all live jobs and stops the worker pool.
+func (s *Service) Close() { s.Jobs.Close() }

@@ -1,0 +1,426 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestService builds a service with a small deterministic
+// configuration and registers cleanup.
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// fastRequest is a quickly converging job on the genuine s27 benchmark.
+func fastRequest(seed int64) JobRequest {
+	return JobRequest{
+		Circuit: "s27",
+		Seed:    seed,
+		Options: OptionsSpec{Replications: 16, Workers: 2},
+	}
+}
+
+// postJSON posts v and decodes the response body into out.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSubmitPollLifecycle(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+
+	var submitted JobView
+	if code := postJSON(t, ts.URL+"/v1/jobs", fastRequest(42), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	if submitted.ID == "" || submitted.State.Terminal() {
+		t.Fatalf("submit view = %+v, want live job with ID", submitted)
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	var view JobView
+	for {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+submitted.ID, &view); code != http.StatusOK {
+			t.Fatalf("poll status = %d", code)
+		}
+		if view.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.State != StateDone || view.Result == nil {
+		t.Fatalf("final view = %+v, want done with result", view)
+	}
+	if view.Result.Power <= 0 || !view.Result.Converged {
+		t.Fatalf("result = %+v, want positive converged power", view.Result)
+	}
+
+	// The wait endpoint returns the same terminal snapshot.
+	var waited JobView
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+submitted.ID+"/wait?timeout=5s", &waited); code != http.StatusOK {
+		t.Fatalf("wait status = %d", code)
+	}
+	if waited.Result == nil || waited.Result.Power != view.Result.Power {
+		t.Fatalf("wait result %+v != poll result %+v", waited.Result, view.Result)
+	}
+
+	// Job listing includes it.
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK || len(list.Jobs) != 1 {
+		t.Fatalf("list = %+v (status %d), want 1 job", list, code)
+	}
+}
+
+// TestDeterminismAndCacheHit is the acceptance test of the service
+// layer: two identical requests return bit-identical estimates, and the
+// second skips re-freezing (observable as a registry cache hit).
+func TestDeterminismAndCacheHit(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1})
+
+	run := func() JobView {
+		var v JobView
+		if code := postJSON(t, ts.URL+"/v1/jobs", fastRequest(7), &v); code != http.StatusAccepted {
+			t.Fatalf("submit status = %d", code)
+		}
+		var out JobView
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/wait?timeout=60s", &out); code != http.StatusOK {
+			t.Fatalf("wait status = %d", code)
+		}
+		if out.State != StateDone {
+			t.Fatalf("job %s finished %s (%s)", v.ID, out.State, out.Error)
+		}
+		return out
+	}
+
+	first := run()
+	statsAfterFirst := svc.Registry.Stats()
+	second := run()
+	statsAfterSecond := svc.Registry.Stats()
+
+	if b1, b2 := math.Float64bits(first.Result.Power), math.Float64bits(second.Result.Power); b1 != b2 {
+		t.Fatalf("identical requests gave different powers: %x vs %x", b1, b2)
+	}
+	if first.Result.SampleSize != second.Result.SampleSize ||
+		first.Result.HalfWidth != second.Result.HalfWidth ||
+		first.Result.Interval != second.Result.Interval {
+		t.Fatalf("identical requests diverged: %+v vs %+v", first.Result, second.Result)
+	}
+	if statsAfterFirst.Misses != 1 {
+		t.Fatalf("first request: misses = %d, want 1", statsAfterFirst.Misses)
+	}
+	if statsAfterSecond.Misses != 1 || statsAfterSecond.Hits != statsAfterFirst.Hits+1 {
+		t.Fatalf("second request did not hit the cache: first %+v, second %+v",
+			statsAfterFirst, statsAfterSecond)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueSize: 8})
+	defer svc.Close()
+
+	// A slow accuracy spec keeps the single worker busy long enough for
+	// the next submissions to stay queued.
+	slow := JobRequest{
+		Circuit: "s298",
+		Seed:    1,
+		Options: OptionsSpec{RelErr: 0.004, Confidence: 0.999, Replications: 32, Workers: 1},
+	}
+	blocker, err := svc.Jobs.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := svc.Jobs.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, ok := svc.Jobs.Cancel(queued)
+	if !ok || view.State != StateCancelled {
+		t.Fatalf("cancel of queued job = %+v (ok=%v), want cancelled", view, ok)
+	}
+	// Cancelling the blocker too keeps the test fast; it is either
+	// running (cancel via context) or already terminal.
+	svc.Jobs.Cancel(blocker)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := svc.Jobs.Wait(ctx, blocker); err != nil {
+		t.Fatalf("blocker did not terminate after cancel: %v", err)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+
+	slow := JobRequest{
+		Circuit: "s298",
+		Seed:    3,
+		Options: OptionsSpec{RelErr: 0.004, Confidence: 0.999, Replications: 32, Workers: 1},
+	}
+	var v JobView
+	if code := postJSON(t, ts.URL+"/v1/jobs", slow, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	// Wait until it is actually running.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur JobView
+		getJSON(t, ts.URL+"/v1/jobs/"+v.ID, &cur)
+		if cur.State == StateRunning {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("slow job finished early: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+
+	var final JobView
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/wait?timeout=30s", &final); code != http.StatusOK {
+		t.Fatalf("wait status = %d", code)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("state after cancel = %s, want cancelled", final.State)
+	}
+}
+
+func TestBatchFanOut(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+
+	batch := BatchRequest{Jobs: []JobRequest{fastRequest(1), fastRequest(2), fastRequest(3)}}
+	var resp BatchResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", batch, &resp); code != http.StatusAccepted {
+		t.Fatalf("batch status = %d", code)
+	}
+	if len(resp.IDs) != 3 {
+		t.Fatalf("batch ids = %v, want 3", resp.IDs)
+	}
+	powers := make([]float64, len(resp.IDs))
+	for i, id := range resp.IDs {
+		var v JobView
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/wait?timeout=60s", &v); code != http.StatusOK {
+			t.Fatalf("wait %s status = %d", id, code)
+		}
+		if v.State != StateDone {
+			t.Fatalf("batch job %s finished %s (%s)", id, v.State, v.Error)
+		}
+		powers[i] = v.Result.Power
+	}
+	// Different seeds: genuinely different replication streams.
+	if powers[0] == powers[1] && powers[1] == powers[2] {
+		t.Fatalf("all batch powers identical (%v) despite distinct seeds", powers)
+	}
+
+	// A batch with an invalid member is rejected atomically.
+	bad := BatchRequest{Jobs: []JobRequest{fastRequest(1), {Circuit: ""}}}
+	var errResp map[string]string
+	if code := postJSON(t, ts.URL+"/v1/batch", bad, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("invalid batch status = %d", code)
+	}
+}
+
+func TestUploadAndEstimateUploaded(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+
+	var up UploadResponse
+	code := postJSON(t, ts.URL+"/v1/circuits", UploadRequest{Name: "toy", Text: toyBench}, &up)
+	if code != http.StatusCreated {
+		t.Fatalf("upload status = %d", code)
+	}
+	if up.Inputs != 1 || up.Latches != 1 {
+		t.Fatalf("upload response = %+v", up)
+	}
+
+	var circuits struct {
+		Circuits []string `json:"circuits"`
+	}
+	getJSON(t, ts.URL+"/v1/circuits", &circuits)
+	if !strings.Contains(strings.Join(circuits.Circuits, ","), "toy") {
+		t.Fatalf("circuit list %v missing upload", circuits.Circuits)
+	}
+
+	var v JobView
+	req := JobRequest{Circuit: "toy", Seed: 5, Options: OptionsSpec{Replications: 8}}
+	if code := postJSON(t, ts.URL+"/v1/jobs", req, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	var out JobView
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/wait?timeout=60s", &out); code != http.StatusOK {
+		t.Fatalf("wait status = %d", code)
+	}
+	if out.State != StateDone || out.Result.Power <= 0 {
+		t.Fatalf("uploaded-circuit job = %+v", out)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job poll status = %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/job-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job cancel status = %d, want 404", resp.StatusCode)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Circuit: "sNOPE"}, nil); code != http.StatusAccepted {
+		// Unknown circuits are resolved lazily by the worker, so the job
+		// is accepted and then fails.
+		t.Errorf("unknown-circuit submit status = %d, want 202", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", JobRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty submit status = %d, want 400", code)
+	}
+	// Out-of-range source parameters must be rejected at submit time;
+	// the vectors constructors panic on them, and that must never reach
+	// a pool worker.
+	badSources := []SourceSpec{
+		{P: 1.5},
+		{P: -0.1},
+		{Kind: "lag", Rho: 1.0},
+		{Kind: "lag", Rho: -0.5},
+	}
+	for _, src := range badSources {
+		req := JobRequest{Circuit: "s27", Source: src}
+		if code := postJSON(t, ts.URL+"/v1/jobs", req, nil); code != http.StatusBadRequest {
+			t.Errorf("bad source %+v: submit status = %d, want 400", src, code)
+		}
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"nope": 1}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown-field submit status = %d, want 400", code)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz status = %d", code)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Errorf("stats status = %d", code)
+	}
+	if stats.Pool.Workers != 1 {
+		t.Errorf("pool stats = %+v, want 1 worker", stats.Pool)
+	}
+}
+
+// TestJobFailsOnUnknownCircuit covers the failed terminal state.
+func TestJobFailsOnUnknownCircuit(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+	var v JobView
+	if code := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Circuit: "sNOPE", Seed: 1}, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	var out JobView
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/wait?timeout=30s", &out); code != http.StatusOK {
+		t.Fatalf("wait status = %d", code)
+	}
+	if out.State != StateFailed || out.Error == "" {
+		t.Fatalf("view = %+v, want failed with error", out)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueSize: 1})
+	defer svc.Close()
+	slow := JobRequest{
+		Circuit: "s298",
+		Seed:    1,
+		Options: OptionsSpec{RelErr: 0.004, Confidence: 0.999, Replications: 32, Workers: 1},
+	}
+	var ids []string
+	var sawFull bool
+	// One job can be running and one queued; the pool hands queue slots
+	// to the worker asynchronously, so allow a couple of extra attempts
+	// before demanding ErrQueueFull.
+	for i := 0; i < 5; i++ {
+		id, err := svc.Jobs.Submit(slow)
+		if err != nil {
+			if err != ErrQueueFull {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			sawFull = true
+			break
+		}
+		ids = append(ids, id)
+	}
+	if !sawFull {
+		t.Fatal("queue never reported full")
+	}
+	for _, id := range ids {
+		svc.Jobs.Cancel(id)
+	}
+}

@@ -1,20 +1,3 @@
-// Package sim provides the gate-level simulators the estimation
-// technique relies on (Section IV of the paper):
-//
-//   - a zero-delay levelized functional simulator, used to advance the
-//     circuit state cheaply through the independence interval,
-//   - a bit-parallel 64-lane variant of it (PackedZeroDelay), which
-//     advances 64 independent replications per machine word, and
-//   - an event-driven general-delay simulator with inertial gate delays,
-//     used on sampled cycles to observe every transition (including
-//     glitches) for the power computation of Eq. 1.
-//
-// The scalar simulators operate on the same dense value array, so a
-// session can interleave them cycle by cycle; the packed simulator keeps
-// one uint64 word per node and can extract any single lane into the
-// scalar representation. All inner loops run over the circuit's frozen
-// CSR view (netlist.CSR): flat kind/level/fanin/fanout arrays instead of
-// per-Node slice chasing.
 package sim
 
 import (

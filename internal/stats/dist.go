@@ -1,8 +1,3 @@
-// Package stats provides the probability and statistics routines the
-// estimation technique needs, implemented from scratch on the standard
-// library: normal and Student-t distributions, the regularized incomplete
-// beta function, binomial tails, descriptive statistics, empirical CDFs,
-// sample quantiles and autocorrelation.
 package stats
 
 import (

@@ -1,0 +1,18 @@
+// Package stopping implements the stopping criteria of Section IV: given
+// a stream of i.i.d. power samples and an accuracy specification
+// (maximum relative error epsilon with confidence 1-delta), a criterion
+// decides when enough samples have been collected.
+//
+// Three interchangeable criteria are provided, mirroring the choices the
+// paper lists:
+//
+//   - Normal: the parametric criterion based on the central limit
+//     theorem (Burch et al., the paper's ref [11]);
+//   - KS: a distribution-free criterion built on the
+//     Dvoretzky–Kiefer–Wolfowitz uniform confidence band for the
+//     empirical CDF (a reconstruction of the Kolmogorov–Smirnov
+//     criterion of the paper's ref [6]);
+//   - OrderStatistics: a distribution-free criterion built on binomial
+//     order statistics of batch means (a reconstruction of the paper's
+//     ref [7], the criterion DIPE uses by default).
+package stopping

@@ -1,0 +1,13 @@
+// Package vectors generates primary-input pattern streams for power
+// simulation. The paper's experiments use mutually independent inputs
+// with signal probability 0.5, but explicitly claims the method handles
+// correlated streams "without any extra work"; this package therefore
+// provides i.i.d., temporally correlated (lag-1 Markov), spatially
+// correlated, and trace-replay sources behind one interface.
+//
+// All sources are deterministic given their seed, so every experiment in
+// the repository is reproducible bit-for-bit. Factory builds a source
+// per seed, which is how the parallel estimator and the service hand
+// every replication fresh, reproducible randomness (replication r of a
+// job with base seed s is always seeded s+1+r).
+package vectors

@@ -1,12 +1,3 @@
-// Package vectors generates primary-input pattern streams for power
-// simulation. The paper's experiments use mutually independent inputs
-// with signal probability 0.5, but explicitly claims the method handles
-// correlated streams "without any extra work"; this package therefore
-// provides i.i.d., temporally correlated (lag-1 Markov), spatially
-// correlated, and trace-replay sources behind one interface.
-//
-// All sources are deterministic given their seed, so every experiment in
-// the repository is reproducible bit-for-bit.
 package vectors
 
 import (

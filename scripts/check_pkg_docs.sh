@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# check_pkg_docs.sh — fail if any Go package in the module lacks a
+# package comment (doc.go convention; `go doc` must be usable end to
+# end). Used by the CI docs job and runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+    echo "packages missing a package comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "all $(go list ./... | wc -l) packages have package comments"
