@@ -213,7 +213,7 @@ func BenchmarkPackedHidden(b *testing.B) {
 }
 
 // BenchmarkPackedSampled measures one packed sampled cycle (64 lanes
-// through the scalar event-driven observer).
+// through the scalar event-driven observer — the general-delay mode).
 func BenchmarkPackedSampled(b *testing.B) {
 	for _, name := range []string{"s298", "s1494"} {
 		c := bench89.MustGet(name)
@@ -228,7 +228,30 @@ func BenchmarkPackedSampled(b *testing.B) {
 			powers := make([]float64, sim.MaxLanes)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.StepSampled(ed, tb.Weights(), powers)
+				s.StepSampledWith(ed, tb.Weights(), powers)
+			}
+			b.ReportMetric(float64(b.N*sim.MaxLanes)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
+// BenchmarkPackedSampledZeroDelay measures one packed zero-delay
+// sampled cycle: all 64 lanes observed by word-level transition
+// counting, no scalar extraction at all.
+func BenchmarkPackedSampledZeroDelay(b *testing.B) {
+	for _, name := range []string{"s298", "s1494"} {
+		c := bench89.MustGet(name)
+		tb := dipe.NewTestbench(c)
+		b.Run(name, func(b *testing.B) {
+			srcs := make([]vectors.Source, sim.MaxLanes)
+			for k := range srcs {
+				srcs[k] = vectors.NewIID(len(c.Inputs), 0.5, int64(k+1))
+			}
+			s := sim.NewPackedSession(c, srcs)
+			powers := make([]float64, sim.MaxLanes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepSampled(tb.Weights(), powers)
 			}
 			b.ReportMetric(float64(b.N*sim.MaxLanes)/b.Elapsed().Seconds(), "cycles/sec")
 		})

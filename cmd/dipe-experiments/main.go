@@ -6,6 +6,8 @@
 //	dipe-experiments -table2 -runs 1000            # Table 2 at paper scale
 //	dipe-experiments -fig3                         # Figure 3 (s1494, L=10000)
 //	dipe-experiments -ablation stopping            # criterion comparison
+//	dipe-experiments -modes                        # general- vs zero-delay power modes
+//	dipe-experiments -sampled -sampled-json BENCH_2.json   # sampled-phase throughput
 //	dipe-experiments -table1 -circuits s27,s298    # subset
 //	dipe-experiments -all -small                   # everything, small circuits
 //
@@ -53,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		packed   = fs.Bool("packed", false, "run the packed-vs-scalar hidden-cycle throughput benchmark")
 		packedN  = fs.Int("packed-cycles", 200_000, "scalar cycle budget for -packed")
 		packedJS = fs.String("packed-json", "", "write the -packed report as JSON to this file")
+		sampled  = fs.Bool("sampled", false, "run the sampled-cycle throughput benchmark (event-driven vs packed zero-delay)")
+		sampledN = fs.Int("sampled-cycles", 2_000, "scalar sampled-cycle budget for -sampled")
+		sampledJ = fs.String("sampled-json", "", "write the -sampled report as JSON to this file (BENCH_2.json)")
+		modes    = fs.Bool("modes", false, "run the Table-1-style general-delay vs zero-delay mode comparison")
 		paper    = fs.Bool("paper", false, "use the paper's 1e6-cycle references")
 		seed     = fs.Int64("seed", 1997, "base seed for the whole campaign")
 		fig3Len  = fs.Int("fig3-len", 10000, "Figure 3 sequence length")
@@ -84,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes {
 		fs.Usage()
 		return fmt.Errorf("no campaign selected")
 	}
@@ -106,6 +112,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", *packedJS)
 		}
+	}
+
+	if *sampled {
+		set := cfg.Circuits
+		if *circuits == "" && !*small {
+			// Default to the regression trio unless the user chose a set.
+			set = []string{"s298", "s832", "s1494"}
+		}
+		rows, err := experiments.SampledThroughput(set, *sampledN, 64, cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderSampledBench(rows))
+		if *sampledJ != "" {
+			if err := os.WriteFile(*sampledJ, []byte(experiments.SampledBenchJSON(rows)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *sampledJ)
+		}
+	}
+
+	if *modes || *all {
+		mcfg := cfg
+		if *circuits == "" && !*small {
+			mcfg.Circuits = []string{"s298", "s832", "s1494"}
+		}
+		rows, err := experiments.ModeComparison(mcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.RenderModes(rows))
 	}
 
 	if *table1 || *all {

@@ -67,3 +67,17 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown circuit accepted")
 	}
 }
+
+func TestRunSampledSmoke(t *testing.T) {
+	out := smoke(t, "-sampled", "-circuits", "s27", "-sampled-cycles", "100")
+	if !strings.Contains(out, "s27") || !strings.Contains(out, "speedup") {
+		t.Fatalf("sampled bench output missing content:\n%s", out)
+	}
+}
+
+func TestRunModesSmoke(t *testing.T) {
+	out := smoke(t, "-modes", "-circuits", "s27", "-replications", "16", "-workers", "2")
+	if !strings.Contains(out, "s27") || !strings.Contains(out, "glitch") {
+		t.Fatalf("modes output missing content:\n%s", out)
+	}
+}

@@ -10,6 +10,8 @@
 //
 //	curl -s localhost:8415/healthz
 //	curl -s -X POST localhost:8415/v1/jobs -d '{"circuit":"s298","seed":1}'
+//	curl -s -X POST localhost:8415/v1/jobs \
+//	  -d '{"circuit":"s298","seed":1,"options":{"powerMode":"zero-delay"}}'
 //	curl -s localhost:8415/v1/jobs/job-000001
 //	curl -s localhost:8415/v1/jobs/job-000001/wait
 //	curl -s -X POST localhost:8415/v1/batch -d '{"jobs":[{"circuit":"s298","seed":1},{"circuit":"s832","seed":2}]}'

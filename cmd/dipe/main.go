@@ -83,6 +83,7 @@ func main() {
 		confidence  = flag.Float64("conf", 0.99, "confidence level")
 		criterion   = flag.String("criterion", "order-statistics", "stopping criterion: normal | ks | order-statistics")
 		test        = flag.String("test", "runs", "randomness test: runs | updown | vonneumann")
+		powerMode   = flag.String("power-mode", "general-delay", "sampled-cycle observation: general-delay (glitches included) | zero-delay (functional toggles, bit-parallel)")
 		inputProb   = flag.Float64("p", 0.5, "primary-input signal probability")
 		inputRho    = flag.Float64("rho", 0, "primary-input lag-1 autocorrelation (0 = i.i.d.)")
 		seed        = flag.Int64("seed", 1, "random seed")
@@ -101,7 +102,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
-		*criterion, *test, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
+		*criterion, *test, *powerMode, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
 		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "dipe:", err)
 		os.Exit(1)
@@ -109,7 +110,7 @@ func main() {
 }
 
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
-	criterion, test string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
+	criterion, test, powerMode string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
 	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int) error {
 
 	var (
@@ -164,6 +165,11 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	default:
 		return fmt.Errorf("unknown randomness test %q", test)
 	}
+	mode, err := dipe.ParsePowerMode(powerMode)
+	if err != nil {
+		return err
+	}
+	opts.Mode = mode
 
 	newFactory := func() dipe.SourceFactory {
 		if inputRho > 0 {
@@ -173,9 +179,13 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	}
 	newSource := func() dipe.Source { return newFactory()(seed) }
 	tb := dipe.NewTestbench(c)
+	// Estimation and reference sessions observe under the selected mode;
+	// the VCD, top-consumers and peak-power paths stay event-driven (they
+	// need timed waveforms / glitch accounting by definition).
+	newSession := func() *dipe.Session { return tb.NewSessionMode(newSource(), mode) }
 
 	if refCycles > 0 {
-		ref := dipe.RunReference(tb.NewSession(newSource()), 256, refCycles)
+		ref := dipe.RunReference(newSession(), 256, refCycles)
 		fmt.Printf("reference: %s over %d cycles (rel. std. err. %.3f%%) in %s\n",
 			dipe.FormatWatts(ref.Power), ref.Cycles, 100*ref.RelStdErr(), ref.Elapsed)
 		return nil
@@ -211,7 +221,7 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	}
 
 	if ztrace >= 0 {
-		pts, err := dipe.ZTrace(tb.NewSession(newSource()), opts, ztrace, ztraceLen)
+		pts, err := dipe.ZTrace(newSession(), opts, ztrace, ztraceLen)
 		if err != nil {
 			return err
 		}
@@ -232,9 +242,9 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	case reps > 0:
 		res, err = dipe.EstimateParallel(tb, newFactory(), seed, opts)
 	case fixed >= 0:
-		res, err = dipe.EstimateWithInterval(tb.NewSession(newSource()), opts, fixed)
+		res, err = dipe.EstimateWithInterval(newSession(), opts, fixed)
 	default:
-		res, err = dipe.Estimate(tb.NewSession(newSource()), opts)
+		res, err = dipe.Estimate(newSession(), opts)
 	}
 	if err != nil {
 		return err
@@ -254,7 +264,7 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	if verbose {
 		// Post-hoc audit: a fresh sequence at the selected interval run
 		// through the full randomness battery.
-		diag, derr := dipe.Diagnose(tb.NewSession(newSource()), res.Interval, seqLen)
+		diag, derr := dipe.Diagnose(newSession(), res.Interval, seqLen)
 		if derr == nil {
 			fmt.Printf("  sample audit at interval %d (CV %.2f):\n", diag.Interval, diag.CV)
 			for _, tr := range diag.Tests {
@@ -280,6 +290,7 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	fmt.Println()
 	fmt.Printf("sample size       : %d\n", res.SampleSize)
 	fmt.Printf("criterion         : %s (half-width %.2f%%)\n", res.Criterion, 100*res.RelHalfWidth())
+	fmt.Printf("power mode        : %s (engine %s, delay model %s)\n", mode, res.Engine, res.DelayModel)
 	fmt.Printf("simulated cycles  : %d hidden + %d sampled\n", res.HiddenCycles, res.SampledCycles)
 	fmt.Printf("wall time         : %s\n", res.Elapsed)
 	if !res.Converged {

@@ -15,6 +15,7 @@ type runArgs struct {
 	seqLen               int
 	relErr, confidence   float64
 	criterion, test      string
+	powerMode            string
 	inputProb, inputRho  float64
 	seed                 int64
 	fixed, reps, workers int
@@ -29,7 +30,7 @@ type runArgs struct {
 func defaults() runArgs {
 	return runArgs{
 		alpha: 0.20, seqLen: 320, relErr: 0.05, confidence: 0.99,
-		criterion: "order-statistics", test: "runs",
+		criterion: "order-statistics", test: "runs", powerMode: "general-delay",
 		inputProb: 0.5, seed: 1, fixed: -1, ztrace: -1, ztraceLen: 1000,
 		vcdCycles: 8,
 	}
@@ -37,7 +38,7 @@ func defaults() runArgs {
 
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
-		a.criterion, a.test, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
+		a.criterion, a.test, a.powerMode, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
 		a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
 }
 
@@ -200,5 +201,22 @@ func TestRunErrors(t *testing.T) {
 		if err := a.run(); err == nil {
 			t.Errorf("case %d: run succeeded, want error", i)
 		}
+	}
+}
+
+func TestRunZeroDelayMode(t *testing.T) {
+	a := defaults()
+	a.circuit = "s27"
+	a.powerMode = "zero" // alias of "zero-delay"
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	a.reps = 8
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	a.powerMode = "bogus"
+	if err := a.run(); err == nil {
+		t.Fatal("bogus power mode accepted")
 	}
 }

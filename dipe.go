@@ -98,6 +98,33 @@ var (
 	FanoutDelayModel DelayModel = delay.DefaultFanoutLoaded()
 )
 
+// PowerMode selects the power-observation scenario for sampled cycles:
+// general-delay (event-driven, glitches included — the paper's default)
+// or zero-delay (functional transitions only, bit-parallel across
+// replication lanes so sampled cycles run at packed-simulation
+// throughput). Set Options.Mode, or build sessions with
+// Testbench.NewSessionMode. Result.Engine and Result.DelayModel record
+// what actually observed a run's sampled cycles.
+type PowerMode = power.PowerMode
+
+// Power modes for Options.Mode / Testbench.NewSessionMode.
+const (
+	// GeneralDelayMode counts every transition, glitches included, with
+	// the event-driven simulator (the default; equals the zero value).
+	GeneralDelayMode = power.ModeGeneralDelay
+	// ZeroDelayMode counts functional transitions only, with the packed
+	// 64-lane engine under EstimateParallel.
+	ZeroDelayMode = power.ModeZeroDelay
+)
+
+// ParsePowerMode resolves a user-supplied mode string ("general-delay",
+// "zero-delay", or the aliases "general"/"zero"; empty means
+// general-delay).
+func ParsePowerMode(s string) (PowerMode, error) { return power.ParseMode(s) }
+
+// PowerModes lists the valid canonical power modes.
+func PowerModes() []PowerMode { return power.Modes() }
+
 // DefaultCapModel returns the default load-capacitance coefficients
 // (30 fF + 10 fF per fanout).
 func DefaultCapModel() CapModel { return power.DefaultCapModel() }
@@ -128,8 +155,10 @@ func NewLagCorrelatedSourceFactory(width int, p, rho float64) SourceFactory {
 // EstimateParallel runs the DIPE flow with Options.Replications
 // independent replications advanced concurrently: hidden cycles run on
 // a bit-packed zero-delay simulator (64 replications per machine word)
-// and sampled cycles on per-worker event-driven simulators, sharded
-// across an Options.Workers goroutine pool. Replication r is seeded
+// and sampled cycles on the engine Options.Mode selects — per-shard
+// event-driven simulators under the default general-delay mode, or
+// word-level packed transition counting under ZeroDelayMode (sampled
+// cycles then cost the same as hidden ones). Replication r is seeded
 // baseSeed+1+r (interval selection uses baseSeed), and samples merge
 // into the stopping criterion in a fixed order, so results are
 // reproducible and independent of the worker count.

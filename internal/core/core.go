@@ -62,6 +62,14 @@ type Options struct {
 	// replication seeds are fixed and samples are merged in replication
 	// order.
 	Workers int
+	// Mode selects the power-observation scenario for sampled cycles:
+	// general-delay (event-driven, glitches included — the paper's
+	// configuration and the zero-value default) or zero-delay (functional
+	// transitions only, bit-parallel across replication lanes). It is
+	// honoured by the estimators that build their own sessions
+	// (EstimateParallel and friends); the session-based estimators follow
+	// the engine of the session they are handed (Testbench.NewSessionMode).
+	Mode power.PowerMode
 	// Progress, if non-nil, is called from the estimator goroutine after
 	// every merged block of samples (roughly every CheckEvery) with a
 	// running snapshot of the estimate. It must be cheap; it is never
@@ -136,6 +144,9 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative Workers %d", o.Workers)
 	}
+	if err := o.Mode.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -167,9 +178,27 @@ func DefaultTestbench(c *netlist.Circuit) *Testbench {
 }
 
 // NewSession creates a simulation session over the testbench with the
-// given input source.
+// given input source and the default general-delay (event-driven) power
+// engine.
 func (tb *Testbench) NewSession(src vectors.Source) *sim.Session {
 	return sim.NewSession(tb.Circuit, tb.Delays, src, tb.weights)
+}
+
+// Engine builds the scalar power engine realizing a power mode on this
+// testbench: the event-driven simulator over the testbench's delay
+// table for general-delay, the zero-delay toggle engine otherwise.
+func (tb *Testbench) Engine(mode power.PowerMode) sim.PowerEngine {
+	if mode.IsZeroDelay() {
+		return sim.NewZeroDelayToggle(tb.Circuit)
+	}
+	return sim.NewEventDriven(tb.Circuit, tb.Delays)
+}
+
+// NewSessionMode creates a session whose sampled cycles are observed
+// under the given power mode. The zero mode value gives exactly
+// NewSession's general-delay behaviour.
+func (tb *Testbench) NewSessionMode(src vectors.Source, mode power.PowerMode) *sim.Session {
+	return sim.NewSessionEngine(tb.Circuit, tb.Engine(mode), src, tb.weights)
 }
 
 // Weights exposes the per-transition power weights (watts per

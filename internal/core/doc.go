@@ -18,6 +18,14 @@
 // Section IV. EstimateParallel runs the same flow with many independent
 // replications advanced concurrently on the bit-packed simulator, with
 // deterministic seeding and merge order. The Ctx variants add
-// cooperative cancellation, and Options.Progress streams running
-// snapshots — the hooks the dipe-server job manager is built on.
+// cooperative cancellation (covering interval selection too, via
+// SelectIntervalCtx), and Options.Progress streams running snapshots
+// with a guaranteed terminal snapshot — the hooks the dipe-server job
+// manager is built on.
+//
+// Options.Mode selects the power-observation scenario (power.PowerMode):
+// the default general-delay mode observes sampled cycles with per-lane
+// event-driven simulation, the zero-delay mode with word-parallel packed
+// transition counting, making sampled cycles as cheap as hidden ones.
+// Result.Engine and Result.DelayModel record what a run actually used.
 package core

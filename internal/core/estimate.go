@@ -32,6 +32,13 @@ type Result struct {
 	Elapsed time.Duration
 	// Criterion names the stopping criterion used.
 	Criterion string
+	// Engine names the power engine that observed the sampled cycles
+	// (sim.EngineEventDriven, sim.EngineZeroDelay, or
+	// sim.EnginePackedZeroDelay for the bit-parallel sampled phase).
+	Engine string
+	// DelayModel names the timing model the engine realized ("zero" for
+	// zero-delay observation).
+	DelayModel string
 	// Converged is false only if MaxSamples was exhausted first.
 	Converged bool
 }
@@ -60,11 +67,11 @@ func Estimate(s *sim.Session, opts Options) (Result, error) {
 	return EstimateCtx(context.Background(), s, opts)
 }
 
-// EstimateCtx is Estimate with cancellation: the sampling loop checks
-// ctx between stopping-criterion blocks and returns the partial
-// (unconverged) result together with ctx.Err() when the context is
-// cancelled. Interval selection itself is not interruptible; on
-// benchmark-scale circuits it completes in milliseconds.
+// EstimateCtx is Estimate with cancellation: both interval selection
+// (via SelectIntervalCtx) and the sampling loop poll ctx. Cancellation
+// during selection returns ctx.Err() with an empty result; cancellation
+// during sampling returns the partial (unconverged) result together
+// with ctx.Err().
 func EstimateCtx(ctx context.Context, s *sim.Session, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
@@ -73,7 +80,7 @@ func EstimateCtx(ctx context.Context, s *sim.Session, opts Options) (Result, err
 	s.ResetCounters()
 	s.StepHiddenN(opts.WarmupCycles)
 
-	sel, err := SelectInterval(s, opts)
+	sel, err := SelectIntervalCtx(ctx, s, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -113,6 +120,8 @@ func EstimateWithIntervalCtx(ctx context.Context, s *sim.Session, opts Options, 
 // estimateTail runs the sampling/stopping phase at a fixed interval,
 // optionally seeded with an already-collected random sequence. On
 // cancellation it returns the partial result together with ctx.Err().
+// The engine is whatever the session was built with; it is recorded in
+// the result.
 func estimateTail(ctx context.Context, s *sim.Session, opts Options, interval int, seed []float64) (Result, error) {
 	crit := opts.NewCriterion(opts.Spec)
 	if opts.ReuseTestSamples {
@@ -121,6 +130,17 @@ func estimateTail(ctx context.Context, s *sim.Session, opts Options, interval in
 		}
 	}
 	result := func(converged bool) Result {
+		// Every exit fires a final Progress snapshot so long-running
+		// callers (the dipe-server job manager) never show a stale last
+		// block after convergence, budget exhaustion or cancellation.
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Samples:   crit.N(),
+				Power:     crit.Estimate(),
+				HalfWidth: crit.HalfWidth(),
+				Interval:  interval,
+			})
+		}
 		return Result{
 			Power:         crit.Estimate(),
 			Interval:      interval,
@@ -129,6 +149,8 @@ func estimateTail(ctx context.Context, s *sim.Session, opts Options, interval in
 			HiddenCycles:  s.HiddenCycles,
 			SampledCycles: s.SampledCycles,
 			Criterion:     crit.Name(),
+			Engine:        s.Engine().Name(),
+			DelayModel:    s.Engine().DelayModelName(),
 			Converged:     converged,
 		}
 	}

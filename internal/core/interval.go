@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,15 +32,27 @@ type IntervalSelection struct {
 }
 
 // collectSequence gathers n power samples, separated by k hidden
-// (zero-delay) cycles each, into dst.
-func collectSequence(s *sim.Session, k, n int, dst []float64) []float64 {
+// (zero-delay) cycles each, into dst. It polls ctx every ctxCheckEvery
+// samples and returns early with ctx.Err() when cancelled, so one trial
+// on a large circuit cannot pin a worker past a cancellation request.
+func collectSequence(ctx context.Context, s *sim.Session, k, n int, dst []float64) ([]float64, error) {
 	dst = dst[:0]
 	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return dst, err
+			}
+		}
 		s.StepHiddenN(k)
 		dst = append(dst, s.StepSampled(nil))
 	}
-	return dst
+	return dst, nil
 }
+
+// ctxCheckEvery is the cancellation-poll cadence of sequence collection,
+// in samples. Coarse enough to stay invisible in profiles, fine enough
+// that cancellation latency is a handful of sampled cycles.
+const ctxCheckEvery = 32
 
 // SelectInterval runs the sequential procedure of Fig. 2 on a session:
 // starting from trial interval 0, collect a power sequence of length
@@ -47,13 +60,26 @@ func collectSequence(s *sim.Session, k, n int, dst []float64) []float64 {
 // apply the randomness test, and increment the interval until the
 // randomness hypothesis is accepted at significance opts.Alpha.
 func SelectInterval(s *sim.Session, opts Options) (IntervalSelection, error) {
+	return SelectIntervalCtx(context.Background(), s, opts)
+}
+
+// SelectIntervalCtx is SelectInterval with cancellation: the collection
+// loop polls ctx every few samples (each trial collects opts.SeqLen of
+// them) and returns ctx.Err() when cancelled. The dipe-server job
+// manager relies on this to abort jobs that are still selecting an
+// interval on a large uploaded circuit.
+func SelectIntervalCtx(ctx context.Context, s *sim.Session, opts Options) (IntervalSelection, error) {
 	if err := opts.Validate(); err != nil {
 		return IntervalSelection{}, err
 	}
 	sel := IntervalSelection{}
 	seq := make([]float64, 0, opts.SeqLen)
 	for k := 0; ; k++ {
-		seq = collectSequence(s, k, opts.SeqLen, seq)
+		var err error
+		seq, err = collectSequence(ctx, s, k, opts.SeqLen, seq)
+		if err != nil {
+			return IntervalSelection{}, err
+		}
 		res := opts.Test.Apply(seq)
 		accepted := res.Accept(opts.Alpha)
 		sel.Trials = append(sel.Trials, Trial{
@@ -103,7 +129,7 @@ func ZTrace(s *sim.Session, opts Options, maxK, seqLen int) ([]ZPoint, error) {
 	out := make([]ZPoint, 0, maxK+1)
 	seq := make([]float64, 0, seqLen)
 	for k := 0; k <= maxK; k++ {
-		seq = collectSequence(s, k, seqLen, seq)
+		seq, _ = collectSequence(context.Background(), s, k, seqLen, seq)
 		res := opts.Test.Apply(seq)
 		out = append(out, ZPoint{
 			Interval: k,
@@ -151,7 +177,7 @@ func Diagnose(s *sim.Session, interval, n int) (Diagnostics, error) {
 	if interval < 0 || n < 32 {
 		return Diagnostics{}, fmt.Errorf("core: Diagnose needs interval >= 0 and n >= 32 (got %d, %d)", interval, n)
 	}
-	seq := collectSequence(s, interval, n, make([]float64, 0, n))
+	seq, _ := collectSequence(context.Background(), s, interval, n, make([]float64, 0, n))
 	battery := []randtest.Test{
 		randtest.OrdinaryRuns{}, randtest.UpDownRuns{}, randtest.VonNeumann{}, randtest.LjungBox{},
 	}

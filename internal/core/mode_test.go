@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/delay"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/vectors"
+)
+
+// golden holds results captured from the estimator BEFORE the power-
+// engine refactor (commit 32efb46, seed 42, default options, 64
+// replications for the parallel rows). The default general-delay path
+// must keep reproducing them bit-for-bit: the refactor routes the same
+// computation through the PowerEngine interface without changing a
+// single arithmetic step.
+type golden struct {
+	power           float64
+	interval        int
+	samples         int
+	halfWidth       float64
+	hidden, sampled uint64
+}
+
+var goldenSerial = map[string]golden{
+	"s27":  {4.6707915145985263e-05, 0, 4384, 2.2656250000000059e-06, 512, 4384},
+	"s298": {0.00035740885416666712, 1, 960, 1.7734375000000009e-05, 1472, 1280},
+	"s832": {0.0011258945312499998, 1, 640, 5.6015624999999859e-05, 1152, 960},
+}
+
+var goldenParallel = map[string]golden{
+	"s27":  {4.5485733695652114e-05, 0, 1472, 2.2656250000000026e-06, 33280, 1472},
+	"s298": {0.0003563359375000007, 1, 2560, 1.6640625000000027e-05, 35840, 2880},
+	"s832": {0.0011188454861111126, 1, 1152, 4.7187500000000137e-05, 34432, 1472},
+}
+
+func checkGolden(t *testing.T, name, kind string, res Result, want golden) {
+	t.Helper()
+	if res.Power != want.power || res.Interval != want.interval ||
+		res.SampleSize != want.samples || res.HalfWidth != want.halfWidth ||
+		res.HiddenCycles != want.hidden || res.SampledCycles != want.sampled {
+		t.Errorf("%s %s: got (P=%.17g II=%d n=%d hw=%.17g h=%d s=%d), want (P=%.17g II=%d n=%d hw=%.17g h=%d s=%d)",
+			name, kind, res.Power, res.Interval, res.SampleSize, res.HalfWidth,
+			res.HiddenCycles, res.SampledCycles,
+			want.power, want.interval, want.samples, want.halfWidth, want.hidden, want.sampled)
+	}
+}
+
+// TestGeneralDelayBitIdenticalToPreRefactor pins the default path to
+// pre-refactor numbers: for fixed seeds, Estimate and EstimateParallel
+// must reproduce the recorded power, interval, sample size, half-width
+// and cycle counts exactly.
+func TestGeneralDelayBitIdenticalToPreRefactor(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s832"} {
+		c, err := bench89.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := DefaultTestbench(c)
+		w := len(c.Inputs)
+
+		res, err := Estimate(tb.NewSession(vectors.NewIID(w, 0.5, 42)), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, name, "serial", res, goldenSerial[name])
+		if res.Engine != sim.EngineEventDriven {
+			t.Errorf("%s serial: engine %q", name, res.Engine)
+		}
+
+		opts := DefaultOptions()
+		opts.Replications = 64
+		pres, err := EstimateParallel(tb, vectors.IIDFactory(w, 0.5), 42, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, name, "parallel", pres, goldenParallel[name])
+		if pres.Engine != sim.EngineEventDriven || pres.DelayModel != tb.Delays.ModelName {
+			t.Errorf("%s parallel: engine %q delay %q", name, pres.Engine, pres.DelayModel)
+		}
+	}
+}
+
+// TestModeSessionMatchesDefaultSession: an explicit general-delay mode
+// is the same code path as the default, bit for bit.
+func TestModeSessionMatchesDefaultSession(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	w := len(c.Inputs)
+	a, err := Estimate(tb.NewSession(vectors.NewIID(w, 0.5, 7)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Mode = power.ModeGeneralDelay
+	b, err := Estimate(tb.NewSessionMode(vectors.NewIID(w, 0.5, 7), opts.Mode), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Trials, b.Trials = nil, nil
+	a.Elapsed, b.Elapsed = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("explicit general-delay differs from default:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestZeroDelayParallelMatchesZeroTableGeneral: estimating in zero-delay
+// mode on the default testbench must agree with general-delay estimation
+// on a testbench whose delay model is Zero — the same functional
+// transitions are counted either way. Power agreement is to a relative
+// 1e-12 (the selection phases use different engines, whose float
+// summation orders may differ in the last ulp).
+func TestZeroDelayParallelMatchesZeroTableGeneral(t *testing.T) {
+	c := bench89.MustGet("s298")
+	w := len(c.Inputs)
+	factory := vectors.IIDFactory(w, 0.5)
+
+	opts := DefaultOptions()
+	opts.Replications = 64
+	opts.Mode = power.ModeZeroDelay
+	za, err := EstimateParallel(DefaultTestbench(c), factory, 9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if za.Engine != sim.EnginePackedZeroDelay || za.DelayModel != "zero" {
+		t.Fatalf("zero-delay mode recorded engine %q delay %q", za.Engine, za.DelayModel)
+	}
+
+	ztb := NewTestbench(c, delay.Zero{}, power.DefaultCapModel(), power.DefaultSupply())
+	gopts := DefaultOptions()
+	gopts.Replications = 64
+	zb, err := EstimateParallel(ztb, factory, 9, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zb.Engine != sim.EnginePackedZeroDelay {
+		t.Fatalf("all-zero table was not upgraded to the packed engine (engine %q)", zb.Engine)
+	}
+	if za.Interval != zb.Interval || za.SampleSize != zb.SampleSize {
+		t.Fatalf("zero-delay mode (II=%d n=%d) vs zero-table general (II=%d n=%d)",
+			za.Interval, za.SampleSize, zb.Interval, zb.SampleSize)
+	}
+	if rel := math.Abs(za.Power-zb.Power) / zb.Power; rel > 1e-12 {
+		t.Fatalf("powers differ by %g relative: %.17g vs %.17g", rel, za.Power, zb.Power)
+	}
+}
+
+// TestZeroDelayBelowGeneralDelay: glitch power only adds, so the
+// zero-delay estimate must come in below the general-delay estimate on
+// the same circuit (well beyond statistical noise on s832, whose deep
+// logic glitches heavily).
+func TestZeroDelayBelowGeneralDelay(t *testing.T) {
+	c := bench89.MustGet("s832")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	gopts := DefaultOptions()
+	gopts.Replications = 64
+	g, err := EstimateParallel(tb, factory, 5, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zopts := gopts
+	zopts.Mode = power.ModeZeroDelay
+	z, err := EstimateParallel(tb, factory, 5, zopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Power >= g.Power {
+		t.Fatalf("zero-delay power %g not below general-delay %g", z.Power, g.Power)
+	}
+}
+
+// TestSerialZeroDelayMode: the session-based estimator honours a
+// zero-delay session and records the engine.
+func TestSerialZeroDelayMode(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	s := tb.NewSessionMode(vectors.NewIID(len(c.Inputs), 0.5, 3), power.ModeZeroDelay)
+	res, err := Estimate(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != sim.EngineZeroDelay || res.DelayModel != "zero" {
+		t.Fatalf("recorded engine %q delay %q", res.Engine, res.DelayModel)
+	}
+	if res.Power <= 0 {
+		t.Fatalf("power %g", res.Power)
+	}
+}
+
+// TestSelectIntervalCancellable: a cancelled context aborts interval
+// selection (previously documented as non-interruptible) from both the
+// serial and the parallel estimator.
+func TestSelectIntervalCancellable(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := SelectIntervalCtx(ctx, tb.NewSession(vectors.NewIID(len(c.Inputs), 0.5, 1)), DefaultOptions())
+	if err != context.Canceled {
+		t.Fatalf("SelectIntervalCtx error = %v, want context.Canceled", err)
+	}
+	_, err = EstimateCtx(ctx, tb.NewSession(vectors.NewIID(len(c.Inputs), 0.5, 1)), DefaultOptions())
+	if err != context.Canceled {
+		t.Fatalf("EstimateCtx error = %v, want context.Canceled", err)
+	}
+	_, err = EstimateParallelCtx(ctx, tb, vectors.IIDFactory(len(c.Inputs), 0.5), 1, DefaultOptions())
+	if err != context.Canceled {
+		t.Fatalf("EstimateParallelCtx error = %v, want context.Canceled", err)
+	}
+}
+
+// TestFinalProgressSnapshot: the last Progress callback always matches
+// the returned result — on convergence and on cancellation — so job
+// status pages never show a stale last block.
+func TestFinalProgressSnapshot(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+
+	var last *Progress
+	opts := DefaultOptions()
+	opts.Replications = 16
+	opts.Progress = func(p Progress) { last = &p }
+	res, err := EstimateParallel(tb, factory, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil || last.Samples != res.SampleSize || last.Power != res.Power {
+		t.Fatalf("final progress %+v does not match result (n=%d P=%g)", last, res.SampleSize, res.Power)
+	}
+
+	// Cancelled before any block: the terminal snapshot must still fire
+	// and reflect the partial (seed-sample-only) state.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	last = nil
+	pres, err := EstimateParallelWithIntervalCtx(ctx, tb, factory, 2, opts, 1)
+	if err != context.Canceled {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if last == nil || last.Samples != pres.SampleSize {
+		t.Fatalf("no terminal progress snapshot on cancellation (last=%+v, n=%d)", last, pres.SampleSize)
+	}
+}

@@ -7,17 +7,20 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/delay"
 	"repro/internal/sim"
 	"repro/internal/vectors"
 )
 
 // shard is one worker's slice of the replication space: a contiguous
 // range of replication indices driven by a single packed session (at
-// most sim.MaxLanes lanes) plus a private scalar event-driven simulator
-// for the sampled cycles.
+// most sim.MaxLanes lanes). Under the general-delay engine each shard
+// additionally owns a private scalar power engine for the sampled
+// cycles; under the packed zero-delay engine sampled cycles stay
+// word-parallel and engine is nil.
 type shard struct {
 	ps     *sim.PackedSession
-	ed     *sim.EventDriven
+	engine sim.PowerEngine
 	lanes  int
 	powers []float64 // per-block lane powers, round-major: [round*lanes + lane]
 }
@@ -54,10 +57,12 @@ func EstimateParallelCtx(ctx context.Context, tb *Testbench, src vectors.Factory
 	start := time.Now()
 
 	// Phase 1: independence-interval selection on a scalar session, as in
-	// Estimate. The selected interval is shared by every replication.
-	sel0 := tb.NewSession(src(baseSeed))
+	// Estimate, observed under the selected power mode (the power-sample
+	// distribution the runs test probes depends on the engine). The
+	// selected interval is shared by every replication.
+	sel0 := tb.NewSessionMode(src(baseSeed), opts.Mode)
 	sel0.StepHiddenN(opts.WarmupCycles)
-	sel, err := SelectInterval(sel0, opts)
+	sel, err := SelectIntervalCtx(ctx, sel0, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -97,6 +102,16 @@ func EstimateParallelWithIntervalCtx(ctx context.Context, tb *Testbench, src vec
 // interval, optionally seeded with an already-collected random sequence
 // (consumed only when opts.ReuseTestSamples is set, as in estimateTail).
 // On cancellation it returns the partial result together with ctx.Err().
+//
+// Engine selection: under zero-delay mode sampled cycles run entirely
+// word-parallel (PackedSession.StepSampled) and no scalar simulator is
+// built at all; under general-delay mode each shard owns a scalar
+// event-driven engine and lanes are extracted per sampled cycle. A
+// general-delay run whose delay table is all-zero is upgraded to the
+// packed engine too — the transition sets are identical (see
+// delay.Table.AllZero), though power sums may differ from per-lane
+// event-driven simulation in the last ulp because the summation order
+// changes.
 func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64) (Result, error) {
 	reps := opts.Replications
 	if reps == 0 {
@@ -108,6 +123,11 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 	}
 	if workers > reps {
 		workers = reps
+	}
+	packedSampled := opts.Mode.IsZeroDelay() || tb.Delays.AllZero()
+	engineName, delayName := sim.EnginePackedZeroDelay, delay.Zero{}.Name()
+	if !packedSampled {
+		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
 	}
 
 	// Shard the replication space: at least `workers` shards so the pool
@@ -127,11 +147,14 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			srcs[k] = src(baseSeed + 1 + int64(next+k))
 		}
 		next += lanes
-		shards = append(shards, &shard{
+		sh := &shard{
 			ps:    sim.NewPackedSession(tb.Circuit, srcs),
-			ed:    sim.NewEventDriven(tb.Circuit, tb.Delays),
 			lanes: lanes,
-		})
+		}
+		if !packedSampled {
+			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
+		}
+		shards = append(shards, sh)
 	}
 
 	// Warm every replication up from reset in parallel.
@@ -164,6 +187,17 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			hidden += sh.ps.HiddenCycles
 			sampled += sh.ps.SampledCycles
 		}
+		// Every exit fires a final Progress snapshot so long-running
+		// callers (the dipe-server job manager) never show a stale last
+		// block after convergence, budget exhaustion or cancellation.
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Samples:   crit.N(),
+				Power:     crit.Estimate(),
+				HalfWidth: crit.HalfWidth(),
+				Interval:  interval,
+			})
+		}
 		return Result{
 			Power:         crit.Estimate(),
 			Interval:      interval,
@@ -172,6 +206,8 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			HiddenCycles:  hidden,
 			SampledCycles: sampled,
 			Criterion:     crit.Name(),
+			Engine:        engineName,
+			DelayModel:    delayName,
 			Converged:     converged,
 		}
 	}
@@ -192,7 +228,12 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		runShards(shards, workers, func(sh *shard) {
 			for t := 0; t < n; t++ {
 				sh.ps.StepHiddenN(interval)
-				sh.ps.StepSampled(sh.ed, weights, sh.powers[t*sh.lanes:(t+1)*sh.lanes])
+				block := sh.powers[t*sh.lanes : (t+1)*sh.lanes]
+				if packedSampled {
+					sh.ps.StepSampled(weights, block)
+				} else {
+					sh.ps.StepSampledWith(sh.engine, weights, block)
+				}
 			}
 		})
 		for t := 0; t < n; t++ {

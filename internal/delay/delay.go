@@ -100,6 +100,23 @@ func BuildTable(c *netlist.Circuit, m Model) *Table {
 	return t
 }
 
+// AllZero reports whether every node delay in the table is zero. Under
+// an all-zero table the event-driven simulator commits at most one
+// transition per node per cycle (same-time events are processed in
+// level order with inertial cancellation), so it counts exactly the
+// functional toggles that zero-delay observation counts; the estimator
+// uses this to substitute the bit-parallel zero-delay power engine for
+// per-lane event-driven simulation. The set of counted transitions is
+// identical; only the floating-point summation order differs.
+func (t *Table) AllZero() bool {
+	for _, d := range t.Delays {
+		if d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxSettling returns a conservative bound on the settling time of one
 // clock cycle: the sum over the longest path of per-level maxima. It is
 // used to sanity-check that the clock period covers combinational

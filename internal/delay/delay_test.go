@@ -105,3 +105,16 @@ func TestDefaultSettlesWithinPaperClock(t *testing.T) {
 		t.Fatalf("60 levels at fanout 4 = %d ps > 50 ns clock", total)
 	}
 }
+
+func TestTableAllZero(t *testing.T) {
+	c := chainCircuit(t)
+	if !BuildTable(c, Zero{}).AllZero() {
+		t.Error("zero table not AllZero")
+	}
+	if BuildTable(c, Unit{}).AllZero() {
+		t.Error("unit table reported AllZero")
+	}
+	if BuildTable(c, DefaultFanoutLoaded()).AllZero() {
+		t.Error("fanout table reported AllZero")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vectors"
+)
+
+// SampledBenchRow compares sampled-cycle throughput on one circuit
+// across the power engines: the scalar event-driven simulator (the
+// general-delay mode's per-lane cost), the scalar zero-delay toggle
+// engine, and the packed 64-lane zero-delay engine (word-level
+// transition counting). Cycles per second count per-replication clock
+// cycles, so the packed figure already includes the lane fan-out. The
+// packed-vs-event-driven speedup is the cost ratio between the two
+// power modes' sampled phases — the phase that dominates estimation
+// cost in the paper's two-phase scheme.
+type SampledBenchRow struct {
+	Name          string  `json:"circuit"`
+	Gates         int     `json:"gates"`
+	Lanes         int     `json:"lanes"`
+	EventCPS      float64 `json:"event_driven_cycles_per_sec"`
+	ToggleCPS     float64 `json:"zero_delay_toggle_cycles_per_sec"`
+	PackedCPS     float64 `json:"packed_zero_delay_cycles_per_sec"`
+	Speedup       float64 `json:"speedup_vs_event_driven"`
+	ScalarCycles  int     `json:"scalar_cycles_measured"`
+	PackedCycles  int     `json:"packed_cycles_measured"`
+	ElapsedEvent  float64 `json:"event_driven_seconds"`
+	ElapsedToggle float64 `json:"zero_delay_toggle_seconds"`
+	ElapsedPacked float64 `json:"packed_zero_delay_seconds"`
+}
+
+// SampledThroughput measures sampled-cycle throughput for the given
+// circuits. cycles is the per-replication sampled-cycle budget for each
+// scalar run; the packed run advances the same number of wall-clock
+// sampled sweeps (cycles*lanes per-replication cycles) so both sides do
+// comparable amounts of timed work. lanes is the packed session width
+// (usually sim.MaxLanes).
+func SampledThroughput(circuits []string, cycles, lanes int, seed int64) ([]SampledBenchRow, error) {
+	if cycles < 1 || lanes < 1 || lanes > sim.MaxLanes {
+		return nil, fmt.Errorf("experiments: bad sampled bench config (cycles=%d lanes=%d)", cycles, lanes)
+	}
+	rows := make([]SampledBenchRow, 0, len(circuits))
+	for _, name := range circuits {
+		c, err := bench89.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tb := core.DefaultTestbench(c)
+		weights := tb.Weights()
+		width := len(c.Inputs)
+
+		timeScalar := func(s *sim.Session) float64 {
+			for i := 0; i < 64; i++ { // touch everything once before timing
+				s.StepSampled(nil)
+			}
+			t0 := time.Now()
+			for i := 0; i < cycles; i++ {
+				s.StepSampled(nil)
+			}
+			return time.Since(t0).Seconds()
+		}
+		eventSec := timeScalar(tb.NewSession(vectors.NewIID(width, 0.5, seed)))
+		toggleSec := timeScalar(sim.NewSessionEngine(c, sim.NewZeroDelayToggle(c),
+			vectors.NewIID(width, 0.5, seed), weights))
+
+		srcs := make([]vectors.Source, lanes)
+		for k := range srcs {
+			srcs[k] = vectors.NewIID(width, 0.5, seed+1+int64(k))
+		}
+		ps := sim.NewPackedSession(c, srcs)
+		powers := make([]float64, lanes)
+		for i := 0; i < 64; i++ {
+			ps.StepSampled(weights, powers)
+		}
+		t0 := time.Now()
+		for i := 0; i < cycles; i++ {
+			ps.StepSampled(weights, powers)
+		}
+		packedSec := time.Since(t0).Seconds()
+
+		row := SampledBenchRow{
+			Name:          name,
+			Gates:         c.NumGates(),
+			Lanes:         lanes,
+			ScalarCycles:  cycles,
+			PackedCycles:  cycles * lanes,
+			ElapsedEvent:  eventSec,
+			ElapsedToggle: toggleSec,
+			ElapsedPacked: packedSec,
+		}
+		if eventSec > 0 {
+			row.EventCPS = float64(cycles) / eventSec
+		}
+		if toggleSec > 0 {
+			row.ToggleCPS = float64(cycles) / toggleSec
+		}
+		if packedSec > 0 {
+			row.PackedCPS = float64(cycles*lanes) / packedSec
+		}
+		if row.EventCPS > 0 {
+			row.Speedup = row.PackedCPS / row.EventCPS
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SampledBenchReport is the JSON document emitted for regression
+// tracking (BENCH_2.json): the machine context plus one row per
+// circuit.
+type SampledBenchReport struct {
+	Benchmark string            `json:"benchmark"`
+	GoVersion string            `json:"go_version"`
+	NumCPU    int               `json:"num_cpu"`
+	Rows      []SampledBenchRow `json:"rows"`
+}
+
+// SampledBenchJSON renders rows as an indented JSON report.
+func SampledBenchJSON(rows []SampledBenchRow) string {
+	rep := SampledBenchReport{
+		Benchmark: "sampled cycles: scalar event-driven vs packed zero-delay",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		// Marshal of a plain struct cannot fail; keep the API total anyway.
+		return "{}"
+	}
+	return string(b) + "\n"
+}
+
+// RenderSampledBench renders rows as an ASCII table.
+func RenderSampledBench(rows []SampledBenchRow) string {
+	s := fmt.Sprintf("%-8s %7s %6s %13s %13s %13s %8s\n",
+		"circuit", "gates", "lanes", "event c/s", "toggle c/s", "packed c/s", "speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %7d %6d %13.3g %13.3g %13.3g %7.1fx\n",
+			r.Name, r.Gates, r.Lanes, r.EventCPS, r.ToggleCPS, r.PackedCPS, r.Speedup)
+	}
+	return s
+}

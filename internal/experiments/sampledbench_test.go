@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSampledThroughput(t *testing.T) {
+	rows, err := SampledThroughput([]string{"s27", "s298"}, 200, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.EventCPS <= 0 || r.ToggleCPS <= 0 || r.PackedCPS <= 0 {
+			t.Errorf("%s: nonpositive throughput: %+v", r.Name, r)
+		}
+		if r.Lanes != 64 || r.PackedCycles != 64*r.ScalarCycles {
+			t.Errorf("%s: lane accounting wrong: %+v", r.Name, r)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %g", r.Name, r.Speedup)
+		}
+	}
+
+	var rep SampledBenchReport
+	if err := json.Unmarshal([]byte(SampledBenchJSON(rows)), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Name != "s27" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if !strings.Contains(RenderSampledBench(rows), "s298") {
+		t.Fatal("ASCII render missing circuit name")
+	}
+}
+
+func TestSampledThroughputErrors(t *testing.T) {
+	if _, err := SampledThroughput([]string{"s27"}, 0, 64, 1); err == nil {
+		t.Fatal("cycles=0 accepted")
+	}
+	if _, err := SampledThroughput([]string{"s27"}, 100, 65, 1); err == nil {
+		t.Fatal("lanes=65 accepted")
+	}
+	if _, err := SampledThroughput([]string{"sNOPE"}, 100, 64, 1); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+// TestModeComparison: the two-mode table reports a positive glitch gap
+// (general-delay power is above zero-delay power) and sane run
+// accounting on a glitch-prone circuit.
+func TestModeComparison(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Circuits = []string{"s298"}
+	cfg.Replications = 32
+	cfg.Workers = 2
+	rows, err := ModeComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.PGeneral <= 0 || r.PZero <= 0 || r.PZero >= r.PGeneral {
+		t.Fatalf("implausible mode powers: %+v", r)
+	}
+	if r.GlitchPct <= 0 || r.GlitchPct >= 100 {
+		t.Fatalf("glitch share %g%%", r.GlitchPct)
+	}
+	if r.NGeneral <= 0 || r.NZero <= 0 || r.CycGeneral == 0 || r.CycZero == 0 {
+		t.Fatalf("missing run accounting: %+v", r)
+	}
+	if !strings.Contains(RenderModes(rows), "s298") {
+		t.Fatal("ASCII render missing circuit name")
+	}
+}
+
+func TestModeComparisonError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Circuits = []string{"sNOPE"}
+	if _, err := ModeComparison(cfg); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}

@@ -136,3 +136,36 @@ func TestFormatWatts(t *testing.T) {
 		}
 	}
 }
+
+func TestPowerModeValidateAndParse(t *testing.T) {
+	for _, m := range []PowerMode{"", ModeGeneralDelay, ModeZeroDelay} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mode %q rejected: %v", m, err)
+		}
+	}
+	if err := PowerMode("half-delay").Validate(); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if PowerMode("").Canonical() != ModeGeneralDelay || PowerMode("").String() != "general-delay" {
+		t.Error("zero value is not canonical general-delay")
+	}
+	if !ModeZeroDelay.IsZeroDelay() || ModeGeneralDelay.IsZeroDelay() {
+		t.Error("IsZeroDelay wrong")
+	}
+	cases := map[string]PowerMode{
+		"": ModeGeneralDelay, "general": ModeGeneralDelay, "general-delay": ModeGeneralDelay,
+		"zero": ModeZeroDelay, "zero-delay": ModeZeroDelay,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus")
+	}
+	if n := len(Modes()); n != 2 {
+		t.Errorf("Modes() has %d entries", n)
+	}
+}

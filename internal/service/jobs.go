@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/power"
 	"repro/internal/vectors"
 )
 
@@ -87,6 +89,12 @@ type OptionsSpec struct {
 	Workers int `json:"workers,omitempty"`
 	// MaxSamples caps the sample budget (default 2^21).
 	MaxSamples int `json:"maxSamples,omitempty"`
+	// PowerMode selects the sampled-cycle observation scenario:
+	// "general-delay" (event-driven, glitches included — the default) or
+	// "zero-delay" (functional transitions only, bit-parallel packed
+	// engine). Unknown values fail Validate, so bad requests are rejected
+	// at submit time.
+	PowerMode string `json:"powerMode,omitempty"`
 }
 
 // options expands the spec over the paper defaults.
@@ -113,6 +121,7 @@ func (o OptionsSpec) options() core.Options {
 	if o.MaxSamples != 0 {
 		opts.MaxSamples = o.MaxSamples
 	}
+	opts.Mode = power.PowerMode(o.PowerMode)
 	return opts
 }
 
@@ -148,7 +157,21 @@ func (r JobRequest) Validate() error {
 	return r.Options.options().Validate()
 }
 
+// jsonFinite maps non-finite values to -1 for JSON transport: a
+// stopping criterion's half-width is +Inf until it has enough samples
+// to bound the estimate, and encoding/json cannot represent ±Inf (the
+// whole response would fail to encode). Half-widths are otherwise
+// nonnegative, so -1 unambiguously means "no finite bound yet".
+func jsonFinite(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return -1
+	}
+	return x
+}
+
 // ResultView is the JSON rendering of a finished estimation.
+// HalfWidth and RelHalfWidth are -1 when the run ended before the
+// criterion could bound the estimate (see jsonFinite).
 type ResultView struct {
 	Power          float64 `json:"power"`
 	Interval       int     `json:"interval"`
@@ -159,6 +182,8 @@ type ResultView struct {
 	HiddenCycles   uint64  `json:"hiddenCycles"`
 	SampledCycles  uint64  `json:"sampledCycles"`
 	Criterion      string  `json:"criterion"`
+	Engine         string  `json:"engine"`
+	DelayModel     string  `json:"delayModel"`
 	Converged      bool    `json:"converged"`
 	ElapsedMS      float64 `json:"elapsedMs"`
 }
@@ -169,22 +194,35 @@ func viewResult(res core.Result) *ResultView {
 		Interval:       res.Interval,
 		IntervalCapped: res.IntervalCapped,
 		SampleSize:     res.SampleSize,
-		HalfWidth:      res.HalfWidth,
-		RelHalfWidth:   res.RelHalfWidth(),
+		HalfWidth:      jsonFinite(res.HalfWidth),
+		RelHalfWidth:   jsonFinite(res.RelHalfWidth()),
 		HiddenCycles:   res.HiddenCycles,
 		SampledCycles:  res.SampledCycles,
 		Criterion:      res.Criterion,
+		Engine:         res.Engine,
+		DelayModel:     res.DelayModel,
 		Converged:      res.Converged,
 		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
 	}
 }
 
 // ProgressView is the JSON rendering of a live progress snapshot.
+// HalfWidth is -1 while the criterion cannot bound the estimate yet
+// (see jsonFinite).
 type ProgressView struct {
 	Samples   int     `json:"samples"`
 	Power     float64 `json:"power"`
 	HalfWidth float64 `json:"halfWidth"`
 	Interval  int     `json:"interval"`
+}
+
+func viewProgress(p core.Progress) *ProgressView {
+	return &ProgressView{
+		Samples:   p.Samples,
+		Power:     p.Power,
+		HalfWidth: jsonFinite(p.HalfWidth),
+		Interval:  p.Interval,
+	}
 }
 
 // JobView is the externally visible snapshot of a job.
@@ -445,12 +483,7 @@ func (m *Manager) run(j *job) {
 	opts := j.req.Options.options()
 	opts.Progress = func(p core.Progress) {
 		m.mu.Lock()
-		j.progress = &ProgressView{
-			Samples:   p.Samples,
-			Power:     p.Power,
-			HalfWidth: p.HalfWidth,
-			Interval:  p.Interval,
-		}
+		j.progress = viewProgress(p)
 		m.mu.Unlock()
 	}
 

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // newTestService builds a service with a small deterministic
@@ -422,5 +424,73 @@ func TestQueueFull(t *testing.T) {
 	}
 	for _, id := range ids {
 		svc.Jobs.Cancel(id)
+	}
+}
+
+// TestPowerModeJob: a zero-delay job runs on the packed engine and the
+// result records it; an unknown mode is rejected at submit time.
+func TestPowerModeJob(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+
+	req := fastRequest(5)
+	req.Options.PowerMode = "zero-delay"
+	var submitted JobView
+	if code := postJSON(t, ts.URL+"/v1/jobs", req, &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	var done JobView
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+submitted.ID+"/wait?timeout=30s", &done); code != http.StatusOK {
+		t.Fatalf("wait status %d", code)
+	}
+	if done.State != StateDone || done.Result == nil {
+		t.Fatalf("job did not finish: %+v", done)
+	}
+	if done.Result.Engine != "packed-zero-delay" || done.Result.DelayModel != "zero" {
+		t.Fatalf("result records engine %q delay %q", done.Result.Engine, done.Result.DelayModel)
+	}
+
+	bad := fastRequest(6)
+	bad.Options.PowerMode = "half-delay"
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", bad, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("bad mode submit status %d", code)
+	}
+	if !strings.Contains(errBody.Error, "power mode") {
+		t.Fatalf("error %q does not mention the power mode", errBody.Error)
+	}
+
+	// The general-delay default still records the event-driven engine.
+	var gen JobView
+	if code := postJSON(t, ts.URL+"/v1/jobs", fastRequest(7), &gen); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+gen.ID+"/wait?timeout=30s", &gen); code != http.StatusOK {
+		t.Fatalf("wait status %d", code)
+	}
+	if gen.Result == nil || gen.Result.Engine != "event-driven" {
+		t.Fatalf("default engine recorded as %+v", gen.Result)
+	}
+}
+
+// TestNonFiniteViewsEncode: a job cancelled before its criterion can
+// bound the estimate leaves a terminal progress snapshot whose
+// half-width is +Inf in core terms; the JSON views must map non-finite
+// values to -1 so every job view (and the whole /v1/jobs listing)
+// still encodes.
+func TestNonFiniteViewsEncode(t *testing.T) {
+	if v := viewResult(core.Result{Power: 1, HalfWidth: math.Inf(1)}); v.HalfWidth != -1 || v.RelHalfWidth != -1 {
+		t.Fatalf("non-finite result view not sanitized: %+v", v)
+	}
+	if v := viewProgress(core.Progress{HalfWidth: math.Inf(1)}); v.HalfWidth != -1 {
+		t.Fatalf("non-finite progress view not sanitized: %+v", v)
+	}
+	v := viewResult(core.Result{HalfWidth: math.Inf(1)})
+	if _, err := json.Marshal(JobView{ID: "j", State: StateDone, Result: v}); err != nil {
+		t.Fatalf("job view with sanitized result does not encode: %v", err)
+	}
+	if v := viewProgress(core.Progress{HalfWidth: 0.5}); v.HalfWidth != 0.5 {
+		t.Fatalf("finite half-width altered: %+v", v)
 	}
 }

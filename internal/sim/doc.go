@@ -9,6 +9,27 @@
 //     used on sampled cycles to observe every transition (including
 //     glitches) for the power computation of Eq. 1.
 //
+// Power observation itself is pluggable behind the PowerEngine
+// interface: a sampled cycle is "apply the new (pattern, state), settle,
+// return the weighted transition sum of Eq. 1", and which transitions
+// are counted is the engine's delay-model scenario (power.PowerMode at
+// the estimator level). *EventDriven realizes the paper's general-delay
+// observation (glitches included); *ZeroDelayToggle realizes zero-delay
+// observation (at most one functional toggle per node, computed as a
+// settled-value diff). Sessions take an engine at construction
+// (NewSessionEngine) and default to event-driven (NewSession).
+//
+// The sampled phase is bit-parallel in the zero-delay scenario:
+// PackedSession.StepSampled computes all 64 lanes' powers from one
+// packed sweep plus an XOR diff pass over the value words (each set bit
+// routes its node's weight to its lane's sum) — a sampled cycle then
+// costs the same order as a hidden one. Lane k of a packed sampled step
+// is bit-identical, float summation order included, to a scalar
+// ZeroDelayToggle session over the same source; the property tests
+// assert this for every lane. PackedSession.StepSampledWith keeps the
+// general-delay path: each lane is extracted into a scalar engine for
+// exact glitch accounting.
+//
 // The scalar simulators operate on the same dense value array, so a
 // session can interleave them cycle by cycle; the packed simulator keeps
 // one uint64 word per node and can extract any single lane into the

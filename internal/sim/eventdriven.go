@@ -23,8 +23,9 @@ import (
 // The fanout walk and gate re-evaluation run over the circuit's CSR view
 // (flat kind/level/fanin/fanout arrays).
 type EventDriven struct {
-	csr    *netlist.CSR
-	delays []delay.Picoseconds
+	csr       *netlist.CSR
+	delays    []delay.Picoseconds
+	modelName string
 
 	heap []event
 
@@ -69,6 +70,7 @@ func NewEventDriven(c *netlist.Circuit, dt *delay.Table) *EventDriven {
 	return &EventDriven{
 		csr:           c.CSR(),
 		delays:        dt.Delays,
+		modelName:     dt.ModelName,
 		heap:          make([]event, 0, 4*n),
 		pendingVal:    make([]bool, n),
 		pendingActive: make([]bool, n),
@@ -172,6 +174,19 @@ func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64
 	}
 	return sum
 }
+
+// CyclePower implements PowerEngine; it is Cycle under the interface's
+// name.
+func (e *EventDriven) CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64 {
+	return e.Cycle(vals, newPins, newQ, weights, counts)
+}
+
+// Name implements PowerEngine.
+func (e *EventDriven) Name() string { return EngineEventDriven }
+
+// DelayModelName implements PowerEngine: the name of the delay model the
+// simulator's table was built from.
+func (e *EventDriven) DelayModelName() string { return e.modelName }
 
 // SetObserver installs (or clears, with nil) a callback invoked for
 // every committed transition during subsequent Cycles. Observation slows

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/netlist"
 	"repro/internal/vectors"
@@ -81,9 +82,11 @@ func (z *PackedZeroDelay) Outputs(vals []uint64, out []uint64) {
 // lane. Each lane has its own input source (fixed lane→source mapping,
 // so results are reproducible and lane k is bit-for-bit identical to a
 // scalar Session over the same source). Hidden cycles advance all lanes
-// with one packed sweep; sampled cycles hand each lane to a scalar
-// event-driven simulator for transition accounting, then re-settle the
-// packed state.
+// with one packed sweep. Sampled cycles come in two flavours:
+// StepSampled observes all 64 lanes at once with word-level zero-delay
+// transition counting (as cheap as a hidden cycle plus one diff pass),
+// and StepSampledWith hands each lane to a scalar power engine for
+// general-delay (glitch-accurate) accounting.
 //
 // The class invariant mirrors Session's: vals always holds the packed
 // settled node values for the current (pins, q) pair.
@@ -92,12 +95,14 @@ type PackedSession struct {
 	pz    *PackedZeroDelay
 	srcs  []vectors.Source
 	lanes int
+	mask  uint64 // bit k set iff lane k is active
 
-	vals  []uint64 // one word per node
-	pins  []uint64 // one word per input
-	q     []uint64 // one word per latch
-	nextQ []uint64
-	buf   []uint64 // next packed pattern under construction
+	vals    []uint64 // one word per node
+	oldVals []uint64 // previous settled words, for zero-delay toggle diffs
+	pins    []uint64 // one word per input
+	q       []uint64 // one word per latch
+	nextQ   []uint64
+	buf     []uint64 // next packed pattern under construction
 
 	laneBuf []bool // one lane's pattern, as drawn from its source
 
@@ -127,12 +132,18 @@ func NewPackedSession(c *netlist.Circuit, srcs []vectors.Source) *PackedSession 
 				k, src.Width(), len(c.Inputs)))
 		}
 	}
+	mask := ^uint64(0)
+	if len(srcs) < MaxLanes {
+		mask = 1<<uint(len(srcs)) - 1
+	}
 	s := &PackedSession{
 		c:       c,
 		pz:      NewPackedZeroDelay(c),
 		srcs:    append([]vectors.Source(nil), srcs...),
 		lanes:   len(srcs),
+		mask:    mask,
 		vals:    make([]uint64, c.NumNodes()),
+		oldVals: make([]uint64, c.NumNodes()),
 		pins:    make([]uint64, len(c.Inputs)),
 		q:       make([]uint64, len(c.Latches)),
 		nextQ:   make([]uint64, len(c.Latches)),
@@ -193,22 +204,62 @@ func (s *PackedSession) StepHiddenN(n int) {
 	}
 }
 
-// StepSampled advances every lane one clock cycle, observing each lane's
-// transitions with the scalar event-driven simulator ed (which must be
-// built for the same circuit). powers[k] receives lane k's weighted
-// transition sum (len(powers) >= Lanes()). The packed state is advanced
-// by a zero-delay settle — event-driven and zero-delay simulation agree
-// on settled values, so lane equivalence with scalar sessions is exact.
-func (s *PackedSession) StepSampled(ed *EventDriven, weights []float64, powers []float64) {
+// StepSampled advances every lane one clock cycle and computes each
+// lane's zero-delay power entirely at word level: the new packed state
+// is settled with one 64-lane sweep, the value words are XORed against
+// the previous settled words, and every set bit adds the node's weight
+// to its lane's sum. powers[k] receives lane k's weighted functional
+// transition sum (len(powers) >= Lanes()); glitches are excluded by
+// construction. Lane k is bit-identical — including float summation
+// order — to a scalar session with the ZeroDelayToggle engine over the
+// same source, which the sim property tests assert for all 64 lanes.
+//
+// This makes a sampled cycle cost one packed sweep plus one diff pass,
+// the same order as a hidden cycle — the zero-delay mode's sampled
+// phase runs at packed-simulation throughput.
+func (s *PackedSession) StepSampled(weights []float64, powers []float64) {
 	if len(powers) < s.lanes {
 		panic(fmt.Sprintf("sim: packed StepSampled powers length %d, want >= %d", len(powers), s.lanes))
+	}
+	if len(weights) != len(s.vals) {
+		panic(fmt.Sprintf("sim: packed StepSampled weights length %d, want %d", len(weights), len(s.vals)))
+	}
+	s.advance()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.vals, s.oldVals = s.oldVals, s.vals
+	s.pz.Settle(s.vals, s.pins, s.q)
+	for k := 0; k < s.lanes; k++ {
+		powers[k] = 0
+	}
+	for i, w := range weights {
+		// Inactive lanes are masked out: their inputs are frozen at the
+		// reset pattern but latch feedback could still toggle them.
+		d := (s.vals[i] ^ s.oldVals[i]) & s.mask
+		for ; d != 0; d &= d - 1 {
+			powers[bits.TrailingZeros64(d)] += w
+		}
+	}
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// StepSampledWith advances every lane one clock cycle, observing each
+// lane's transitions with the scalar power engine (which must be built
+// for the same circuit) — per-lane event-driven simulation for the
+// general-delay mode. powers[k] receives lane k's weighted transition
+// sum (len(powers) >= Lanes()). The packed state is advanced by a
+// zero-delay settle — every engine agrees with zero-delay simulation on
+// settled values, so lane equivalence with scalar sessions is exact.
+func (s *PackedSession) StepSampledWith(engine PowerEngine, weights []float64, powers []float64) {
+	if len(powers) < s.lanes {
+		panic(fmt.Sprintf("sim: packed StepSampledWith powers length %d, want >= %d", len(powers), s.lanes))
 	}
 	s.advance()
 	for k := 0; k < s.lanes; k++ {
 		extractWord(k, s.svals, s.vals)
 		extractWord(k, s.spins, s.buf)
 		extractWord(k, s.sq, s.nextQ)
-		powers[k] = ed.Cycle(s.svals, s.spins, s.sq, weights, nil)
+		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, nil)
 	}
 	s.q, s.nextQ = s.nextQ, s.q
 	s.pins, s.buf = s.buf, s.pins

@@ -102,7 +102,7 @@ func TestPropertyPackedSampledMatchesScalar(t *testing.T) {
 					scalar[k].StepHidden()
 				}
 			} else {
-				ps.StepSampled(ed, w, powers)
+				ps.StepSampledWith(ed, w, powers)
 				for k := 0; k < lanes; k++ {
 					p := scalar[k].StepSampled(nil)
 					if p != powers[k] {
@@ -148,8 +148,8 @@ func TestPackedCounters(t *testing.T) {
 	w := make([]float64, c.NumNodes())
 	powers := make([]float64, lanes)
 	ps.StepHiddenN(7)
-	ps.StepSampled(ed, w, powers)
-	ps.StepSampled(ed, w, powers)
+	ps.StepSampledWith(ed, w, powers)
+	ps.StepSampledWith(ed, w, powers)
 	if ps.HiddenCycles != 7*lanes {
 		t.Errorf("HiddenCycles = %d, want %d", ps.HiddenCycles, 7*lanes)
 	}

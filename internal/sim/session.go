@@ -14,17 +14,20 @@ import (
 //
 //   - StepHidden advances one cycle with the zero-delay simulator only
 //     (used inside the independence interval, no power observation);
-//   - StepSampled advances one cycle with the event-driven general-delay
-//     simulator and returns the weighted transition sum of Eq. 1.
+//   - StepSampled advances one cycle with the session's power engine and
+//     returns the weighted transition sum of Eq. 1. The default engine
+//     is the event-driven general-delay simulator; NewSessionEngine
+//     installs any PowerEngine (e.g. ZeroDelayToggle for the zero-delay
+//     mode).
 //
 // The class invariant is that vals always holds settled node values for
 // the current (pins, q) pair, so the two step kinds can be interleaved
-// freely.
+// freely — every engine leaves vals settled for the new (pins, q).
 type Session struct {
-	c   *netlist.Circuit
-	zd  *ZeroDelay
-	ed  *EventDriven
-	src vectors.Source
+	c      *netlist.Circuit
+	zd     *ZeroDelay
+	engine PowerEngine
+	src    vectors.Source
 
 	weights []float64
 
@@ -40,21 +43,32 @@ type Session struct {
 	SampledCycles uint64
 }
 
-// NewSession builds a session. weights[i] is the per-transition power
-// contribution of node i (see power.BuildWeights); src must have width
-// len(c.Inputs). The circuit starts in the all-zero latch state with an
-// all-zero input pattern, settled.
+// NewSession builds a session with the default event-driven
+// general-delay power engine over the given delay table. weights[i] is
+// the per-transition power contribution of node i (see power
+// Model.Weights); src must have width len(c.Inputs). The circuit starts
+// in the all-zero latch state with an all-zero input pattern, settled.
 func NewSession(c *netlist.Circuit, dt *delay.Table, src vectors.Source, weights []float64) *Session {
+	return NewSessionEngine(c, NewEventDriven(c, dt), src, weights)
+}
+
+// NewSessionEngine builds a session whose sampled cycles are observed by
+// the given power engine (the engine must have been built for the same
+// circuit). Hidden cycles always run on the zero-delay simulator.
+func NewSessionEngine(c *netlist.Circuit, engine PowerEngine, src vectors.Source, weights []float64) *Session {
 	if src.Width() != len(c.Inputs) {
 		panic(fmt.Sprintf("sim: source width %d, circuit has %d inputs", src.Width(), len(c.Inputs)))
 	}
 	if len(weights) != len(c.Nodes) {
 		panic(fmt.Sprintf("sim: weights length %d, circuit has %d nodes", len(weights), len(c.Nodes)))
 	}
+	if engine == nil {
+		panic("sim: NewSessionEngine requires a power engine")
+	}
 	s := &Session{
 		c:       c,
 		zd:      NewZeroDelay(c),
-		ed:      NewEventDriven(c, dt),
+		engine:  engine,
 		src:     src,
 		weights: weights,
 		vals:    make([]bool, len(c.Nodes)),
@@ -115,26 +129,47 @@ func (s *Session) StepHiddenN(n int) {
 	}
 }
 
-// StepSampled advances one clock cycle using the event-driven simulator
+// StepSampled advances one clock cycle using the session's power engine
 // and returns the weighted transition sum for the cycle: sum_i w_i * n_i,
 // which equals the cycle's average power when the weights are built as
-// C_i * VDD^2 / (2T) (see power.BuildWeights). If counts is non-nil, the
+// C_i * VDD^2 / (2T) (see power Model.Weights). If counts is non-nil, the
 // per-node transition counts are accumulated into it.
 func (s *Session) StepSampled(counts []uint32) float64 {
 	s.advance()
 	s.q, s.nextQ = s.nextQ, s.q
 	s.pins, s.buf = s.buf, s.pins
-	p := s.ed.Cycle(s.vals, s.pins, s.q, s.weights, counts)
+	p := s.engine.CyclePower(s.vals, s.pins, s.q, s.weights, counts)
 	s.SampledCycles++
 	return p
 }
 
-// SettleTime returns the simulated settling time of the most recent
-// sampled cycle.
-func (s *Session) SettleTime() delay.Picoseconds { return s.ed.LastSettleTime }
+// Engine returns the session's power engine.
+func (s *Session) Engine() PowerEngine { return s.engine }
 
-// Events returns the applied event count of the most recent sampled cycle.
-func (s *Session) Events() uint64 { return s.ed.LastEvents }
+// eventDriven returns the underlying event-driven simulator if that is
+// the session's engine, else nil.
+func (s *Session) eventDriven() *EventDriven {
+	ed, _ := s.engine.(*EventDriven)
+	return ed
+}
+
+// SettleTime returns the simulated settling time of the most recent
+// sampled cycle (0 unless the engine is event-driven).
+func (s *Session) SettleTime() delay.Picoseconds {
+	if ed := s.eventDriven(); ed != nil {
+		return ed.LastSettleTime
+	}
+	return 0
+}
+
+// Events returns the applied event count of the most recent sampled
+// cycle (0 unless the engine is event-driven).
+func (s *Session) Events() uint64 {
+	if ed := s.eventDriven(); ed != nil {
+		return ed.LastEvents
+	}
+	return 0
+}
 
 // State copies the current latch state into dst (len = #latches).
 func (s *Session) State(dst []bool) { copy(dst, s.q) }
@@ -158,7 +193,13 @@ func (s *Session) Values() []bool { return s.vals }
 
 // SetObserver installs a per-transition callback on the underlying
 // event-driven simulator (see EventDriven.SetObserver). Only sampled
-// cycles produce observations; hidden cycles are functional.
+// cycles produce observations; hidden cycles are functional. It panics
+// if the session's engine is not event-driven — waveform observation is
+// a timed-simulation feature.
 func (s *Session) SetObserver(fn func(id netlist.NodeID, t delay.Picoseconds, v bool)) {
-	s.ed.SetObserver(fn)
+	ed := s.eventDriven()
+	if ed == nil {
+		panic(fmt.Sprintf("sim: SetObserver requires the event-driven engine, session uses %q", s.engine.Name()))
+	}
+	ed.SetObserver(fn)
 }

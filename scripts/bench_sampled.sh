@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_2.json: sampled-cycle throughput of the scalar
+# event-driven engine vs the packed zero-delay engine on the regression
+# trio (s298/s832/s1494). Optional first argument overrides the scalar
+# sampled-cycle budget (default 2000).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cycles="${1:-2000}"
+go run ./cmd/dipe-experiments -sampled -sampled-cycles "$cycles" -sampled-json BENCH_2.json
