@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench89"
@@ -58,6 +59,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sampled  = fs.Bool("sampled", false, "run the sampled-cycle throughput benchmark (event-driven vs packed zero-delay)")
 		sampledN = fs.Int("sampled-cycles", 2_000, "scalar sampled-cycle budget for -sampled")
 		sampledJ = fs.String("sampled-json", "", "write the -sampled report as JSON to this file (BENCH_2.json)")
+		clusterB = fs.Bool("cluster", false, "run the distributed scaling benchmark (coordinator + in-process workers)")
+		clusterW = fs.String("cluster-workers", "1,2", "comma-separated worker counts for -cluster")
+		clusterN = fs.Int("cluster-samples", 8192, "sample budget per -cluster run")
+		clusterP = fs.Int("cluster-pace", 10000, "per-worker pacing in samples/s for -cluster (0 = raw CPU-bound)")
+		clusterJ = fs.String("cluster-json", "", "write the -cluster report as JSON to this file (BENCH_3.json)")
 		modes    = fs.Bool("modes", false, "run the Table-1-style general-delay vs zero-delay mode comparison")
 		paper    = fs.Bool("paper", false, "use the paper's 1e6-cycle references")
 		seed     = fs.Int64("seed", 1997, "base seed for the whole campaign")
@@ -90,9 +96,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes && !*clusterB {
 		fs.Usage()
 		return fmt.Errorf("no campaign selected")
+	}
+
+	if *clusterB {
+		ccfg := experiments.DefaultClusterScalingConfig()
+		ccfg.Samples = *clusterN
+		ccfg.PacedSamplesPerSec = *clusterP
+		ccfg.Seed = cfg.BaseSeed
+		if *circuits != "" || *small {
+			ccfg.Circuits = cfg.Circuits
+		}
+		ccfg.WorkerCounts = ccfg.WorkerCounts[:0]
+		for _, s := range strings.Split(*clusterW, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -cluster-workers entry %q", s)
+			}
+			ccfg.WorkerCounts = append(ccfg.WorkerCounts, n)
+		}
+		rows, err := experiments.ClusterScaling(ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderClusterBench(rows))
+		if *clusterJ != "" {
+			if err := os.WriteFile(*clusterJ, []byte(experiments.ClusterBenchJSON(rows, ccfg.PacedSamplesPerSec)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *clusterJ)
+		}
 	}
 
 	if *packed {

@@ -6,9 +6,17 @@
 //	dipe-server -addr :9000 -workers 4   # bigger pool
 //	dipe-server -cache 32 -queue 256     # more cached circuits / queue depth
 //
+// Cluster mode shards every job's replications across dipe-worker
+// processes instead of local goroutines, with results bit-identical to
+// local mode (same seeds, same merge order):
+//
+//	dipe-server -workers-addr http://10.0.0.7:8416,http://10.0.0.8:8416
+//	dipe-server -cluster                 # workers self-register later
+//
 // Endpoints (see internal/service for the full API):
 //
 //	curl -s localhost:8415/healthz
+//	curl -s localhost:8415/readyz        # 503 until jobs can actually run
 //	curl -s -X POST localhost:8415/v1/jobs -d '{"circuit":"s298","seed":1}'
 //	curl -s -X POST localhost:8415/v1/jobs \
 //	  -d '{"circuit":"s298","seed":1,"options":{"powerMode":"zero-delay"}}'
@@ -28,9 +36,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -48,19 +58,43 @@ func main() {
 func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("dipe-server", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8415", "listen address")
-		cache   = fs.Int("cache", 0, "frozen-circuit LRU capacity (0 = default)")
-		workers = fs.Int("workers", 0, "concurrent estimation jobs (0 = default)")
-		queue   = fs.Int("queue", 0, "pending-job queue bound (0 = default)")
+		addr        = fs.String("addr", ":8415", "listen address")
+		cache       = fs.Int("cache", 0, "frozen-circuit LRU capacity (0 = default)")
+		workers     = fs.Int("workers", 0, "concurrent estimation jobs (0 = default)")
+		queue       = fs.Int("queue", 0, "pending-job queue bound (0 = default)")
+		clusterOn   = fs.Bool("cluster", false, "cluster mode with an empty worker set (workers register via POST /v1/cluster/workers)")
+		workersAddr = fs.String("workers-addr", "", "comma-separated dipe-worker base URLs (implies cluster mode)")
+		heartbeat   = fs.Duration("heartbeat", 0, "cluster worker health-poll period (0 = default 2s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var dispatcher service.Dispatcher
+	if *clusterOn || *workersAddr != "" {
+		var urls []string
+		for _, u := range strings.Split(*workersAddr, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Workers:   urls,
+			Heartbeat: *heartbeat,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		dispatcher = coord
+		fmt.Fprintf(out, "dipe-server cluster mode, %d initial workers\n", len(urls))
+	}
+
 	svc := service.New(service.Config{
-		CacheSize: *cache,
-		Workers:   *workers,
-		QueueSize: *queue,
+		CacheSize:  *cache,
+		Workers:    *workers,
+		QueueSize:  *queue,
+		Dispatcher: dispatcher,
 	})
 	defer svc.Close()
 
@@ -94,11 +128,14 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		}
 	}
 
-	// Close the service first: it cancels every live job, which closes
-	// the per-job done channels that parked /v1/jobs/{id}/wait handlers
-	// block on. Otherwise a client long-polling a slow job would hold an
-	// in-flight request past the Shutdown deadline and turn every
-	// routine SIGTERM into a failed shutdown.
+	// Graceful drain, in order: Close cancels every live job, rejects
+	// new submissions, and blocks until the whole job pool has retired —
+	// no estimation goroutine outlives it. That also closes the per-job
+	// done channels that parked /v1/jobs/{id}/wait handlers block on;
+	// otherwise a client long-polling a slow job would hold an in-flight
+	// request past the Shutdown deadline and turn every routine SIGTERM
+	// into a failed shutdown. Only then does srv.Shutdown wait out the
+	// remaining (now short-lived) HTTP requests.
 	svc.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

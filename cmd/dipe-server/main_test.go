@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // startServer runs the real binary entry point on a kernel-assigned
@@ -99,5 +102,88 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "256.256.256.256:99999"}, &out, nil, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestClusterModeEndToEnd boots the server with the cluster dispatcher
+// and an in-process worker, walks the readiness transition, runs a job
+// through the cluster, and drains with a job in flight.
+func TestClusterModeEndToEnd(t *testing.T) {
+	wk := httptest.NewServer(cluster.NewWorker(cluster.WorkerConfig{}).Handler())
+	defer wk.Close()
+
+	base, shutdown := startServer(t, "-cluster", "-heartbeat", "100ms")
+
+	// Cluster mode with no registered workers: alive, not ready.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before workers = %d, want 503", resp.StatusCode)
+	}
+
+	reg := fmt.Sprintf(`{"url":%q}`, wk.URL)
+	resp, err = http.Post(base+"/v1/cluster/workers", "application/json", strings.NewReader(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("worker registration = %d, want 201", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after registration = %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"circuit":"s27","seed":11,"options":{"replications":16,"workers":1}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/jobs/" + submitted.ID + "/wait?timeout=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final struct {
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Result *struct {
+			Power float64 `json:"power"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if final.State != "done" || final.Result == nil || final.Result.Power <= 0 {
+		t.Fatalf("cluster job = %+v (error %q)", final, final.Error)
+	}
+
+	// Drain with a job in flight: submit a slow one and shut down
+	// immediately; run() must still return promptly (the drain cancels
+	// it) and without error.
+	slow := `{"circuit":"s298","seed":3,"interval":4,"options":{"relErr":0.001,"confidence":0.9999,"replications":16}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown with in-flight job: %v", err)
 	}
 }

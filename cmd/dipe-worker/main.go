@@ -1,0 +1,171 @@
+// Command dipe-worker is the stateless sampling node of a dipe
+// estimation cluster: it serves the cluster worker protocol (install a
+// circuit by provenance hash, stream a replication range's power
+// samples) and holds no job state of its own. Point any number of them
+// at a dipe-server running in cluster mode.
+//
+//	dipe-worker                                  # listen on :8416
+//	dipe-worker -addr :9101                      # explicit port
+//	dipe-worker -register http://coord:8415      # self-register with the coordinator
+//	dipe-worker -register http://coord:8415 -advertise http://10.0.0.7:8416
+//
+// With -register, the worker POSTs its advertised URL to the
+// coordinator's /v1/cluster/workers on startup (retrying until the
+// coordinator answers), so bringing capacity online is one command.
+// Without -advertise the worker advertises http://127.0.0.1:<port> —
+// fine for single-host clusters, wrong across machines.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dipe-worker:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, serves until the stop channel (or SIGINT/SIGTERM
+// when stop is nil) fires, and reports the bound address on ready when
+// non-nil — the test harness uses ready/stop to drive a real listener
+// on a kernel-assigned port.
+func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("dipe-worker", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8416", "listen address")
+		circuits  = fs.Int("circuits", 0, "installed-circuit table capacity (0 = default)")
+		register  = fs.String("register", "", "coordinator base URL to self-register with (empty = none)")
+		advertise = fs.String("advertise", "", "base URL the coordinator should reach this worker at (default http://127.0.0.1:<port>)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wk := cluster.NewWorker(cluster.WorkerConfig{CircuitCap: *circuits})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: wk.Handler()}
+	fmt.Fprintf(out, "dipe-worker listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	regCtx, regCancel := context.WithCancel(context.Background())
+	defer regCancel()
+	if *register != "" {
+		self := *advertise
+		if self == "" {
+			_, port, err := net.SplitHostPort(ln.Addr().String())
+			if err != nil {
+				return err
+			}
+			self = "http://127.0.0.1:" + port
+		}
+		go selfRegister(regCtx, out, strings.TrimRight(*register, "/"), self)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	if stop == nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		select {
+		case err := <-errc:
+			return err
+		case <-sigc:
+		}
+	} else {
+		select {
+		case err := <-errc:
+			return err
+		case <-stop:
+		}
+	}
+
+	// In-flight sample streams end when their coordinator-side contexts
+	// close; give them a moment, then cut the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// A coordinator may legitimately hold a stream open past the
+		// deadline; surrender the sockets rather than hang shutdown.
+		_ = srv.Close()
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "dipe-worker stopped")
+	return nil
+}
+
+// selfRegister announces the worker to the coordinator and keeps
+// re-announcing it for the life of the process: quickly (2s) until the
+// first success — the coordinator may come up after the workers — then
+// at a slow steady cadence (15s). The coordinator's worker table is
+// in-memory, so periodic re-registration is what lets a restarted
+// coordinator rediscover its fleet without operator action;
+// re-registering an already-known URL is an idempotent re-probe.
+func selfRegister(ctx context.Context, out io.Writer, coordinator, self string) {
+	body, err := json.Marshal(map[string]string{"url": self})
+	if err != nil {
+		return
+	}
+	client := &http.Client{Timeout: 3 * time.Second}
+	registered := false
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinator+"/v1/cluster/workers", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(out, "dipe-worker: bad coordinator URL: %v\n", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusCreated:
+				if !registered {
+					fmt.Fprintf(out, "registered with %s as %s\n", coordinator, self)
+				}
+				registered = true
+			case resp.StatusCode == http.StatusNotFound:
+				// The coordinator is not in cluster mode; retrying will not
+				// fix a configuration error, so say so and stop.
+				fmt.Fprintf(out, "dipe-worker: %s is not running a cluster dispatcher (start dipe-server with -cluster or -workers-addr)\n", coordinator)
+				return
+			}
+		}
+		delay := 2 * time.Second
+		if registered {
+			delay = 15 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/bench89"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/markov"
@@ -186,8 +187,10 @@ func EstimateParallelCtx(ctx context.Context, tb *Testbench, src SourceFactory, 
 type Progress = core.Progress
 
 // ServerConfig sizes the estimation service: frozen-circuit cache
-// capacity, concurrent-job pool width, pending-queue bound. The zero
-// value means defaults everywhere.
+// capacity, concurrent-job pool width, pending-queue bound, and the
+// job dispatcher (nil = in-process; a ClusterCoordinator shards jobs
+// across dipe-worker processes). The zero value means defaults
+// everywhere.
 type ServerConfig = service.Config
 
 // Server is a long-running power-estimation service: a circuit registry
@@ -204,6 +207,38 @@ func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
 
 // DefaultServerConfig returns the default service sizing.
 func DefaultServerConfig() ServerConfig { return service.DefaultConfig() }
+
+// ClusterConfig configures a distributed-estimation coordinator:
+// initial worker URLs, heartbeat cadence, retry bound.
+type ClusterConfig = cluster.CoordinatorConfig
+
+// ClusterCoordinator shards estimation jobs across dipe-worker
+// processes. It plugs into ServerConfig.Dispatcher, making every job
+// submitted to the server run on the cluster — bit-identically to
+// local execution (same replication seeds, same merge order, same
+// pooled stopping decision). Workers can be listed up front or
+// registered at runtime (AddWorker / POST /v1/cluster/workers).
+type ClusterCoordinator = cluster.Coordinator
+
+// NewClusterCoordinator builds a cluster dispatcher and starts its
+// worker heartbeat; Close it on shutdown. Wire it into a server with
+//
+//	coord, _ := dipe.NewClusterCoordinator(dipe.ClusterConfig{Workers: urls})
+//	srv := dipe.NewServer(dipe.ServerConfig{Dispatcher: coord})
+func NewClusterCoordinator(cfg ClusterConfig) (*ClusterCoordinator, error) {
+	return cluster.NewCoordinator(cfg)
+}
+
+// ClusterWorkerConfig sizes a cluster worker (installed-circuit table).
+type ClusterWorkerConfig = cluster.WorkerConfig
+
+// ClusterWorker is the stateless sampling node of an estimation
+// cluster; cmd/dipe-worker is a thin wrapper around it. Mount
+// Handler() on an http.Server reachable by the coordinator.
+type ClusterWorker = cluster.Worker
+
+// NewClusterWorker builds a cluster worker service.
+func NewClusterWorker(cfg ClusterWorkerConfig) *ClusterWorker { return cluster.NewWorker(cfg) }
 
 // EstimateWithInterval runs the sampling phase at a fixed interval,
 // bypassing selection (the fixed-warm-up baseline of the paper's ref [9]).

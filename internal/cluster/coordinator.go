@@ -1,0 +1,693 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// CoordinatorConfig configures the cluster dispatcher. The zero value
+// is usable: workers can be registered later (AddWorker or the server's
+// POST /v1/cluster/workers).
+type CoordinatorConfig struct {
+	// Workers is the initial worker base-URL list.
+	Workers []string
+	// Heartbeat is the health-poll period (default 2s).
+	Heartbeat time.Duration
+	// HeartbeatTimeout bounds one health probe (default 1s).
+	HeartbeatTimeout time.Duration
+	// MaxAttempts bounds stream (re)starts per replication range per
+	// job, counting only failed attempts (default 8). Determinism makes
+	// retries safe, so the bound exists only to fail jobs on a dead
+	// cluster instead of spinning.
+	MaxAttempts int
+	// Client is the HTTP client for streams and uploads (default: a
+	// dedicated client with no overall timeout — streams are long-lived
+	// and cancelled by context).
+	Client *http.Client
+}
+
+// workerState is one registered worker, guarded by the coordinator's
+// mutex.
+type workerState struct {
+	url      string
+	alive    bool
+	lastSeen time.Time
+	failures uint64
+}
+
+// Coordinator shards estimation jobs across dipe-worker processes. It
+// implements service.Dispatcher (so dipe-server jobs run on it
+// transparently), service.WorkerRegistrar (runtime worker
+// registration) and service.RegistryAware (circuit provenance lookup
+// for propagation).
+//
+// Estimation flow: interval selection runs locally on the coordinator
+// (one scalar session — negligible against the sampling phase), the
+// replication space is partitioned into contiguous ranges, one
+// streaming /v1/run per range is opened on the live workers, and the
+// per-range sample blocks are merged through core.Merger in the
+// canonical order, making the pooled sequential stopping decision
+// bit-identical to core.EstimateParallel with the same seeds. Worker
+// death mid-stream triggers reassignment: another worker re-runs the
+// range with SkipBlocks set to the already-merged prefix, which the
+// deterministic seeding reproduces exactly.
+type Coordinator struct {
+	mu      sync.Mutex
+	workers map[string]*workerState
+	order   []string // registration order: deterministic assignment
+	rr      int      // round-robin cursor for reassignment
+	sources sourceResolver
+
+	client      *http.Client
+	hb          time.Duration
+	hbTimeout   time.Duration
+	maxAttempts int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	hbWG     sync.WaitGroup
+}
+
+// sourceResolver is what the coordinator needs from the service
+// registry: circuit-name → provenance.
+type sourceResolver interface {
+	Source(name string) (service.CircuitSource, error)
+}
+
+// NewCoordinator builds the dispatcher, probes the initial workers
+// synchronously (so Ready is meaningful immediately) and starts the
+// heartbeat loop. Close it when done.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{} // streams must not carry an overall timeout
+	}
+	c := &Coordinator{
+		workers:     make(map[string]*workerState),
+		client:      client,
+		hb:          cfg.Heartbeat,
+		hbTimeout:   cfg.HeartbeatTimeout,
+		maxAttempts: cfg.MaxAttempts,
+		stop:        make(chan struct{}),
+	}
+	for _, u := range cfg.Workers {
+		if err := c.AddWorker(u); err != nil {
+			return nil, err
+		}
+	}
+	c.hbWG.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Close stops the heartbeat loop. In-flight Estimate calls are owned by
+// their contexts (the job manager cancels them on shutdown).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.hbWG.Wait()
+}
+
+// Name implements service.Dispatcher.
+func (c *Coordinator) Name() string { return "cluster" }
+
+// SetRegistry implements service.RegistryAware.
+func (c *Coordinator) SetRegistry(r *service.Registry) {
+	c.mu.Lock()
+	c.sources = r
+	c.mu.Unlock()
+}
+
+// Ready implements service.Dispatcher: the cluster can run jobs once at
+// least one worker answers its heartbeat.
+func (c *Coordinator) Ready() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.workers) == 0 {
+		return errors.New("cluster: no workers registered")
+	}
+	for _, w := range c.workers {
+		if w.alive {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: none of %d registered workers reachable", len(c.workers))
+}
+
+// AddWorker implements service.WorkerRegistrar: it normalizes and
+// registers a worker base URL and probes it immediately.
+// Re-registering an existing URL just re-probes it, so workers POST
+// their registration on every startup.
+func (c *Coordinator) AddWorker(rawURL string) error {
+	u, err := url.Parse(strings.TrimRight(rawURL, "/"))
+	if err != nil {
+		return fmt.Errorf("cluster: bad worker url %q: %w", rawURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("cluster: bad worker url %q (want http[s]://host:port)", rawURL)
+	}
+	norm := u.String()
+	c.mu.Lock()
+	if _, ok := c.workers[norm]; !ok {
+		c.workers[norm] = &workerState{url: norm}
+		c.order = append(c.order, norm)
+	}
+	c.mu.Unlock()
+	c.probe(norm)
+	return nil
+}
+
+// Workers implements service.WorkerRegistrar.
+func (c *Coordinator) Workers() []service.WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]service.WorkerStatus, 0, len(c.order))
+	for _, u := range c.order {
+		w := c.workers[u]
+		out = append(out, service.WorkerStatus{
+			URL:      w.url,
+			Alive:    w.alive,
+			LastSeen: w.lastSeen,
+			Failures: w.failures,
+		})
+	}
+	return out
+}
+
+// heartbeatLoop probes every registered worker each period — including
+// dead ones, which is how a restarted worker rejoins without
+// re-registering.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.hbWG.Done()
+	ticker := time.NewTicker(c.hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		urls := append([]string(nil), c.order...)
+		c.mu.Unlock()
+		var wg sync.WaitGroup
+		for _, u := range urls {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				c.probe(u)
+			}(u)
+		}
+		wg.Wait()
+	}
+}
+
+// probe pings one worker's /healthz and updates its state.
+func (c *Coordinator) probe(workerURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.hbTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, workerURL+"/healthz", nil)
+	if err != nil {
+		c.setAlive(workerURL, false, true)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.setAlive(workerURL, false, true)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.setAlive(workerURL, resp.StatusCode == http.StatusOK, resp.StatusCode != http.StatusOK)
+}
+
+func (c *Coordinator) setAlive(workerURL string, alive, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerURL]
+	if w == nil {
+		return
+	}
+	wasAlive := w.alive
+	w.alive = alive
+	if alive {
+		w.lastSeen = time.Now()
+	}
+	if failed && wasAlive {
+		w.failures++
+	}
+}
+
+// markFailed records a stream failure and takes the worker out of
+// rotation until a heartbeat revives it.
+func (c *Coordinator) markFailed(workerURL string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[workerURL]; w != nil {
+		w.alive = false
+		w.failures++
+	}
+}
+
+// aliveWorkers snapshots the live worker URLs in registration order.
+func (c *Coordinator) aliveWorkers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.order))
+	for _, u := range c.order {
+		if c.workers[u].alive {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// pickWorker chooses a live worker for a reassignment, preferring one
+// other than `avoid` (the worker that just failed) and rotating a
+// round-robin cursor so concurrent reassignments spread out. ok is
+// false when no worker is alive.
+func (c *Coordinator) pickWorker(avoid string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.order)
+	var fallback string
+	for i := 0; i < n; i++ {
+		u := c.order[(c.rr+i)%n]
+		if !c.workers[u].alive {
+			continue
+		}
+		if u != avoid {
+			c.rr = (c.rr + i + 1) % n
+			return u, true
+		}
+		fallback = u
+	}
+	if fallback != "" { // only the failed worker is alive; maybe it recovered
+		return fallback, true
+	}
+	return "", false
+}
+
+// Estimate implements service.Dispatcher: the full DIPE flow with the
+// sampling phase sharded across the cluster. Phase 1 (independence-
+// interval selection) runs locally; phase 2 streams per-range sample
+// blocks from the workers and merges them into the pooled stopping
+// rule. The result is bit-identical to core.EstimateParallel(tb, ...,
+// req.Seed, opts) — mean, half-width, sample size and cycle counts —
+// for any worker count and any mid-job reassignment history.
+func (c *Coordinator) Estimate(ctx context.Context, tb *core.Testbench, req service.JobRequest, progress func(core.Progress)) (core.Result, error) {
+	opts := req.Options.Options()
+	if err := opts.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	if req.Interval != nil && *req.Interval < 0 {
+		// Same up-front rejection the local dispatcher gets from
+		// EstimateParallelWithIntervalCtx; without it a bad request would
+		// bounce off every worker as a 400 and read as a fleet outage.
+		return core.Result{}, fmt.Errorf("cluster: negative interval %d", *req.Interval)
+	}
+	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
+	if err != nil {
+		return core.Result{}, err
+	}
+	opts.Progress = progress
+	start := time.Now()
+
+	var (
+		interval             int
+		sel                  core.IntervalSelection
+		seedSeq              []float64
+		selHidden, selSample uint64
+	)
+	if req.Interval != nil {
+		interval = *req.Interval
+	} else {
+		// Phase 1, exactly as EstimateParallelCtx runs it: a scalar
+		// session seeded req.Seed, observed under the selected power mode.
+		sel0 := tb.NewSessionMode(factory(req.Seed), opts.Mode)
+		sel0.StepHiddenN(opts.WarmupCycles)
+		sel, err = core.SelectIntervalCtx(ctx, sel0, opts)
+		if err != nil {
+			return core.Result{}, err
+		}
+		interval = sel.Interval
+		seedSeq = sel.Sequence
+		selHidden, selSample = sel0.HiddenCycles, sel0.SampledCycles
+	}
+
+	res, err := c.sampledPhase(ctx, tb, req, opts, interval, seedSeq)
+	res.Trials = sel.Trials
+	res.IntervalCapped = sel.Capped
+	res.HiddenCycles += selHidden
+	res.SampledCycles += selSample
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// rangeMsg is one delivery from a range stream to the merge loop.
+type rangeMsg struct {
+	block StreamBlock
+	err   error
+}
+
+// repRange is one contiguous replication range and its stream channel.
+type repRange struct {
+	lo, hi int
+	ch     chan rangeMsg
+}
+
+// sampledPhase is the distributed analogue of parallelTail: it streams
+// sample blocks from one worker per replication range and merges them
+// through core.Merger under the job's sequential stopping rule.
+func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req service.JobRequest, opts core.Options, interval int, seedSeq []float64) (core.Result, error) {
+	m, err := core.NewMerger(opts)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if opts.ReuseTestSamples {
+		m.Seed(seedSeq)
+	}
+	reps, rounds := m.Reps(), m.Rounds()
+	// Budget ceiling for orphaned streams: strictly more blocks than the
+	// merge loop can consume before its own MaxSamples cutoff fires.
+	maxBlocks := opts.MaxSamples/(reps*rounds) + 2
+
+	src, err := c.resolveSource(req.Circuit)
+	if err != nil {
+		return core.Result{}, err
+	}
+	hash := SourceHash(src)
+
+	alive := c.aliveWorkers()
+	if len(alive) == 0 {
+		return core.Result{}, errors.New("cluster: no live workers")
+	}
+	k := len(alive)
+	if k > reps {
+		k = reps
+	}
+	// core.SplitRange is the one partition rule shared with the
+	// in-process shard layout, so range boundaries are deterministic.
+	bounds := core.SplitRange(0, reps, k)
+	ranges := make([]*repRange, k)
+	lanes := make([]int, k)
+	blocks := make([][]float64, k)
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel() // stops every worker stream once stopping is decided
+	for i, b := range bounds {
+		rg := &repRange{lo: b[0], hi: b[1], ch: make(chan rangeMsg, 16)}
+		ranges[i] = rg
+		lanes[i] = b[1] - b[0]
+		go c.runRange(sctx, alive[i%len(alive)], hash, src, req, opts, interval, rounds, maxBlocks, rg)
+	}
+
+	packedSampled := opts.Mode.IsZeroDelay() || tb.Delays.AllZero()
+	engineName, delayName := sim.EnginePackedZeroDelay, delay.Zero{}.Name()
+	if !packedSampled {
+		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
+	}
+	result := func(converged bool) core.Result {
+		// Cycle counters follow from the merged prefix alone — warm-up
+		// plus interval hidden cycles and one sampled cycle per merged
+		// round per replication — which matches the single-process
+		// estimator's counters exactly and is independent of how far
+		// ahead workers streamed before cancellation.
+		merged := uint64(m.MergedRounds())
+		if opts.Progress != nil {
+			opts.Progress(m.Progress(interval))
+		}
+		return core.Result{
+			Power:         m.Estimate(),
+			Interval:      interval,
+			SampleSize:    m.N(),
+			HalfWidth:     m.HalfWidth(),
+			HiddenCycles:  uint64(reps)*uint64(opts.WarmupCycles) + merged*uint64(interval)*uint64(reps),
+			SampledCycles: merged * uint64(reps),
+			Criterion:     m.CriterionName(),
+			Engine:        engineName,
+			DelayModel:    delayName,
+			Converged:     converged,
+		}
+	}
+
+	for b := 0; !m.Done(); b++ {
+		if err := ctx.Err(); err != nil {
+			return result(false), err
+		}
+		n := m.NextRounds()
+		if n < 1 {
+			return result(false), nil
+		}
+		// Barrier: block b from every range, in replication order.
+		for i, rg := range ranges {
+			select {
+			case <-ctx.Done():
+				return result(false), ctx.Err()
+			case msg, ok := <-rg.ch:
+				switch {
+				case !ok:
+					return result(false), fmt.Errorf("cluster: range [%d,%d) stream ended before block %d", rg.lo, rg.hi, b)
+				case msg.err != nil:
+					return result(false), fmt.Errorf("cluster: range [%d,%d): %w", rg.lo, rg.hi, msg.err)
+				case msg.block.Index != b:
+					return result(false), fmt.Errorf("cluster: range [%d,%d) delivered block %d, want %d", rg.lo, rg.hi, msg.block.Index, b)
+				}
+				blocks[i] = msg.block.Samples
+			}
+		}
+		if err := m.MergeBlock(blocks, lanes, n); err != nil {
+			return result(false), err
+		}
+		if opts.Progress != nil {
+			opts.Progress(m.Progress(interval))
+		}
+	}
+	return result(true), nil
+}
+
+// resolveSource finds the provenance for a job circuit.
+func (c *Coordinator) resolveSource(name string) (service.CircuitSource, error) {
+	c.mu.Lock()
+	res := c.sources
+	c.mu.Unlock()
+	if res == nil {
+		return service.CircuitSource{}, errors.New("cluster: no circuit source resolver configured (SetRegistry)")
+	}
+	return res.Source(name)
+}
+
+// errUnknownCircuit marks a 404 from /v1/run: the worker misses the
+// netlist and needs propagation, not replacement.
+var errUnknownCircuit = errors.New("cluster: worker misses circuit")
+
+// errPermanent marks a worker response that retrying cannot fix (a 4xx
+// request rejection): the job must fail without marking the worker
+// dead or burning retry budget across a healthy fleet.
+var errPermanent = errors.New("cluster: request rejected")
+
+// runRange owns one replication range for the duration of a job: it
+// streams blocks from a worker into rg.ch, and on worker death picks a
+// live replacement and resumes at the first undelivered block
+// (SkipBlocks), which deterministic seeding replays exactly. It gives
+// up after maxAttempts failures, delivering the error to the merge
+// loop.
+func (c *Coordinator) runRange(ctx context.Context, firstWorker, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, interval, rounds, maxBlocks int, rg *repRange) {
+	defer close(rg.ch)
+	worker := firstWorker
+	delivered := 0 // blocks handed to the merge loop so far
+	attempts := 0
+	uploaded := make(map[string]bool)
+	for {
+		err := c.streamRange(ctx, worker, hash, req, opts, interval, rounds, maxBlocks, &delivered, rg)
+		if err == nil || ctx.Err() != nil {
+			return // complete, or the merge loop is done with us
+		}
+		if errors.Is(err, errUnknownCircuit) && !uploaded[worker] {
+			// Propagate the circuit and retry the same worker; an install
+			// failure falls through to normal failure handling.
+			if uerr := c.installCircuit(ctx, worker, hash, src); uerr == nil {
+				uploaded[worker] = true
+				continue
+			}
+		}
+		if errors.Is(err, errPermanent) {
+			// The worker rejected the request itself; no other worker will
+			// accept it either, and the worker is healthy — fail the job
+			// without touching liveness.
+			select {
+			case rg.ch <- rangeMsg{err: err}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		c.markFailed(worker)
+		attempts++
+		if attempts >= c.maxAttempts {
+			select {
+			case rg.ch <- rangeMsg{err: fmt.Errorf("giving up after %d attempts (last worker %s): %w", attempts, worker, err)}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		// Reassign: any live worker will reproduce the remaining blocks.
+		next, ok := c.pickWorker(worker)
+		for !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(c.hb):
+			}
+			next, ok = c.pickWorker(worker)
+		}
+		worker = next
+	}
+}
+
+// streamRange opens one /v1/run stream and forwards its blocks,
+// starting at *delivered and bumping it per delivered block. A nil
+// return means the stream completed (maxBlocks reached); any error
+// leaves *delivered at the resume point for the next attempt.
+func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req service.JobRequest, opts core.Options, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
+	if *delivered >= maxBlocks {
+		return nil
+	}
+	runReq := RunRequest{
+		Hash:       hash,
+		Source:     req.Source,
+		Seed:       req.Seed,
+		Mode:       string(opts.Mode),
+		Warmup:     opts.WarmupCycles,
+		Interval:   interval,
+		RepLo:      rg.lo,
+		RepHi:      rg.hi,
+		Rounds:     rounds,
+		SkipBlocks: *delivered,
+		MaxBlocks:  maxBlocks,
+		Workers:    opts.Workers,
+	}
+	body, err := json.Marshal(runReq)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w (%s)", errUnknownCircuit, worker)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		err := fmt.Errorf("cluster: worker %s: status %d: %s", worker, resp.StatusCode, eb.Error)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			err = fmt.Errorf("%w: %w", errPermanent, err)
+		}
+		return err
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("cluster: worker %s: stream ended before header: %w", worker, scanErr(sc))
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("cluster: worker %s: bad stream header: %w", worker, err)
+	}
+	if hdr.Lanes != rg.hi-rg.lo || hdr.Rounds != rounds {
+		return fmt.Errorf("cluster: worker %s: header (lanes=%d rounds=%d), want (%d, %d)",
+			worker, hdr.Lanes, hdr.Rounds, rg.hi-rg.lo, rounds)
+	}
+	want := rounds * (rg.hi - rg.lo)
+	for sc.Scan() {
+		var blk StreamBlock
+		if err := json.Unmarshal(sc.Bytes(), &blk); err != nil {
+			return fmt.Errorf("cluster: worker %s: bad block: %w", worker, err)
+		}
+		if blk.Index != *delivered {
+			return fmt.Errorf("cluster: worker %s: block %d out of order (want %d)", worker, blk.Index, *delivered)
+		}
+		if len(blk.Samples) != want {
+			return fmt.Errorf("cluster: worker %s: block %d carries %d samples, want %d", worker, blk.Index, len(blk.Samples), want)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case rg.ch <- rangeMsg{block: blk}:
+			*delivered++
+		}
+		if *delivered >= maxBlocks {
+			return nil
+		}
+	}
+	if err := scanErr(sc); err != nil {
+		return fmt.Errorf("cluster: worker %s: stream broke at block %d: %w", worker, *delivered, err)
+	}
+	return fmt.Errorf("cluster: worker %s: stream ended early at block %d of %d", worker, *delivered, maxBlocks)
+}
+
+func scanErr(sc *bufio.Scanner) error {
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// installCircuit propagates a circuit's provenance to one worker.
+func (c *Coordinator) installCircuit(ctx context.Context, worker, hash string, src service.CircuitSource) error {
+	body, err := json.Marshal(InstallRequest{Hash: hash, Source: src})
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/circuits", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		return fmt.Errorf("cluster: install on %s: status %d: %s", worker, resp.StatusCode, eb.Error)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

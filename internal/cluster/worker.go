@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/service"
+)
+
+// DefaultCircuitCap bounds the worker's installed-circuit table.
+const DefaultCircuitCap = 64
+
+// WorkerConfig sizes a worker. The zero value is a valid worker.
+type WorkerConfig struct {
+	// CircuitCap bounds the number of installed frozen circuits
+	// (default DefaultCircuitCap); beyond it the oldest is evicted and
+	// will simply be re-propagated on its next miss.
+	CircuitCap int
+}
+
+// Worker is the stateless sampling slave of the cluster: it holds no
+// job state, only a content-addressed table of frozen circuits, and
+// answers /v1/run by streaming a replication range's samples until told
+// to stop. Everything statistical — interval selection, the pooled
+// stopping rule, retry bookkeeping — lives at the coordinator.
+type Worker struct {
+	mu    sync.Mutex
+	tbs   map[string]*core.Testbench
+	order []string // installation order, for eviction
+	cap   int
+
+	streams atomic.Int64 // currently running /v1/run streams
+	served  atomic.Int64 // total /v1/run streams accepted
+
+	mux *http.ServeMux
+}
+
+// NewWorker builds a worker service; mount Handler on an http.Server.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.CircuitCap <= 0 {
+		cfg.CircuitCap = DefaultCircuitCap
+	}
+	w := &Worker{
+		tbs: make(map[string]*core.Testbench),
+		cap: cfg.CircuitCap,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", w.handleHealth)
+	mux.HandleFunc("GET /readyz", w.handleHealth)
+	mux.HandleFunc("POST /v1/circuits", w.handleInstall)
+	mux.HandleFunc("POST /v1/run", w.handleRun)
+	w.mux = mux
+	return w
+}
+
+// Handler returns the worker's HTTP API.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Circuits returns the number of installed circuits.
+func (w *Worker) Circuits() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.tbs)
+}
+
+// handleHealth answers both liveness and readiness: a worker with a
+// serving mux is ready (circuits arrive by propagation), so the two
+// probes coincide here — unlike the coordinator, whose readiness
+// depends on this endpoint.
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"circuits": w.Circuits(),
+		"streams":  w.streams.Load(),
+		"served":   w.served.Load(),
+	})
+}
+
+// handleInstall installs a circuit from its provenance, verifying the
+// content hash so a worker can never hold a circuit under the wrong
+// name.
+func (w *Worker) handleInstall(rw http.ResponseWriter, r *http.Request) {
+	var req InstallRequest
+	if !readJSON(rw, r, &req) {
+		return
+	}
+	if got := SourceHash(req.Source); got != req.Hash {
+		writeError(rw, http.StatusBadRequest,
+			fmt.Errorf("cluster: provenance hashes to %.12s..., claimed %.12s...", got, req.Hash))
+		return
+	}
+	tb, err := buildTestbench(req.Source)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	w.install(req.Hash, tb)
+	writeJSON(rw, http.StatusCreated, InstallResponse{
+		Hash:  req.Hash,
+		Gates: tb.Circuit.NumGates(),
+	})
+}
+
+// buildTestbench rebuilds the frozen testbench a provenance describes —
+// bit-identically to the coordinator registry's copy: builtins come
+// from the same deterministic generator, uploads are re-parsed from the
+// original text with the original name, so node IDs and hence every
+// float summation order match.
+func buildTestbench(src service.CircuitSource) (*core.Testbench, error) {
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch {
+	case src.Builtin != "":
+		c, err = bench89.Get(src.Builtin)
+	case src.Format == "" || src.Format == "bench":
+		c, err = netlist.ParseBenchString(src.Name, src.Text)
+	case src.Format == "blif":
+		c, err = netlist.ParseBLIFString(src.Name, src.Text)
+	default:
+		err = fmt.Errorf("cluster: unknown netlist format %q", src.Format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return core.DefaultTestbench(c), nil
+}
+
+// install puts a testbench in the table, evicting the oldest entry
+// beyond capacity.
+func (w *Worker) install(hash string, tb *core.Testbench) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.tbs[hash]; !ok {
+		w.order = append(w.order, hash)
+	}
+	w.tbs[hash] = tb
+	for len(w.order) > w.cap {
+		delete(w.tbs, w.order[0])
+		w.order = w.order[1:]
+	}
+}
+
+func (w *Worker) lookup(hash string) *core.Testbench {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tbs[hash]
+}
+
+// handleRun streams a replication range's sample blocks as NDJSON: one
+// StreamHeader line, then StreamBlock lines until MaxBlocks is reached
+// or the client disconnects (the coordinator cancels the request when
+// the pooled criterion converges). All validation happens before the
+// 200 header goes out; once streaming starts the only failure modes are
+// connection loss, which the coordinator treats as a worker death.
+func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !readJSON(rw, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	tb := w.lookup(req.Hash)
+	if tb == nil {
+		writeError(rw, http.StatusNotFound,
+			fmt.Errorf("cluster: unknown circuit %.12s...", req.Hash))
+		return
+	}
+	mode := power.PowerMode(req.Mode)
+	if err := mode.Validate(); err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+
+	w.streams.Add(1)
+	w.served.Add(1)
+	defer w.streams.Add(-1)
+
+	flusher, _ := rw.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(rw)
+	if err := enc.Encode(StreamHeader{Lanes: req.RepHi - req.RepLo, Rounds: req.Rounds}); err != nil {
+		return
+	}
+	flush()
+
+	opts := core.DefaultOptions()
+	opts.WarmupCycles = req.Warmup
+	opts.Mode = mode
+	opts.Workers = req.Workers
+	// Errors terminate the stream; the client distinguishes a complete
+	// stream from a truncated one by block count, so nothing more is
+	// needed here. ctx errors are the normal convergence path.
+	_ = core.StreamReplications(r.Context(), tb, factory, req.Seed, opts,
+		req.Interval, req.RepLo, req.RepHi, req.Rounds, req.SkipBlocks, req.MaxBlocks,
+		func(b core.ReplicationBlock) error {
+			if err := enc.Encode(StreamBlock{Index: b.Index, Samples: b.Samples}); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		})
+}

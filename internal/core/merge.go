@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/sim"
+	"repro/internal/stopping"
+	"repro/internal/vectors"
+)
+
+// This file is the partial-result layer of the parallel estimator,
+// exported so the distributed coordinator (internal/cluster) can shard
+// the replication space across processes while keeping the paper's
+// sequential stopping rule statistically — and bit-for-bit — intact:
+//
+//   - Merger owns the pooled stopping criterion and merges blocks of
+//     per-replication samples in the canonical order (round-major,
+//     ascending replication index), exactly as parallelTail does
+//     in-process. parallelTail itself is built on it, so a remote merge
+//     that feeds the same sample values cannot diverge from the local
+//     estimator.
+//   - StreamReplications runs a contiguous sub-range of the replication
+//     space at a fixed interval and emits its samples in round-blocks —
+//     the worker side of the coordinator/worker protocol.
+//
+// Determinism contract: replication r is always seeded baseSeed+1+r, a
+// replication's sample stream depends only on its own seed (packed
+// lanes are independent), and the merge order is a pure function of
+// (reps, rounds). Any partition of [0,reps) into contiguous ranges —
+// goroutine shards, worker processes, or a retried reassignment after a
+// worker death — therefore reproduces the single-process estimate
+// exactly, including float summation order.
+
+// Merger pools per-replication sample blocks into a stopping criterion
+// with the budget rules of EstimateParallel. One block is n rounds; one
+// round is one sample from every replication, merged in ascending
+// replication order.
+type Merger struct {
+	crit       stopping.Criterion
+	reps       int
+	rounds     int
+	maxSamples int
+	merged     int // rounds merged so far
+}
+
+// NewMerger builds the pooled stopping state for an EstimateParallel-
+// shaped run: opts.Replications replications (default sim.MaxLanes),
+// block cadence max(1, CheckEvery/Replications) rounds, sample budget
+// MaxSamples. opts must validate.
+func NewMerger(opts Options) (*Merger, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	reps := opts.Replications
+	if reps == 0 {
+		reps = sim.MaxLanes
+	}
+	rounds := opts.CheckEvery / reps
+	if rounds < 1 {
+		rounds = 1
+	}
+	return &Merger{
+		crit:       opts.NewCriterion(opts.Spec),
+		reps:       reps,
+		rounds:     rounds,
+		maxSamples: opts.MaxSamples,
+	}, nil
+}
+
+// Seed feeds an already-collected sample sequence (the accepted
+// randomness-test sequence, under Options.ReuseTestSamples) into the
+// criterion before any block is merged.
+func (m *Merger) Seed(samples []float64) {
+	for _, p := range samples {
+		m.crit.Add(p)
+	}
+}
+
+// Reps returns the width of the replication space.
+func (m *Merger) Reps() int { return m.reps }
+
+// Rounds returns the block cadence: the number of rounds a full block
+// carries.
+func (m *Merger) Rounds() int { return m.rounds }
+
+// MergedRounds returns the number of rounds merged so far.
+func (m *Merger) MergedRounds() int { return m.merged }
+
+// NextRounds returns how many rounds the next merged block may contain:
+// the block cadence, clipped to the remaining sample budget. A return
+// below 1 means the budget cannot fund even one more round — the run
+// must stop unconverged, exactly as EstimateParallel does.
+func (m *Merger) NextRounds() int {
+	n := m.rounds
+	if remaining := (m.maxSamples - m.crit.N()) / m.reps; n > remaining {
+		n = remaining
+	}
+	return n
+}
+
+// MergeBlock merges n rounds from contiguous replication ranges into
+// the criterion. ranges[i] holds range i's samples, round-major
+// ([t*lanes[i]+lane], at least n rounds); ranges must be ordered by
+// ascending replication index and their lane counts must tile the full
+// replication space. The merge order is round-major, ascending
+// replication — the canonical order every estimator in this package
+// produces.
+func (m *Merger) MergeBlock(ranges [][]float64, lanes []int, n int) error {
+	if len(ranges) != len(lanes) {
+		return fmt.Errorf("core: %d sample ranges but %d lane counts", len(ranges), len(lanes))
+	}
+	total := 0
+	for i, l := range lanes {
+		total += l
+		if len(ranges[i]) < n*l {
+			return fmt.Errorf("core: range %d holds %d samples, need %d rounds x %d lanes",
+				i, len(ranges[i]), n, l)
+		}
+	}
+	if total != m.reps {
+		return fmt.Errorf("core: ranges cover %d replications, want %d", total, m.reps)
+	}
+	for t := 0; t < n; t++ {
+		for i, l := range lanes {
+			for _, p := range ranges[i][t*l : (t+1)*l] {
+				m.crit.Add(p)
+			}
+		}
+	}
+	m.merged += n
+	return nil
+}
+
+// Done reports whether the pooled criterion has met the accuracy
+// specification.
+func (m *Merger) Done() bool { return m.crit.Done() }
+
+// N returns the number of samples the criterion has consumed (seeded
+// plus merged).
+func (m *Merger) N() int { return m.crit.N() }
+
+// Estimate returns the pooled point estimate.
+func (m *Merger) Estimate() float64 { return m.crit.Estimate() }
+
+// HalfWidth returns the pooled confidence half-width.
+func (m *Merger) HalfWidth() float64 { return m.crit.HalfWidth() }
+
+// CriterionName names the underlying stopping criterion.
+func (m *Merger) CriterionName() string { return m.crit.Name() }
+
+// Progress renders the pooled state as a Progress snapshot.
+func (m *Merger) Progress(interval int) Progress {
+	return Progress{
+		Samples:   m.crit.N(),
+		Power:     m.crit.Estimate(),
+		HalfWidth: m.crit.HalfWidth(),
+		Interval:  interval,
+	}
+}
+
+// SplitRange partitions [lo, hi) into k contiguous sub-ranges whose
+// sizes differ by at most one, in ascending order. It is THE partition
+// rule of the replication space: parallelTail's goroutine shards,
+// StreamReplications' packed sessions and the cluster coordinator's
+// worker ranges all use it, which is what keeps every layout merging
+// the same samples at the same boundaries.
+func SplitRange(lo, hi, k int) [][2]int {
+	out := make([][2]int, 0, k)
+	next := lo
+	for i := 0; i < k; i++ {
+		width := (hi - next + k - i - 1) / (k - i)
+		out = append(out, [2]int{next, next + width})
+		next += width
+	}
+	return out
+}
+
+// ReplicationBlock is one round-block emitted by StreamReplications:
+// Rounds rounds of samples from a contiguous replication range, round-
+// major with replications ascending within a round.
+type ReplicationBlock struct {
+	// Index is the block's position in the stream (0-based, counting
+	// skipped blocks).
+	Index int
+	// Rounds is the number of rounds in the block.
+	Rounds int
+	// Samples holds Rounds*lanes power samples, round-major.
+	Samples []float64
+}
+
+// StreamReplications runs replications [lo, hi) of an EstimateParallel-
+// shaped run at a fixed independence interval and emits their power
+// samples in blocks of `rounds` rounds. Replication r is seeded
+// baseSeed+1+r — the same mapping parallelTail uses — so the emitted
+// samples are bit-identical to the corresponding lanes of a single-
+// process run, regardless of how [lo, hi) is packed into 64-lane words
+// or spread over opts.Workers goroutines.
+//
+// skip fast-forwards the first `skip` blocks without observing power:
+// the state trajectory of a sampled cycle equals a hidden cycle's, so a
+// retried worker can reproduce a dead worker's remaining blocks exactly
+// without re-transmitting (or re-weighing) the ones already merged.
+// maxBlocks bounds the stream (0 = unbounded); emitting stops early
+// when ctx is cancelled or emit returns an error.
+//
+// opts contributes WarmupCycles, Mode and Workers; the stopping
+// criterion is not consulted — stopping is the merger's job.
+func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval, lo, hi, rounds, skip, maxBlocks int, emit func(ReplicationBlock) error) error {
+	if err := opts.Mode.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case interval < 0:
+		return fmt.Errorf("core: negative interval %d", interval)
+	case lo < 0 || hi <= lo:
+		return fmt.Errorf("core: bad replication range [%d, %d)", lo, hi)
+	case rounds < 1:
+		return fmt.Errorf("core: block rounds %d must be >= 1", rounds)
+	case skip < 0:
+		return fmt.Errorf("core: negative skip %d", skip)
+	case opts.WarmupCycles < 0:
+		return fmt.Errorf("core: negative WarmupCycles %d", opts.WarmupCycles)
+	}
+	n := hi - lo
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	packedSampled := opts.Mode.IsZeroDelay() || tb.Delays.AllZero()
+
+	// The same shard layout as parallelTail, over the sub-range: enough
+	// shards to saturate the worker pool, none wider than a machine word,
+	// contiguous ascending so block assembly is replication-ordered.
+	nShards := workers
+	if min := (n + sim.MaxLanes - 1) / sim.MaxLanes; nShards < min {
+		nShards = min
+	}
+	shards := make([]*shard, 0, nShards)
+	for _, b := range SplitRange(lo, hi, nShards) {
+		lanes := b[1] - b[0]
+		srcs := make([]vectors.Source, lanes)
+		for k := range srcs {
+			srcs[k] = src(baseSeed + 1 + int64(b[0]+k))
+		}
+		sh := &shard{
+			ps:     sim.NewPackedSession(tb.Circuit, srcs),
+			lanes:  lanes,
+			powers: make([]float64, rounds*lanes),
+		}
+		if !packedSampled {
+			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
+		}
+		shards = append(shards, sh)
+	}
+
+	runShards(shards, workers, func(sh *shard) {
+		sh.ps.StepHiddenN(opts.WarmupCycles)
+	})
+	if skip > 0 {
+		// Power observation does not influence the state trajectory, so
+		// skipped blocks replay as pure hidden cycles: interval hidden
+		// cycles plus the would-be sampled cycle, per round.
+		runShards(shards, workers, func(sh *shard) {
+			sh.ps.StepHiddenN(skip * rounds * (interval + 1))
+		})
+	}
+	weights := tb.Weights()
+	for b := skip; maxBlocks == 0 || b < maxBlocks; b++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		runShards(shards, workers, func(sh *shard) {
+			for t := 0; t < rounds; t++ {
+				sh.ps.StepHiddenN(interval)
+				block := sh.powers[t*sh.lanes : (t+1)*sh.lanes]
+				if packedSampled {
+					sh.ps.StepSampled(weights, block)
+				} else {
+					sh.ps.StepSampledWith(sh.engine, weights, block)
+				}
+			}
+		})
+		samples := make([]float64, 0, rounds*n)
+		for t := 0; t < rounds; t++ {
+			for _, sh := range shards {
+				samples = append(samples, sh.powers[t*sh.lanes:(t+1)*sh.lanes]...)
+			}
+		}
+		if err := emit(ReplicationBlock{Index: b, Rounds: rounds, Samples: samples}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

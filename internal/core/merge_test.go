@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/vectors"
+)
+
+// TestMergerStreamedRangesMatchParallel is the merge-path contract in
+// miniature, with no transport in the loop: running the replication
+// space as two StreamReplications ranges and merging their blocks
+// through a Merger reproduces EstimateParallelWithInterval bit for bit
+// — the exact mechanism the cluster coordinator is built on.
+func TestMergerStreamedRangesMatchParallel(t *testing.T) {
+	c := bench89.MustGet("s298")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+	opts.Replications = 24
+	opts.Workers = 2
+	// A tighter budget keeps the eagerly-streamed queues (maxBlocks
+	// blocks each) test-sized; s298 converges well under it.
+	opts.MaxSamples = 1 << 16
+	const (
+		seed     = int64(99)
+		interval = 3
+	)
+
+	want, err := EstimateParallelWithInterval(tb, factory, seed, opts, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Converged {
+		t.Fatal("reference run did not converge")
+	}
+
+	m, err := NewMerger(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, rounds := m.Reps(), m.Rounds()
+	if reps != 24 {
+		t.Fatalf("merger reps = %d", reps)
+	}
+
+	// Two uneven contiguous ranges, streamed eagerly into block queues
+	// (like worker streams read ahead of the merge loop).
+	bounds := [][2]int{{0, 10}, {10, 24}}
+	maxBlocks := opts.MaxSamples/(reps*rounds) + 2
+	queues := make([][][]float64, len(bounds))
+	for i, b := range bounds {
+		i, b := i, b
+		err := StreamReplications(context.Background(), tb, factory, seed, opts,
+			interval, b[0], b[1], rounds, 0, maxBlocks, func(blk ReplicationBlock) error {
+				queues[i] = append(queues[i], blk.Samples)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lanes := []int{10, 14}
+	for b := 0; !m.Done(); b++ {
+		n := m.NextRounds()
+		if n < 1 {
+			t.Fatalf("budget exhausted before convergence at block %d", b)
+		}
+		if err := m.MergeBlock([][]float64{queues[0][b], queues[1][b]}, lanes, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Estimate() != want.Power {
+		t.Errorf("merged estimate %v, want %v", m.Estimate(), want.Power)
+	}
+	if m.HalfWidth() != want.HalfWidth {
+		t.Errorf("merged half-width %v, want %v", m.HalfWidth(), want.HalfWidth)
+	}
+	if m.N() != want.SampleSize {
+		t.Errorf("merged sample count %d, want %d", m.N(), want.SampleSize)
+	}
+	merged := m.MergedRounds()
+	if hidden := uint64(reps)*uint64(opts.WarmupCycles) + uint64(merged)*uint64(interval)*uint64(reps); hidden != want.HiddenCycles {
+		t.Errorf("derived hidden cycles %d, want %d", hidden, want.HiddenCycles)
+	}
+	if sampled := uint64(merged) * uint64(reps); sampled != want.SampledCycles {
+		t.Errorf("derived sampled cycles %d, want %d", sampled, want.SampledCycles)
+	}
+}
+
+// TestStreamReplicationsSkipFastForward: a stream started with
+// SkipBlocks=k reproduces blocks k, k+1, ... of the unskipped stream
+// exactly — the property worker reassignment rests on.
+func TestStreamReplicationsSkipFastForward(t *testing.T) {
+	c := bench89.MustGet("s27")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	const (
+		seed     = int64(5)
+		interval = 2
+		rounds   = 4
+		total    = 6
+		skip     = 3
+	)
+
+	collect := func(skipBlocks int) [][]float64 {
+		var out [][]float64
+		err := StreamReplications(context.Background(), tb, factory, seed, opts,
+			interval, 0, 8, rounds, skipBlocks, total, func(blk ReplicationBlock) error {
+				s := append([]float64(nil), blk.Samples...)
+				out = append(out, s)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	full := collect(0)
+	resumed := collect(skip)
+	if len(full) != total || len(resumed) != total-skip {
+		t.Fatalf("block counts %d/%d, want %d/%d", len(full), len(resumed), total, total-skip)
+	}
+	for i, blk := range resumed {
+		want := full[skip+i]
+		for j := range blk {
+			if blk[j] != want[j] {
+				t.Fatalf("resumed block %d sample %d = %v, want %v (not bit-identical)", skip+i, j, blk[j], want[j])
+			}
+		}
+	}
+}

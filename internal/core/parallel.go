@@ -130,23 +130,22 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
 	}
 
-	// Shard the replication space: at least `workers` shards so the pool
-	// is saturated, and enough shards that none exceeds 64 lanes. Lane
-	// counts differ by at most one, and every replication keeps its
-	// globally fixed seed regardless of the shard/worker layout.
+	// Shard the replication space (SplitRange — the one partition rule):
+	// at least `workers` shards so the pool is saturated, and enough
+	// shards that none exceeds 64 lanes. Lane counts differ by at most
+	// one, and every replication keeps its globally fixed seed regardless
+	// of the shard/worker layout.
 	nShards := workers
 	if min := (reps + sim.MaxLanes - 1) / sim.MaxLanes; nShards < min {
 		nShards = min
 	}
 	shards := make([]*shard, 0, nShards)
-	next := 0
-	for i := 0; i < nShards; i++ {
-		lanes := (reps - next + nShards - i - 1) / (nShards - i)
+	for _, b := range SplitRange(0, reps, nShards) {
+		lanes := b[1] - b[0]
 		srcs := make([]vectors.Source, lanes)
 		for k := range srcs {
-			srcs[k] = src(baseSeed + 1 + int64(next+k))
+			srcs[k] = src(baseSeed + 1 + int64(b[0]+k))
 		}
-		next += lanes
 		sh := &shard{
 			ps:    sim.NewPackedSession(tb.Circuit, srcs),
 			lanes: lanes,
@@ -162,23 +161,29 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		sh.ps.StepHiddenN(opts.WarmupCycles)
 	})
 
-	crit := opts.NewCriterion(opts.Spec)
+	// The pooled stopping state is the exported Merger — the same code
+	// the distributed coordinator merges remote partial results through —
+	// so in-process and cluster runs share one merge order and one budget
+	// rule by construction.
+	m, err := NewMerger(opts)
+	if err != nil {
+		return Result{}, err
+	}
 	if opts.ReuseTestSamples {
-		for _, p := range seed {
-			crit.Add(p)
-		}
+		m.Seed(seed)
 	}
 
 	// Sampling proceeds in blocks of `rounds` rounds; one round yields
 	// one sample per replication. Workers fill their shard's power
 	// buffers concurrently; the merge into the criterion is single-
 	// threaded and ordered (round-major, replication order).
-	rounds := opts.CheckEvery / reps
-	if rounds < 1 {
-		rounds = 1
-	}
-	for _, sh := range shards {
+	rounds := m.Rounds()
+	shardPowers := make([][]float64, len(shards))
+	shardLanes := make([]int, len(shards))
+	for i, sh := range shards {
 		sh.powers = make([]float64, rounds*sh.lanes)
+		shardPowers[i] = sh.powers
+		shardLanes[i] = sh.lanes
 	}
 	weights := tb.Weights()
 	result := func(converged bool) Result {
@@ -191,37 +196,29 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		// callers (the dipe-server job manager) never show a stale last
 		// block after convergence, budget exhaustion or cancellation.
 		if opts.Progress != nil {
-			opts.Progress(Progress{
-				Samples:   crit.N(),
-				Power:     crit.Estimate(),
-				HalfWidth: crit.HalfWidth(),
-				Interval:  interval,
-			})
+			opts.Progress(m.Progress(interval))
 		}
 		return Result{
-			Power:         crit.Estimate(),
+			Power:         m.Estimate(),
 			Interval:      interval,
-			SampleSize:    crit.N(),
-			HalfWidth:     crit.HalfWidth(),
+			SampleSize:    m.N(),
+			HalfWidth:     m.HalfWidth(),
 			HiddenCycles:  hidden,
 			SampledCycles: sampled,
-			Criterion:     crit.Name(),
+			Criterion:     m.CriterionName(),
 			Engine:        engineName,
 			DelayModel:    delayName,
 			Converged:     converged,
 		}
 	}
-	for !crit.Done() {
+	for !m.Done() {
 		if err := ctx.Err(); err != nil {
 			return result(false), err
 		}
 		// Run as many whole rounds as the sample budget allows (one round
 		// is the reps-sample granularity of the parallel scheme); give up
 		// unconverged only when not even one more round fits.
-		n := rounds
-		if remaining := (opts.MaxSamples - crit.N()) / reps; n > remaining {
-			n = remaining
-		}
+		n := m.NextRounds()
 		if n < 1 {
 			return result(false), nil
 		}
@@ -236,20 +233,11 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 				}
 			}
 		})
-		for t := 0; t < n; t++ {
-			for _, sh := range shards {
-				for _, p := range sh.powers[t*sh.lanes : (t+1)*sh.lanes] {
-					crit.Add(p)
-				}
-			}
+		if err := m.MergeBlock(shardPowers, shardLanes, n); err != nil {
+			return result(false), err
 		}
 		if opts.Progress != nil {
-			opts.Progress(Progress{
-				Samples:   crit.N(),
-				Power:     crit.Estimate(),
-				HalfWidth: crit.HalfWidth(),
-				Interval:  interval,
-			})
+			opts.Progress(m.Progress(interval))
 		}
 	}
 	return result(true), nil

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterScalingSmoke runs the distributed scaling benchmark at a
+// tiny budget and a fast pace: every row must carry positive
+// throughput and the paced 1->2 worker speedup must at least clear
+// break-even (the regression floor of 1.7x is asserted in CI on the
+// full-size run, not at smoke scale).
+func TestClusterScalingSmoke(t *testing.T) {
+	cfg := DefaultClusterScalingConfig()
+	cfg.Circuits = []string{"s298"}
+	cfg.Samples = 2048
+	cfg.PacedSamplesPerSec = 50000
+	rows, err := ClusterScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.SamplesPerSec <= 0 || r.Samples != cfg.Samples {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 2 {
+		t.Fatalf("worker counts %d,%d want 1,2", rows[0].Workers, rows[1].Workers)
+	}
+	if rows[1].Speedup < 1.2 {
+		t.Errorf("paced 1->2 worker speedup %.2fx below break-even band", rows[1].Speedup)
+	}
+	out := RenderClusterBench(rows)
+	if !strings.Contains(out, "s298") {
+		t.Errorf("render missing circuit name:\n%s", out)
+	}
+	js := ClusterBenchJSON(rows, cfg.PacedSamplesPerSec)
+	if !strings.Contains(js, "speedup_vs_one_worker") {
+		t.Errorf("json missing speedup field:\n%s", js)
+	}
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Dispatcher runs a validated job's estimation phase on a resolved
+// testbench. It is the seam between the job manager and the execution
+// substrate: the local dispatcher calls core.EstimateParallel in
+// process, the cluster dispatcher (internal/cluster.Coordinator) shards
+// the job's replications across dipe-worker processes and merges their
+// partial results into the same sequential stopping rule. Existing jobs
+// run transparently on either — both substrates use the identical
+// replication seeding (baseSeed+1+r) and merge order, so the choice is
+// invisible in the Result.
+type Dispatcher interface {
+	// Name labels the dispatch strategy in statistics ("local",
+	// "cluster").
+	Name() string
+	// Ready reports whether the dispatcher can currently run jobs; the
+	// /readyz probe surfaces its error. The local dispatcher is always
+	// ready; the cluster dispatcher requires at least one live worker.
+	Ready() error
+	// Estimate runs one job to completion (or ctx cancellation),
+	// reporting running snapshots through progress (never concurrently
+	// with itself). On cancellation it returns the partial result with
+	// ctx's error, like core.EstimateParallelCtx.
+	Estimate(ctx context.Context, tb *core.Testbench, req JobRequest, progress func(core.Progress)) (core.Result, error)
+}
+
+// WorkerRegistrar is the optional Dispatcher extension for substrates
+// with a dynamic worker set; the HTTP layer exposes it as the
+// /v1/cluster/workers endpoints when the configured dispatcher
+// implements it.
+type WorkerRegistrar interface {
+	// AddWorker registers (or re-registers) a worker by base URL.
+	AddWorker(url string) error
+	// Workers snapshots the registered workers.
+	Workers() []WorkerStatus
+}
+
+// RegistryAware is the optional Dispatcher extension for substrates
+// that must propagate circuits to remote processes: New hands the
+// service registry to the dispatcher so it can look up a job circuit's
+// provenance (Registry.Source) and ship it to workers that miss it.
+type RegistryAware interface {
+	SetRegistry(*Registry)
+}
+
+// WorkerStatus is one registered worker's health snapshot.
+type WorkerStatus struct {
+	URL      string    `json:"url"`
+	Alive    bool      `json:"alive"`
+	LastSeen time.Time `json:"lastSeen,omitzero"`
+	// Failures counts stream and heartbeat failures attributed to the
+	// worker since registration.
+	Failures uint64 `json:"failures"`
+}
+
+// localDispatcher runs jobs in-process over the goroutine-parallel
+// estimator — the single-node default.
+type localDispatcher struct{}
+
+// NewLocalDispatcher returns the in-process dispatcher.
+func NewLocalDispatcher() Dispatcher { return localDispatcher{} }
+
+func (localDispatcher) Name() string { return "local" }
+
+func (localDispatcher) Ready() error { return nil }
+
+func (localDispatcher) Estimate(ctx context.Context, tb *core.Testbench, req JobRequest, progress func(core.Progress)) (core.Result, error) {
+	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
+	if err != nil {
+		return core.Result{}, err
+	}
+	opts := req.Options.Options()
+	opts.Progress = progress
+	if req.Interval != nil {
+		return core.EstimateParallelWithIntervalCtx(ctx, tb, factory, req.Seed, opts, *req.Interval)
+	}
+	return core.EstimateParallelCtx(ctx, tb, factory, req.Seed, opts)
+}

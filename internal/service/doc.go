@@ -21,7 +21,17 @@
 //
 //   - HTTP API (handlers.go, server.go): submit/poll/wait/cancel job
 //     endpoints, a batch endpoint that fans a list of jobs across the
-//     pool, circuit upload/list, and registry/pool statistics.
+//     pool, circuit upload/list, registry/pool statistics, and the
+//     liveness/readiness split (/healthz vs /readyz).
+//
+// Job execution goes through the Dispatcher seam (dispatch.go): the
+// local dispatcher runs core.EstimateParallelCtx in-process, while
+// internal/cluster's Coordinator shards the same jobs across
+// dipe-worker processes — transparently and bit-identically, because
+// both use the same replication seeding and merge order. Shutdown
+// drains: Close cancels live jobs, rejects new submissions (ErrClosed)
+// and waits for the pool, so no estimation goroutine outlives the
+// service.
 //
 // The package is deliberately independent of any particular transport
 // policy: Service.Handler returns a plain http.Handler, so it can be

@@ -44,6 +44,14 @@ type BatchResponse struct {
 type StatsResponse struct {
 	Registry RegistryStats `json:"registry"`
 	Pool     PoolStats     `json:"pool"`
+	// Dispatcher names the execution substrate ("local" or "cluster").
+	Dispatcher string `json:"dispatcher"`
+}
+
+// RegisterWorkerRequest adds a worker to a cluster dispatcher.
+type RegisterWorkerRequest struct {
+	// URL is the worker's base URL (e.g. "http://10.0.0.7:8416").
+	URL string `json:"url"`
 }
 
 // errorResponse is the uniform error body.
@@ -53,21 +61,27 @@ type errorResponse struct {
 
 // routes builds the service mux:
 //
-//	GET    /healthz            liveness
-//	GET    /v1/circuits        list resolvable circuit names
-//	POST   /v1/circuits        upload a .bench/BLIF netlist
-//	POST   /v1/jobs            submit one estimation job
-//	GET    /v1/jobs            list all jobs
-//	GET    /v1/jobs/{id}       poll one job
-//	GET    /v1/jobs/{id}/wait  block until the job finishes (?timeout=30s)
-//	DELETE /v1/jobs/{id}       cancel a job
-//	POST   /v1/batch           submit a list of jobs
-//	GET    /v1/stats           registry + pool statistics
+//	GET    /healthz             liveness (always ok while the process serves)
+//	GET    /readyz              readiness (503 until jobs can actually run)
+//	GET    /v1/circuits         list resolvable circuit names
+//	POST   /v1/circuits         upload a .bench/BLIF netlist
+//	POST   /v1/jobs             submit one estimation job
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        poll one job
+//	GET    /v1/jobs/{id}/wait   block until the job finishes (?timeout=30s)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	POST   /v1/batch            submit a list of jobs
+//	GET    /v1/stats            registry + pool statistics
+//	GET    /v1/cluster/workers  cluster mode: registered workers + health
+//	POST   /v1/cluster/workers  cluster mode: register a worker {"url": ...}
 func (s *Service) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /v1/cluster/workers", s.handleListWorkers)
+	mux.HandleFunc("POST /v1/cluster/workers", s.handleRegisterWorker)
 	mux.HandleFunc("GET /v1/circuits", s.handleListCircuits)
 	mux.HandleFunc("POST /v1/circuits", s.handleUpload)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -78,6 +92,52 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// handleReady is the readiness probe: 200 once jobs can run, 503 with
+// the blocking error otherwise. Distinct from /healthz so a cluster
+// coordinator waiting for its first worker reads as alive-but-not-ready
+// instead of crash-looping.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "not-ready",
+			"error":  err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleListWorkers reports the cluster dispatcher's worker table; in
+// local mode there is no worker set and the endpoint says so.
+func (s *Service) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.dispatch.(WorkerRegistrar)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dispatcher %q has no worker registry", s.dispatch.Name()))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]WorkerStatus{"workers": reg.Workers()})
+}
+
+// handleRegisterWorker lets a dipe-worker (or an operator) register a
+// worker URL with the cluster dispatcher at runtime; re-registering an
+// existing URL refreshes it, so workers can POST on every startup.
+func (s *Service) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.dispatch.(WorkerRegistrar)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dispatcher %q has no worker registry", s.dispatch.Name()))
+		return
+	}
+	var req RegisterWorkerRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := reg.AddWorker(req.URL); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string][]WorkerStatus{"workers": reg.Workers()})
 }
 
 func (s *Service) handleListCircuits(w http.ResponseWriter, r *http.Request) {
@@ -110,11 +170,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.Jobs.Submit(req)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, ErrQueueFull) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		writeError(w, submitStatus(err), err)
 		return
 	}
 	view, _ := s.Jobs.Get(id)
@@ -197,11 +253,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for _, prev := range ids {
 				s.Jobs.Cancel(prev)
 			}
-			status := http.StatusBadRequest
-			if errors.Is(err, ErrQueueFull) {
-				status = http.StatusServiceUnavailable
-			}
-			writeError(w, status, fmt.Errorf("job %d: %w", i, err))
+			writeError(w, submitStatus(err), fmt.Errorf("job %d: %w", i, err))
 			return
 		}
 		ids = append(ids, id)
@@ -211,9 +263,20 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Registry: s.Registry.Stats(),
-		Pool:     s.Jobs.Stats(),
+		Registry:   s.Registry.Stats(),
+		Pool:       s.Jobs.Stats(),
+		Dispatcher: s.dispatch.Name(),
 	})
+}
+
+// submitStatus maps Submit errors to HTTP statuses: a full queue and a
+// draining manager are server-side transients (503, retry elsewhere or
+// later), everything else is a request fault (400).
+func submitStatus(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 // readJSON decodes the request body into v, writing a 400 and returning

@@ -45,11 +45,13 @@ type SourceSpec struct {
 	Rho float64 `json:"rho,omitempty"`
 }
 
-// factory builds the input-source factory for a circuit with the given
+// Factory builds the input-source factory for a circuit with the given
 // number of primary inputs. Parameter ranges are checked here (not
 // deferred to the vectors constructors, which panic) so bad requests
 // are rejected at Validate time instead of crashing a pool worker.
-func (s SourceSpec) factory(width int) (vectors.Factory, error) {
+// Exported for dispatchers (internal/cluster workers rebuild sources
+// from the wire spec with it).
+func (s SourceSpec) Factory(width int) (vectors.Factory, error) {
 	p := s.P
 	if p == 0 {
 		p = 0.5
@@ -97,8 +99,10 @@ type OptionsSpec struct {
 	PowerMode string `json:"powerMode,omitempty"`
 }
 
-// options expands the spec over the paper defaults.
-func (o OptionsSpec) options() core.Options {
+// Options expands the spec over the paper defaults. Exported for
+// dispatchers, which derive the estimator configuration from the wire
+// spec.
+func (o OptionsSpec) Options() core.Options {
 	opts := core.DefaultOptions()
 	if o.RelErr != 0 {
 		opts.Spec.RelErr = o.RelErr
@@ -151,10 +155,10 @@ func (r JobRequest) Validate() error {
 	if r.Interval != nil && *r.Interval < 0 {
 		return fmt.Errorf("service: negative interval %d", *r.Interval)
 	}
-	if _, err := r.Source.factory(1); err != nil {
+	if _, err := r.Source.Factory(1); err != nil {
 		return err
 	}
-	return r.Options.options().Validate()
+	return r.Options.Options().Validate()
 }
 
 // jsonFinite maps non-finite values to -1 for JSON transport: a
@@ -263,31 +267,42 @@ type PoolStats struct {
 // capacity; clients should retry with backoff.
 var ErrQueueFull = errors.New("service: job queue full")
 
+// ErrClosed is returned by Submit once the manager is draining: a job
+// accepted after Close would sit queued forever with no pool worker
+// left to run it (and leak any Wait caller blocked on it).
+var ErrClosed = errors.New("service: job manager is shut down")
+
 // Manager owns the asynchronous job lifecycle: a bounded FIFO queue
 // feeding a fixed worker pool, with per-job cancellation and live
 // progress. Jobs are never forgotten; completed records stay queryable
 // until the manager is closed.
 type Manager struct {
-	reg     *Registry
-	workers int
+	reg      *Registry
+	dispatch Dispatcher
+	workers  int
 
 	ctx   context.Context // parent of every job context
 	stop  context.CancelFunc
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // submission order, for List
-	seq   uint64
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for List
+	seq    uint64
+	closed bool
 }
 
 // NewManager starts a pool of `workers` goroutines (default 2 if
 // non-positive) consuming a queue of up to queueCap pending jobs
-// (default 64). Each job may itself fan out over
-// Options.Workers simulation goroutines, so the pool size bounds
-// concurrent *jobs*, not goroutines.
-func NewManager(reg *Registry, workers, queueCap int) *Manager {
+// (default 64), executing each job through the dispatcher (the local
+// in-process dispatcher if nil). Each job may itself fan out over
+// Options.Workers simulation goroutines (or cluster workers), so the
+// pool size bounds concurrent *jobs*, not goroutines.
+func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int) *Manager {
+	if dispatch == nil {
+		dispatch = NewLocalDispatcher()
+	}
 	if workers <= 0 {
 		workers = 2
 	}
@@ -296,12 +311,13 @@ func NewManager(reg *Registry, workers, queueCap int) *Manager {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		reg:     reg,
-		workers: workers,
-		ctx:     ctx,
-		stop:    stop,
-		queue:   make(chan *job, queueCap),
-		jobs:    make(map[string]*job),
+		reg:      reg,
+		dispatch: dispatch,
+		workers:  workers,
+		ctx:      ctx,
+		stop:     stop,
+		queue:    make(chan *job, queueCap),
+		jobs:     make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -319,6 +335,9 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
 	j := &job{
 		id:    fmt.Sprintf("job-%06d", m.seq+1),
 		req:   req,
@@ -422,17 +441,22 @@ func (m *Manager) Stats() PoolStats {
 	return st
 }
 
-// Close cancels every live job, stops the workers and waits for them.
-// The manager must not be used afterwards.
+// Close drains the pool: it rejects further submissions, cancels every
+// live job (queued jobs terminate immediately; running jobs stop at
+// their next stopping-criterion block) and waits until every pool
+// worker has retired — no in-flight estimation goroutine survives the
+// call. Safe to call more than once; Submit afterwards returns
+// ErrClosed.
 func (m *Manager) Close() {
-	m.stop()
 	m.mu.Lock()
+	m.closed = true
 	for _, j := range m.jobs {
 		if j.state == StateQueued {
 			m.finishLocked(j, StateCancelled, nil, "service shutting down")
 		}
 	}
 	m.mu.Unlock()
+	m.stop()
 	m.wg.Wait()
 }
 
@@ -475,24 +499,13 @@ func (m *Manager) run(j *job) {
 		m.finish(j, StateFailed, nil, err.Error())
 		return
 	}
-	factory, err := j.req.Source.factory(len(tb.Circuit.Inputs))
-	if err != nil {
-		m.finish(j, StateFailed, nil, err.Error())
-		return
-	}
-	opts := j.req.Options.options()
-	opts.Progress = func(p core.Progress) {
+	progress := func(p core.Progress) {
 		m.mu.Lock()
 		j.progress = viewProgress(p)
 		m.mu.Unlock()
 	}
 
-	var res core.Result
-	if j.req.Interval != nil {
-		res, err = core.EstimateParallelWithIntervalCtx(ctx, tb, factory, j.req.Seed, opts, *j.req.Interval)
-	} else {
-		res, err = core.EstimateParallelCtx(ctx, tb, factory, j.req.Seed, opts)
-	}
+	res, err := m.dispatch.Estimate(ctx, tb, j.req, progress)
 	switch {
 	case errors.Is(err, context.Canceled):
 		m.finish(j, StateCancelled, nil, "cancelled")

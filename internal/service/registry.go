@@ -161,6 +161,38 @@ func (r *Registry) install(name string, tb *core.Testbench) {
 	}
 }
 
+// CircuitSource is the provenance of a registry circuit — exactly what
+// is needed to rebuild its frozen form bit-identically in another
+// process. Builtin circuits are regenerated from the deterministic
+// bench89 generator; uploads are re-parsed from the original text with
+// the original name and format, so node IDs (and with them every
+// float-summation order in the simulators) come out identical to the
+// coordinator's copy. This is what the cluster propagates to workers
+// instead of a re-serialized netlist, which could reorder nodes.
+type CircuitSource struct {
+	// Builtin, when non-empty, names a built-in benchmark (bench89/s27);
+	// the other fields are empty.
+	Builtin string `json:"builtin,omitempty"`
+	// Name, Format and Text reproduce an uploaded netlist.
+	Name   string `json:"name,omitempty"`
+	Format string `json:"format,omitempty"`
+	Text   string `json:"text,omitempty"`
+}
+
+// Source returns the provenance of a resolvable circuit name.
+func (r *Registry) Source(name string) (CircuitSource, error) {
+	if builtin(name) {
+		return CircuitSource{Builtin: name}, nil
+	}
+	r.mu.Lock()
+	up, ok := r.uploads[name]
+	r.mu.Unlock()
+	if !ok {
+		return CircuitSource{}, fmt.Errorf("service: unknown circuit %q", name)
+	}
+	return CircuitSource{Name: name, Format: up.format, Text: up.text}, nil
+}
+
 // Names lists every resolvable circuit name: the built-in benchmark set
 // (including s27) plus all uploads, sorted.
 func (r *Registry) Names() []string {

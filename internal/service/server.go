@@ -1,6 +1,10 @@
 package service
 
-import "net/http"
+import (
+	"errors"
+	"net/http"
+	"sync"
+)
 
 // Config sizes the service. The zero value means defaults everywhere,
 // so Config{} is a valid production starting point.
@@ -15,6 +19,10 @@ type Config struct {
 	// QueueSize bounds pending (queued, not yet running) jobs
 	// (default 64); Submit beyond it returns ErrQueueFull.
 	QueueSize int
+	// Dispatcher selects the execution substrate for jobs: nil means
+	// the in-process local dispatcher; a cluster.Coordinator shards jobs
+	// across dipe-worker processes instead.
+	Dispatcher Dispatcher
 }
 
 // DefaultConfig returns the default sizing.
@@ -26,13 +34,22 @@ func DefaultConfig() Config { return Config{} }
 type Service struct {
 	Registry *Registry
 	Jobs     *Manager
+	dispatch Dispatcher
 	mux      *http.ServeMux
+	closing  sync.Once
 }
 
 // New builds a service from the config and starts its worker pool.
 func New(cfg Config) *Service {
-	s := &Service{Registry: NewRegistry(cfg.CacheSize)}
-	s.Jobs = NewManager(s.Registry, cfg.Workers, cfg.QueueSize)
+	dispatch := cfg.Dispatcher
+	if dispatch == nil {
+		dispatch = NewLocalDispatcher()
+	}
+	s := &Service{Registry: NewRegistry(cfg.CacheSize), dispatch: dispatch}
+	if ra, ok := dispatch.(RegistryAware); ok {
+		ra.SetRegistry(s.Registry)
+	}
+	s.Jobs = NewManager(s.Registry, dispatch, cfg.Workers, cfg.QueueSize)
 	s.mux = s.routes()
 	return s
 }
@@ -40,5 +57,21 @@ func New(cfg Config) *Service {
 // Handler returns the HTTP API (see routes for the endpoint table).
 func (s *Service) Handler() http.Handler { return s.mux }
 
-// Close cancels all live jobs and stops the worker pool.
-func (s *Service) Close() { s.Jobs.Close() }
+// Ready reports whether the service can run jobs right now: the
+// registry and job pool must exist and the dispatcher must be ready (in
+// cluster mode, at least one worker reachable). GET /readyz surfaces
+// the error; liveness (/healthz) stays green regardless, so an
+// orchestrator restarts the process only when it is actually dead, not
+// merely awaiting workers.
+func (s *Service) Ready() error {
+	if s.Registry == nil || s.Jobs == nil {
+		return errors.New("service: not initialised")
+	}
+	return s.dispatch.Ready()
+}
+
+// Close drains the job pool: further submissions are rejected, live
+// jobs are cancelled, and the call blocks until every in-flight
+// estimation goroutine has retired — callers can safely proceed to
+// http.Server.Shutdown knowing no estimate leaks. Idempotent.
+func (s *Service) Close() { s.closing.Do(s.Jobs.Close) }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# e2e_cluster.sh — boot a real estimation cluster on loopback and drive
+# a batch through it: one dipe-server coordinator + two dipe-worker
+# processes, worker self-registration, readiness transition, batch
+# submission over the cluster dispatcher, and completion checks.
+# CI runs this as the cluster end-to-end gate; it needs only go, curl
+# and python3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVER_PORT="${SERVER_PORT:-18415}"
+W1_PORT="${W1_PORT:-18416}"
+W2_PORT="${W2_PORT:-18417}"
+BASE="http://127.0.0.1:${SERVER_PORT}"
+
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+  echo "--- server log ---"; cat "$LOGS/server.log" || true
+  rm -rf "$LOGS"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$BIN/dipe-server" ./cmd/dipe-server
+go build -o "$BIN/dipe-worker" ./cmd/dipe-worker
+
+echo "== start coordinator (cluster mode, no workers yet)"
+"$BIN/dipe-server" -addr "127.0.0.1:${SERVER_PORT}" -cluster -heartbeat 500ms \
+  >"$LOGS/server.log" 2>&1 &
+PIDS+=($!)
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "server never came up"; exit 1; }
+
+echo "== not ready before any worker registers"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+[ "$code" = 503 ] || { echo "readyz=$code before workers, want 503"; exit 1; }
+
+echo "== start two workers with self-registration"
+"$BIN/dipe-worker" -addr "127.0.0.1:${W1_PORT}" -register "$BASE" >"$LOGS/w1.log" 2>&1 &
+PIDS+=($!)
+"$BIN/dipe-worker" -addr "127.0.0.1:${W2_PORT}" -register "$BASE" >"$LOGS/w2.log" 2>&1 &
+PIDS+=($!)
+
+echo "== wait for readiness"
+for i in $(seq 1 50); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+  [ "$code" = 200 ] && break
+  sleep 0.2
+done
+[ "$code" = 200 ] || { echo "readyz=$code with workers, want 200"; exit 1; }
+
+echo "== both workers visible"
+curl -s "$BASE/v1/cluster/workers" | python3 -c '
+import json, sys
+ws = json.load(sys.stdin)["workers"]
+alive = [w for w in ws if w["alive"]]
+assert len(ws) == 2, f"{len(ws)} workers registered, want 2"
+assert len(alive) == 2, f"{len(alive)} workers alive, want 2"
+'
+
+echo "== submit a batch over the cluster dispatcher"
+ids=$(curl -sf -X POST "$BASE/v1/batch" -H 'Content-Type: application/json' -d '{
+  "jobs": [
+    {"circuit":"s27",  "seed":5, "options":{"replications":16,"workers":1}},
+    {"circuit":"s298", "seed":9, "options":{"replications":32,"workers":1}},
+    {"circuit":"s1494","seed":3, "options":{"replications":64,"workers":1}}
+  ]}' | python3 -c 'import json,sys; print("\n".join(json.load(sys.stdin)["ids"]))')
+
+echo "== wait for completion"
+check_job='
+import json, sys
+jid = sys.argv[1]
+v = json.load(sys.stdin)
+assert v["state"] == "done", "%s: state %s error %s" % (jid, v["state"], v.get("error", ""))
+r = v["result"]
+assert r["power"] > 0, "%s: nonpositive power" % jid
+assert r["converged"], "%s: did not converge" % jid
+print("%s: %s P=%.4g W n=%d" % (jid, v["request"]["circuit"], r["power"], r["sampleSize"]))
+'
+for id in $ids; do
+  curl -sf "$BASE/v1/jobs/$id/wait?timeout=120s" | python3 -c "$check_job" "$id"
+done
+
+echo "== stats name the cluster dispatcher"
+curl -s "$BASE/v1/stats" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+assert st["dispatcher"] == "cluster", st["dispatcher"]
+assert st["pool"]["done"] >= 3, st["pool"]
+'
+
+echo "e2e cluster: OK"
