@@ -65,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		clusterP = fs.Int("cluster-pace", 10000, "per-worker pacing in samples/s for -cluster (0 = raw CPU-bound)")
 		clusterJ = fs.String("cluster-json", "", "write the -cluster report as JSON to this file (BENCH_3.json)")
 		modes    = fs.Bool("modes", false, "run the Table-1-style general-delay vs zero-delay mode comparison")
+		vrB      = fs.Bool("vr", false, "run the variance-reduction benchmark (plain vs antithetic vs control-variate)")
+		vrRelErr = fs.Float64("vr-relerr", 0.05, "accuracy target for -vr")
+		vrJ      = fs.String("vr-json", "", "write the -vr report as JSON to this file (BENCH_4.json)")
 		paper    = fs.Bool("paper", false, "use the paper's 1e6-cycle references")
 		seed     = fs.Int64("seed", 1997, "base seed for the whole campaign")
 		fig3Len  = fs.Int("fig3-len", 10000, "Figure 3 sequence length")
@@ -96,9 +99,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes && !*clusterB {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes && !*clusterB && !*vrB {
 		fs.Usage()
 		return fmt.Errorf("no campaign selected")
+	}
+
+	if *vrB {
+		vcfg := experiments.DefaultVRBenchConfig()
+		vcfg.RelErr = *vrRelErr
+		vcfg.Seed = cfg.BaseSeed
+		if *circuits != "" || *small {
+			vcfg.Circuits = cfg.Circuits
+		}
+		if !*quiet {
+			vcfg.Log = func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) }
+		}
+		rows, err := experiments.VarianceReduction(vcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderVRBench(rows))
+		if *vrJ != "" {
+			if err := os.WriteFile(*vrJ, []byte(experiments.VRBenchJSON(rows, vcfg)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *vrJ)
+		}
 	}
 
 	if *clusterB {

@@ -84,6 +84,7 @@ func main() {
 		criterion   = flag.String("criterion", "order-statistics", "stopping criterion: normal | ks | order-statistics")
 		test        = flag.String("test", "runs", "randomness test: runs | updown | vonneumann")
 		powerMode   = flag.String("power-mode", "general-delay", "sampled-cycle observation: general-delay (glitches included) | zero-delay (functional toggles, bit-parallel)")
+		variance    = flag.String("variance", "none", "variance reduction: none | antithetic | control-variate (implies -replications; fewer sampled cycles to the same confidence interval)")
 		inputProb   = flag.Float64("p", 0.5, "primary-input signal probability")
 		inputRho    = flag.Float64("rho", 0, "primary-input lag-1 autocorrelation (0 = i.i.d.)")
 		seed        = flag.Int64("seed", 1, "random seed")
@@ -102,7 +103,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
-		*criterion, *test, *powerMode, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
+		*criterion, *test, *powerMode, *variance, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
 		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "dipe:", err)
 		os.Exit(1)
@@ -110,7 +111,7 @@ func main() {
 }
 
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
-	criterion, test, powerMode string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
+	criterion, test, powerMode, variance string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
 	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int) error {
 
 	var (
@@ -170,6 +171,16 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 		return err
 	}
 	opts.Mode = mode
+	vrMode, err := dipe.ParseVarianceMode(variance)
+	if err != nil {
+		return err
+	}
+	opts.Variance.Mode = vrMode
+	if vrMode != dipe.VarianceNone && reps == 0 {
+		// The transforms are defined over the replication space; default
+		// to one full packed word like the parallel estimator does.
+		reps = 64
+	}
 
 	newFactory := func() dipe.SourceFactory {
 		if inputRho > 0 {
@@ -291,6 +302,13 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	fmt.Printf("sample size       : %d\n", res.SampleSize)
 	fmt.Printf("criterion         : %s (half-width %.2f%%)\n", res.Criterion, 100*res.RelHalfWidth())
 	fmt.Printf("power mode        : %s (engine %s, delay model %s)\n", mode, res.Engine, res.DelayModel)
+	if res.Variance != "" {
+		fmt.Printf("variance reduction: %s", res.Variance)
+		if res.CVBeta != 0 {
+			fmt.Printf(" (beta %.4f)", res.CVBeta)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("simulated cycles  : %d hidden + %d sampled\n", res.HiddenCycles, res.SampledCycles)
 	fmt.Printf("wall time         : %s\n", res.Elapsed)
 	if !res.Converged {

@@ -16,6 +16,7 @@ type runArgs struct {
 	relErr, confidence   float64
 	criterion, test      string
 	powerMode            string
+	variance             string
 	inputProb, inputRho  float64
 	seed                 int64
 	fixed, reps, workers int
@@ -30,7 +31,7 @@ type runArgs struct {
 func defaults() runArgs {
 	return runArgs{
 		alpha: 0.20, seqLen: 320, relErr: 0.05, confidence: 0.99,
-		criterion: "order-statistics", test: "runs", powerMode: "general-delay",
+		criterion: "order-statistics", test: "runs", powerMode: "general-delay", variance: "none",
 		inputProb: 0.5, seed: 1, fixed: -1, ztrace: -1, ztraceLen: 1000,
 		vcdCycles: 8,
 	}
@@ -38,7 +39,7 @@ func defaults() runArgs {
 
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
-		a.criterion, a.test, a.powerMode, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
+		a.criterion, a.test, a.powerMode, a.variance, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
 		a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
 }
 

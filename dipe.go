@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stopping"
 	"repro/internal/vectors"
+	"repro/internal/vr"
 )
 
 // Circuit is a frozen gate-level sequential circuit.
@@ -125,6 +126,45 @@ func ParsePowerMode(s string) (PowerMode, error) { return power.ParseMode(s) }
 
 // PowerModes lists the valid canonical power modes.
 func PowerModes() []PowerMode { return power.Modes() }
+
+// VarianceMode names a variance-reduction transform for the sampling
+// phase; see internal/vr for the statistics.
+type VarianceMode = vr.Mode
+
+// VarianceSpec configures variance reduction via Options.Variance: the
+// mode plus optional calibration overrides. The zero value is the plain
+// estimator.
+type VarianceSpec = vr.Spec
+
+// Variance-reduction modes for Options.Variance.Mode.
+const (
+	// VarianceNone is the paper's plain estimator (the zero value).
+	VarianceNone = vr.ModeNone
+	// VarianceAntithetic pairs replication lanes with mirrored input
+	// streams and feeds the stopping criterion pair means. The packed
+	// simulator makes the mirrored lanes free: each 64-lane word-step
+	// yields 32 negatively correlated pairs.
+	VarianceAntithetic = vr.ModeAntithetic
+	// VarianceControlVariate subtracts the regression-scaled, centred
+	// same-cycle zero-delay toggle power from every general-delay
+	// sample. The coefficient is estimated from the phase-1 sequence and
+	// the covariate mean from a cheap packed zero-delay pre-run.
+	VarianceControlVariate = vr.ModeControlVariate
+)
+
+// ParseVarianceMode resolves a user-supplied variance-reduction mode
+// string ("none", "antithetic", "control-variate", or the aliases
+// "anti"/"cv"; empty means none).
+func ParseVarianceMode(s string) (VarianceMode, error) { return vr.ParseMode(s) }
+
+// VarianceModes lists the valid canonical variance-reduction modes.
+func VarianceModes() []VarianceMode { return vr.Modes() }
+
+// AntitheticSource returns the antithetic twin of a freshly built
+// stochastic source: same configuration and seed, every underlying
+// uniform mirrored (u -> 1-u), so the twin keeps the exact input
+// distribution while anticorrelating with the original draw for draw.
+func AntitheticSource(s Source) (Source, error) { return vectors.Antithetic(s) }
 
 // DefaultCapModel returns the default load-capacitance coefficients
 // (30 fF + 10 fF per fanout).

@@ -60,6 +60,9 @@ func sameResult(t *testing.T, got, want core.Result, label string) {
 	if got.Criterion != want.Criterion {
 		t.Errorf("%s: criterion %q, want %q", label, got.Criterion, want.Criterion)
 	}
+	if got.Variance != want.Variance || got.CVBeta != want.CVBeta {
+		t.Errorf("%s: variance %q/beta %v, want %q/%v", label, got.Variance, got.CVBeta, want.Variance, want.CVBeta)
+	}
 }
 
 // reference runs the single-process estimator for a job request.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/vr"
 )
 
 // CoordinatorConfig configures the cluster dispatcher. The zero value
@@ -39,6 +40,15 @@ type CoordinatorConfig struct {
 	// dedicated client with no overall timeout — streams are long-lived
 	// and cancelled by context).
 	Client *http.Client
+
+	// tick and probed are test seams (settable from same-package tests
+	// only): a non-nil tick replaces the heartbeat ticker with an
+	// injected clock, and probed receives one notification after each
+	// completed heartbeat round. Together they let liveness-transition
+	// tests drive the heartbeat deterministically instead of sleeping
+	// against wall-clock timers.
+	tick   <-chan time.Time
+	probed chan<- struct{}
 }
 
 // workerState is one registered worker, guarded by the coordinator's
@@ -77,6 +87,8 @@ type Coordinator struct {
 	hb          time.Duration
 	hbTimeout   time.Duration
 	maxAttempts int
+	hbTick      <-chan time.Time // injected heartbeat clock (tests)
+	hbProbed    chan<- struct{}  // per-round completion notification (tests)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -112,6 +124,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		hb:          cfg.Heartbeat,
 		hbTimeout:   cfg.HeartbeatTimeout,
 		maxAttempts: cfg.MaxAttempts,
+		hbTick:      cfg.tick,
+		hbProbed:    cfg.probed,
 		stop:        make(chan struct{}),
 	}
 	for _, u := range cfg.Workers {
@@ -199,16 +213,22 @@ func (c *Coordinator) Workers() []service.WorkerStatus {
 
 // heartbeatLoop probes every registered worker each period — including
 // dead ones, which is how a restarted worker rejoins without
-// re-registering.
+// re-registering. The period comes from a ticker, or from the injected
+// test clock when one is configured, so liveness tests advance the
+// heartbeat explicitly instead of sleeping.
 func (c *Coordinator) heartbeatLoop() {
 	defer c.hbWG.Done()
-	ticker := time.NewTicker(c.hb)
-	defer ticker.Stop()
+	tick := c.hbTick
+	if tick == nil {
+		ticker := time.NewTicker(c.hb)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-c.stop:
 			return
-		case <-ticker.C:
+		case <-tick:
 		}
 		c.mu.Lock()
 		urls := append([]string(nil), c.order...)
@@ -222,6 +242,13 @@ func (c *Coordinator) heartbeatLoop() {
 			}(u)
 		}
 		wg.Wait()
+		if c.hbProbed != nil {
+			select {
+			case c.hbProbed <- struct{}{}:
+			case <-c.stop:
+				return
+			}
+		}
 	}
 }
 
@@ -339,7 +366,7 @@ func (c *Coordinator) Estimate(ctx context.Context, tb *core.Testbench, req serv
 	var (
 		interval             int
 		sel                  core.IntervalSelection
-		seedSeq              []float64
+		selPtr               *core.IntervalSelection
 		selHidden, selSample uint64
 	)
 	if req.Interval != nil {
@@ -354,15 +381,23 @@ func (c *Coordinator) Estimate(ctx context.Context, tb *core.Testbench, req serv
 			return core.Result{}, err
 		}
 		interval = sel.Interval
-		seedSeq = sel.Sequence
+		selPtr = &sel
 		selHidden, selSample = sel0.HiddenCycles, sel0.SampledCycles
 	}
 
-	res, err := c.sampledPhase(ctx, tb, req, opts, interval, seedSeq)
+	// Freeze the variance-reduction plan locally — the same resolution
+	// code, seeds and order as the single-process estimator — then ship
+	// it verbatim to every worker.
+	plan, seedSeq, cal, err := core.ResolvePlan(ctx, tb, factory, req.Seed, opts, interval, selPtr)
+	if err != nil {
+		return core.Result{}, err
+	}
+
+	res, err := c.sampledPhase(ctx, tb, req, opts, plan, interval, seedSeq)
 	res.Trials = sel.Trials
 	res.IntervalCapped = sel.Capped
-	res.HiddenCycles += selHidden
-	res.SampledCycles += selSample
+	res.HiddenCycles += selHidden + cal.Hidden
+	res.SampledCycles += selSample + cal.Sampled
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -382,7 +417,7 @@ type repRange struct {
 // sampledPhase is the distributed analogue of parallelTail: it streams
 // sample blocks from one worker per replication range and merges them
 // through core.Merger under the job's sequential stopping rule.
-func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req service.JobRequest, opts core.Options, interval int, seedSeq []float64) (core.Result, error) {
+func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req service.JobRequest, opts core.Options, plan vr.Plan, interval int, seedSeq []float64) (core.Result, error) {
 	m, err := core.NewMerger(opts)
 	if err != nil {
 		return core.Result{}, err
@@ -392,8 +427,10 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 	}
 	reps, rounds := m.Reps(), m.Rounds()
 	// Budget ceiling for orphaned streams: strictly more blocks than the
-	// merge loop can consume before its own MaxSamples cutoff fires.
-	maxBlocks := opts.MaxSamples/(reps*rounds) + 2
+	// merge loop can consume before its own MaxSamples cutoff fires
+	// (PerRound, not reps: antithetic pairing halves the criterion
+	// samples a round yields, doubling the blocks the budget can fund).
+	maxBlocks := opts.MaxSamples/(m.PerRound()*rounds) + 2
 
 	src, err := c.resolveSource(req.Circuit)
 	if err != nil {
@@ -422,10 +459,10 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 		rg := &repRange{lo: b[0], hi: b[1], ch: make(chan rangeMsg, 16)}
 		ranges[i] = rg
 		lanes[i] = b[1] - b[0]
-		go c.runRange(sctx, alive[i%len(alive)], hash, src, req, opts, interval, rounds, maxBlocks, rg)
+		go c.runRange(sctx, alive[i%len(alive)], hash, src, req, opts, plan, interval, rounds, maxBlocks, rg)
 	}
 
-	packedSampled := opts.Mode.IsZeroDelay() || tb.Delays.AllZero()
+	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !plan.NeedsCovariate()
 	engineName, delayName := sim.EnginePackedZeroDelay, delay.Zero{}.Name()
 	if !packedSampled {
 		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
@@ -450,6 +487,8 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 			Criterion:     m.CriterionName(),
 			Engine:        engineName,
 			DelayModel:    delayName,
+			Variance:      plan.Label(),
+			CVBeta:        plan.Beta,
 			Converged:     converged,
 		}
 	}
@@ -515,14 +554,14 @@ var errPermanent = errors.New("cluster: request rejected")
 // (SkipBlocks), which deterministic seeding replays exactly. It gives
 // up after maxAttempts failures, delivering the error to the merge
 // loop.
-func (c *Coordinator) runRange(ctx context.Context, firstWorker, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, interval, rounds, maxBlocks int, rg *repRange) {
+func (c *Coordinator) runRange(ctx context.Context, firstWorker, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, rg *repRange) {
 	defer close(rg.ch)
 	worker := firstWorker
 	delivered := 0 // blocks handed to the merge loop so far
 	attempts := 0
 	uploaded := make(map[string]bool)
 	for {
-		err := c.streamRange(ctx, worker, hash, req, opts, interval, rounds, maxBlocks, &delivered, rg)
+		err := c.streamRange(ctx, worker, hash, req, opts, plan, interval, rounds, maxBlocks, &delivered, rg)
 		if err == nil || ctx.Err() != nil {
 			return // complete, or the merge loop is done with us
 		}
@@ -571,7 +610,7 @@ func (c *Coordinator) runRange(ctx context.Context, firstWorker, hash string, sr
 // starting at *delivered and bumping it per delivered block. A nil
 // return means the stream completed (maxBlocks reached); any error
 // leaves *delivered at the resume point for the next attempt.
-func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req service.JobRequest, opts core.Options, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
+func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
 	if *delivered >= maxBlocks {
 		return nil
 	}
@@ -580,6 +619,7 @@ func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req 
 		Source:     req.Source,
 		Seed:       req.Seed,
 		Mode:       string(opts.Mode),
+		VR:         plan,
 		Warmup:     opts.WarmupCycles,
 		Interval:   interval,
 		RepLo:      rg.lo,

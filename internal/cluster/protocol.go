@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/service"
+	"repro/internal/vr"
 )
 
 // RunRequest asks a worker to simulate replications [RepLo, RepHi) of a
@@ -26,6 +27,14 @@ type RunRequest struct {
 	Seed int64 `json:"seed"`
 	// Mode is the power-observation mode ("" = general-delay).
 	Mode string `json:"mode,omitempty"`
+	// VR is the resolved variance-reduction plan (zero value = plain
+	// estimation). The coordinator freezes it — including the
+	// regression-estimated control-variate coefficient and covariate
+	// mean — before the sampled phase, so every worker transforms its
+	// samples exactly as the single-process estimator would;
+	// encoding/json's shortest round-trip float rendering keeps the
+	// coefficients lossless on the wire.
+	VR vr.Plan `json:"vr,omitzero"`
 	// Warmup is the per-replication hidden warm-up cycle count.
 	Warmup int `json:"warmup"`
 	// Interval is the independence interval selected by the coordinator.
@@ -69,7 +78,7 @@ func (r RunRequest) Validate() error {
 	case r.Workers < 0:
 		return fmt.Errorf("cluster: negative workers %d", r.Workers)
 	}
-	return nil
+	return r.VR.Validate()
 }
 
 // StreamHeader is the first line of a /v1/run response; the client

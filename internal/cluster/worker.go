@@ -213,7 +213,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	// stream from a truncated one by block count, so nothing more is
 	// needed here. ctx errors are the normal convergence path.
 	_ = core.StreamReplications(r.Context(), tb, factory, req.Seed, opts,
-		req.Interval, req.RepLo, req.RepHi, req.Rounds, req.SkipBlocks, req.MaxBlocks,
+		req.VR, req.Interval, req.RepLo, req.RepHi, req.Rounds, req.SkipBlocks, req.MaxBlocks,
 		func(b core.ReplicationBlock) error {
 			if err := enc.Encode(StreamBlock{Index: b.Index, Samples: b.Samples}); err != nil {
 				return err

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stopping"
 	"repro/internal/vectors"
+	"repro/internal/vr"
 )
 
 // Options collects the tunables of the estimation procedure. The zero
@@ -70,6 +71,13 @@ type Options struct {
 	// (EstimateParallel and friends); the session-based estimators follow
 	// the engine of the session they are handed (Testbench.NewSessionMode).
 	Mode power.PowerMode
+	// Variance selects a variance-reduction transform for the sampling
+	// phase (see internal/vr): antithetic replication pairing, or a
+	// control-variate correction by the same-cycle zero-delay toggle
+	// power. The zero value is the paper's plain estimator. Honoured by
+	// the parallel estimators only (the transforms are defined over the
+	// replication space); the serial estimators reject a non-plain mode.
+	Variance vr.Spec
 	// Progress, if non-nil, is called from the estimator goroutine after
 	// every merged block of samples (roughly every CheckEvery) with a
 	// running snapshot of the estimate. It must be cheap; it is never
@@ -145,6 +153,13 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: negative Workers %d", o.Workers)
 	}
 	if err := o.Mode.Validate(); err != nil {
+		return err
+	}
+	reps := o.Replications
+	if reps == 0 {
+		reps = sim.MaxLanes
+	}
+	if err := o.Variance.Validate(reps, o.Mode.IsZeroDelay()); err != nil {
 		return err
 	}
 	return nil

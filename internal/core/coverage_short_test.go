@@ -1,0 +1,9 @@
+//go:build !slow
+
+package core
+
+// coverageRuns is the per-mode repetition count of the CI-coverage
+// conformance suite in the default test run: large enough for a
+// meaningful binomial band, small enough to keep `go test` interactive.
+// The nightly job builds with -tags slow for the full-size variant.
+const coverageRuns = 60

@@ -1,0 +1,8 @@
+//go:build slow
+
+package core
+
+// coverageRuns under -tags slow: the full-size conformance run the
+// nightly CI job executes (>= 200 independent estimates per mode, as
+// the statistical conformance suite specifies).
+const coverageRuns = 240

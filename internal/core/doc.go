@@ -28,4 +28,14 @@
 // event-driven simulation, the zero-delay mode with word-parallel packed
 // transition counting, making sampled cycles as cheap as hidden ones.
 // Result.Engine and Result.DelayModel record what a run actually used.
+//
+// Options.Variance selects a variance-reduction transform (vr.Spec):
+// antithetic replication pairing or a control-variate correction by the
+// same-cycle zero-delay toggle power. ResolvePlan freezes the transform
+// into a vr.Plan after interval selection — regression-estimating the
+// coefficient from the phase-1 sequence and the covariate mean from a
+// packed pre-run — and both the in-process estimator and the cluster
+// coordinator apply the identical plan, keeping distributed runs
+// bit-identical. The Merger folds antithetic rounds to pair means, so
+// pairing is a pure function of the canonical merge order.
 package core

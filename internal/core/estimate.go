@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stopping"
+	"repro/internal/vr"
 )
 
 // Result is the outcome of one estimation run (one row of Table 1).
@@ -39,6 +40,14 @@ type Result struct {
 	// DelayModel names the timing model the engine realized ("zero" for
 	// zero-delay observation).
 	DelayModel string
+	// Variance names the variance-reduction transform the sampling phase
+	// ran under ("" for the plain estimator; see internal/vr). Under
+	// "antithetic", SampleSize counts the pair means the criterion
+	// consumed, each of which costs two sampled cycles.
+	Variance string
+	// CVBeta is the resolved control-variate coefficient (0 outside
+	// control-variate runs).
+	CVBeta float64
 	// Converged is false only if MaxSamples was exhausted first.
 	Converged bool
 }
@@ -76,6 +85,9 @@ func EstimateCtx(ctx context.Context, s *sim.Session, opts Options) (Result, err
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := rejectVariance(opts); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	s.ResetCounters()
 	s.StepHiddenN(opts.WarmupCycles)
@@ -104,6 +116,9 @@ func EstimateWithInterval(s *sim.Session, opts Options, interval int) (Result, e
 // EstimateCtx).
 func EstimateWithIntervalCtx(ctx context.Context, s *sim.Session, opts Options, interval int) (Result, error) {
 	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := rejectVariance(opts); err != nil {
 		return Result{}, err
 	}
 	if interval < 0 {
@@ -181,4 +196,16 @@ func estimateTail(ctx context.Context, s *sim.Session, opts Options, interval in
 // hand.
 func criterionName(f stopping.Factory, spec stopping.Spec) string {
 	return f(spec).Name()
+}
+
+// rejectVariance guards the serial estimators: the variance-reduction
+// transforms are defined over the replication space (paired lanes,
+// covariates frozen before a pooled phase 2) and only the parallel
+// estimators realize them.
+func rejectVariance(opts Options) error {
+	if opts.Variance.Mode.Canonical() != vr.ModeNone {
+		return fmt.Errorf("core: variance reduction (%s) requires the parallel estimator (EstimateParallel)",
+			opts.Variance.Mode)
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/randtest"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/vr"
 )
 
 // Trial records one iteration of the independence-interval selection
@@ -29,6 +30,13 @@ type IntervalSelection struct {
 	// cycle); with Options.ReuseTestSamples it seeds the stopping
 	// criterion.
 	Sequence []float64
+	// Covariates holds the same-cycle zero-delay toggle powers aligned
+	// with Sequence. It is collected only under the control-variate
+	// options (Options.Variance), where the accepted sequence doubles as
+	// the regression-calibration data for the coefficient; nil otherwise.
+	// Observing the covariate does not perturb the session trajectory,
+	// so Sequence is bit-identical with and without it.
+	Covariates []float64
 }
 
 // collectSequence gathers n power samples, separated by k hidden
@@ -36,17 +44,35 @@ type IntervalSelection struct {
 // samples and returns early with ctx.Err() when cancelled, so one trial
 // on a large circuit cannot pin a worker past a cancellation request.
 func collectSequence(ctx context.Context, s *sim.Session, k, n int, dst []float64) ([]float64, error) {
+	dst, _, err := collectSequencePairs(ctx, s, k, n, dst, nil)
+	return dst, err
+}
+
+// collectSequencePairs is collectSequence with an optional covariate
+// buffer: when cov is non-nil it also records each cycle's zero-delay
+// toggle power (StepSampledPair), leaving the sample values and the
+// session trajectory bit-identical to the plain collection.
+func collectSequencePairs(ctx context.Context, s *sim.Session, k, n int, dst, cov []float64) ([]float64, []float64, error) {
 	dst = dst[:0]
+	if cov != nil {
+		cov = cov[:0]
+	}
 	for i := 0; i < n; i++ {
 		if i%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
-				return dst, err
+				return dst, cov, err
 			}
 		}
 		s.StepHiddenN(k)
-		dst = append(dst, s.StepSampled(nil))
+		if cov != nil {
+			x, c := s.StepSampledPair()
+			dst = append(dst, x)
+			cov = append(cov, c)
+		} else {
+			dst = append(dst, s.StepSampled(nil))
+		}
 	}
-	return dst, nil
+	return dst, cov, nil
 }
 
 // ctxCheckEvery is the cancellation-poll cadence of sequence collection,
@@ -74,9 +100,23 @@ func SelectIntervalCtx(ctx context.Context, s *sim.Session, opts Options) (Inter
 	}
 	sel := IntervalSelection{}
 	seq := make([]float64, 0, opts.SeqLen)
+	// Under the control-variate transform the accepted sequence is also
+	// the regression-calibration data, so every trial records covariates
+	// alongside the samples.
+	var cov []float64
+	if opts.Variance.Mode.Canonical() == vr.ModeControlVariate {
+		cov = make([]float64, 0, opts.SeqLen)
+	}
+	finish := func() IntervalSelection {
+		sel.Sequence = append([]float64(nil), seq...)
+		if cov != nil {
+			sel.Covariates = append([]float64(nil), cov...)
+		}
+		return sel
+	}
 	for k := 0; ; k++ {
 		var err error
-		seq, err = collectSequence(ctx, s, k, opts.SeqLen, seq)
+		seq, cov, err = collectSequencePairs(ctx, s, k, opts.SeqLen, seq, cov)
 		if err != nil {
 			return IntervalSelection{}, err
 		}
@@ -91,14 +131,12 @@ func SelectIntervalCtx(ctx context.Context, s *sim.Session, opts Options) (Inter
 		})
 		if accepted {
 			sel.Interval = k
-			sel.Sequence = append([]float64(nil), seq...)
-			return sel, nil
+			return finish(), nil
 		}
 		if k >= opts.MaxInterval {
 			sel.Interval = opts.MaxInterval
 			sel.Capped = true
-			sel.Sequence = append([]float64(nil), seq...)
-			return sel, nil
+			return finish(), nil
 		}
 	}
 }

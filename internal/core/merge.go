@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stopping"
 	"repro/internal/vectors"
+	"repro/internal/vr"
 )
 
 // This file is the partial-result layer of the parallel estimator,
@@ -36,19 +37,29 @@ import (
 // Merger pools per-replication sample blocks into a stopping criterion
 // with the budget rules of EstimateParallel. One block is n rounds; one
 // round is one sample from every replication, merged in ascending
-// replication order.
+// replication order. Under the antithetic variance-reduction mode
+// (Options.Variance) the merger is also the transform seam: each
+// assembled round is reduced to pair means before feeding the
+// criterion, so pairing is a pure function of the canonical merge order
+// and replication pairs may span shard or worker boundaries freely.
 type Merger struct {
 	crit       stopping.Criterion
 	reps       int
 	rounds     int
 	maxSamples int
 	merged     int // rounds merged so far
+
+	pairing  bool      // antithetic: criterion consumes pair means
+	perRound int       // criterion samples per merged round
+	round    []float64 // scratch: one assembled round (pairing only)
+	pairs    []float64 // scratch: one round's pair means
 }
 
 // NewMerger builds the pooled stopping state for an EstimateParallel-
 // shaped run: opts.Replications replications (default sim.MaxLanes),
 // block cadence max(1, CheckEvery/Replications) rounds, sample budget
-// MaxSamples. opts must validate.
+// MaxSamples, and the merge-side transform Options.Variance selects.
+// opts must validate.
 func NewMerger(opts Options) (*Merger, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -61,12 +72,20 @@ func NewMerger(opts Options) (*Merger, error) {
 	if rounds < 1 {
 		rounds = 1
 	}
-	return &Merger{
+	m := &Merger{
 		crit:       opts.NewCriterion(opts.Spec),
 		reps:       reps,
 		rounds:     rounds,
 		maxSamples: opts.MaxSamples,
-	}, nil
+		pairing:    opts.Variance.Mode.Canonical() == vr.ModeAntithetic,
+		perRound:   reps,
+	}
+	if m.pairing {
+		m.perRound = reps / 2
+		m.round = make([]float64, 0, reps)
+		m.pairs = make([]float64, 0, m.perRound)
+	}
+	return m, nil
 }
 
 // Seed feeds an already-collected sample sequence (the accepted
@@ -88,13 +107,17 @@ func (m *Merger) Rounds() int { return m.rounds }
 // MergedRounds returns the number of rounds merged so far.
 func (m *Merger) MergedRounds() int { return m.merged }
 
+// PerRound returns the number of criterion samples one merged round
+// yields: the replication count, halved under antithetic pairing.
+func (m *Merger) PerRound() int { return m.perRound }
+
 // NextRounds returns how many rounds the next merged block may contain:
 // the block cadence, clipped to the remaining sample budget. A return
 // below 1 means the budget cannot fund even one more round — the run
 // must stop unconverged, exactly as EstimateParallel does.
 func (m *Merger) NextRounds() int {
 	n := m.rounds
-	if remaining := (m.maxSamples - m.crit.N()) / m.reps; n > remaining {
+	if remaining := (m.maxSamples - m.crit.N()) / m.perRound; n > remaining {
 		n = remaining
 	}
 	return n
@@ -123,6 +146,19 @@ func (m *Merger) MergeBlock(ranges [][]float64, lanes []int, n int) error {
 		return fmt.Errorf("core: ranges cover %d replications, want %d", total, m.reps)
 	}
 	for t := 0; t < n; t++ {
+		if m.pairing {
+			// Assemble the full round in canonical order, then feed the
+			// criterion its pair means — the antithetic transform.
+			m.round = m.round[:0]
+			for i, l := range lanes {
+				m.round = append(m.round, ranges[i][t*l:(t+1)*l]...)
+			}
+			m.pairs = vr.PairMeans(m.round, m.pairs[:0])
+			for _, y := range m.pairs {
+				m.crit.Add(y)
+			}
+			continue
+		}
 		for i, l := range lanes {
 			for _, p := range ranges[i][t*l : (t+1)*l] {
 				m.crit.Add(p)
@@ -193,10 +229,17 @@ type ReplicationBlock struct {
 // StreamReplications runs replications [lo, hi) of an EstimateParallel-
 // shaped run at a fixed independence interval and emits their power
 // samples in blocks of `rounds` rounds. Replication r is seeded
-// baseSeed+1+r — the same mapping parallelTail uses — so the emitted
+// baseSeed+1+r — the same mapping parallelTail uses, including the
+// plan's antithetic mirroring of odd replications — so the emitted
 // samples are bit-identical to the corresponding lanes of a single-
 // process run, regardless of how [lo, hi) is packed into 64-lane words
 // or spread over opts.Workers goroutines.
+//
+// plan is the resolved variance-reduction plan (ResolvePlan): under the
+// control-variate mode each emitted sample is already transformed
+// (Y = X - beta (C - mu_C)); under antithetic pairing samples stream
+// raw and the Merger reduces assembled rounds to pair means, so pairs
+// may span worker boundaries.
 //
 // skip fast-forwards the first `skip` blocks without observing power:
 // the state trajectory of a sampled cycle equals a hidden cycle's, so a
@@ -207,8 +250,11 @@ type ReplicationBlock struct {
 //
 // opts contributes WarmupCycles, Mode and Workers; the stopping
 // criterion is not consulted — stopping is the merger's job.
-func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval, lo, hi, rounds, skip, maxBlocks int, emit func(ReplicationBlock) error) error {
+func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, plan vr.Plan, interval, lo, hi, rounds, skip, maxBlocks int, emit func(ReplicationBlock) error) error {
 	if err := opts.Mode.Validate(); err != nil {
+		return err
+	}
+	if err := plan.Validate(); err != nil {
 		return err
 	}
 	switch {
@@ -231,7 +277,8 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 	if workers > n {
 		workers = n
 	}
-	packedSampled := opts.Mode.IsZeroDelay() || tb.Delays.AllZero()
+	useCov := plan.NeedsCovariate()
+	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !useCov
 
 	// The same shard layout as parallelTail, over the sub-range: enough
 	// shards to saturate the worker pool, none wider than a machine word,
@@ -245,7 +292,10 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 		lanes := b[1] - b[0]
 		srcs := make([]vectors.Source, lanes)
 		for k := range srcs {
-			srcs[k] = src(baseSeed + 1 + int64(b[0]+k))
+			var err error
+			if srcs[k], err = replicationSource(src, baseSeed, b[0]+k, plan); err != nil {
+				return err
+			}
 		}
 		sh := &shard{
 			ps:     sim.NewPackedSession(tb.Circuit, srcs),
@@ -254,6 +304,9 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 		}
 		if !packedSampled {
 			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
+		}
+		if useCov {
+			sh.cov = make([]float64, lanes)
 		}
 		shards = append(shards, sh)
 	}
@@ -278,9 +331,15 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 			for t := 0; t < rounds; t++ {
 				sh.ps.StepHiddenN(interval)
 				block := sh.powers[t*sh.lanes : (t+1)*sh.lanes]
-				if packedSampled {
+				switch {
+				case useCov:
+					sh.ps.StepSampledBoth(sh.engine, weights, block, sh.cov)
+					for k, x := range block {
+						block[k] = plan.Apply(x, sh.cov[k])
+					}
+				case packedSampled:
 					sh.ps.StepSampled(weights, block)
-				} else {
+				default:
 					sh.ps.StepSampledWith(sh.engine, weights, block)
 				}
 			}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/sim"
 	"repro/internal/vectors"
+	"repro/internal/vr"
 )
 
 // shard is one worker's slice of the replication space: a contiguous
@@ -23,6 +24,7 @@ type shard struct {
 	engine sim.PowerEngine
 	lanes  int
 	powers []float64 // per-block lane powers, round-major: [round*lanes + lane]
+	cov    []float64 // per-round covariate scratch (control-variate runs only)
 }
 
 // EstimateParallel runs the DIPE flow with many independent replications
@@ -67,11 +69,19 @@ func EstimateParallelCtx(ctx context.Context, tb *Testbench, src vectors.Factory
 		return Result{}, err
 	}
 
-	res, err := parallelTail(ctx, tb, src, baseSeed, opts, sel.Interval, sel.Sequence)
+	// Freeze the variance-reduction plan before any phase-2 sample is
+	// drawn; under the control-variate mode the accepted phase-1 sequence
+	// calibrates the coefficient and seeds the criterion transformed.
+	plan, seedSeq, cal, err := ResolvePlan(ctx, tb, src, baseSeed, opts, sel.Interval, &sel)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res, err := parallelTail(ctx, tb, src, baseSeed, opts, sel.Interval, seedSeq, plan)
 	res.Trials = sel.Trials
 	res.IntervalCapped = sel.Capped
-	res.HiddenCycles += sel0.HiddenCycles
-	res.SampledCycles += sel0.SampledCycles
+	res.HiddenCycles += sel0.HiddenCycles + cal.Hidden
+	res.SampledCycles += sel0.SampledCycles + cal.Sampled
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -93,7 +103,13 @@ func EstimateParallelWithIntervalCtx(ctx context.Context, tb *Testbench, src vec
 		return Result{}, fmt.Errorf("core: negative interval %d", interval)
 	}
 	start := time.Now()
-	res, err := parallelTail(ctx, tb, src, baseSeed, opts, interval, nil)
+	plan, _, cal, err := ResolvePlan(ctx, tb, src, baseSeed, opts, interval, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := parallelTail(ctx, tb, src, baseSeed, opts, interval, nil, plan)
+	res.HiddenCycles += cal.Hidden
+	res.SampledCycles += cal.Sampled
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -112,7 +128,7 @@ func EstimateParallelWithIntervalCtx(ctx context.Context, tb *Testbench, src vec
 // delay.Table.AllZero), though power sums may differ from per-lane
 // event-driven simulation in the last ulp because the summation order
 // changes.
-func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64) (Result, error) {
+func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64, plan vr.Plan) (Result, error) {
 	reps := opts.Replications
 	if reps == 0 {
 		reps = sim.MaxLanes
@@ -124,7 +140,8 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 	if workers > reps {
 		workers = reps
 	}
-	packedSampled := opts.Mode.IsZeroDelay() || tb.Delays.AllZero()
+	useCov := plan.NeedsCovariate()
+	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !useCov
 	engineName, delayName := sim.EnginePackedZeroDelay, delay.Zero{}.Name()
 	if !packedSampled {
 		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
@@ -144,7 +161,10 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		lanes := b[1] - b[0]
 		srcs := make([]vectors.Source, lanes)
 		for k := range srcs {
-			srcs[k] = src(baseSeed + 1 + int64(b[0]+k))
+			var err error
+			if srcs[k], err = replicationSource(src, baseSeed, b[0]+k, plan); err != nil {
+				return Result{}, err
+			}
 		}
 		sh := &shard{
 			ps:    sim.NewPackedSession(tb.Circuit, srcs),
@@ -152,6 +172,9 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		}
 		if !packedSampled {
 			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
+		}
+		if useCov {
+			sh.cov = make([]float64, lanes)
 		}
 		shards = append(shards, sh)
 	}
@@ -208,6 +231,8 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			Criterion:     m.CriterionName(),
 			Engine:        engineName,
 			DelayModel:    delayName,
+			Variance:      plan.Label(),
+			CVBeta:        plan.Beta,
 			Converged:     converged,
 		}
 	}
@@ -226,9 +251,15 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			for t := 0; t < n; t++ {
 				sh.ps.StepHiddenN(interval)
 				block := sh.powers[t*sh.lanes : (t+1)*sh.lanes]
-				if packedSampled {
+				switch {
+				case useCov:
+					sh.ps.StepSampledBoth(sh.engine, weights, block, sh.cov)
+					for k, x := range block {
+						block[k] = plan.Apply(x, sh.cov[k])
+					}
+				case packedSampled:
 					sh.ps.StepSampled(weights, block)
-				} else {
+				default:
 					sh.ps.StepSampledWith(sh.engine, weights, block)
 				}
 			}

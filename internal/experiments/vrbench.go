@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/refsim"
+	"repro/internal/vectors"
+	"repro/internal/vr"
+)
+
+// VRBenchRow measures one (circuit, variance-reduction mode) cell of
+// the BENCH_4 regression: the full DIPE procedure run to the accuracy
+// target, with the sampled-cycle cost and the resulting interval
+// recorded against a long reference. Reduction is the plain mode's
+// sampled-cycle count divided by this row's — the samples-to-target
+// lever the transforms pull.
+type VRBenchRow struct {
+	Name          string  `json:"circuit"`
+	Gates         int     `json:"gates"`
+	Mode          string  `json:"mode"`
+	Interval      int     `json:"interval"`
+	SampleSize    int     `json:"samples"`
+	SampledCycles uint64  `json:"sampled_cycles"`
+	HiddenCycles  uint64  `json:"hidden_cycles"`
+	Power         float64 `json:"power_watts"`
+	HalfWidth     float64 `json:"half_width_watts"`
+	RelHalfWidth  float64 `json:"rel_half_width"`
+	CVBeta        float64 `json:"cv_beta,omitempty"`
+	RefPower      float64 `json:"ref_power_watts"`
+	RefRelSE      float64 `json:"ref_rel_std_err"`
+	Covered       bool    `json:"ci_covers_ref"`
+	Converged     bool    `json:"converged"`
+	Seconds       float64 `json:"seconds"`
+	// Reduction is plain sampled cycles / this mode's sampled cycles
+	// for the same circuit (1.0 for the plain row).
+	Reduction float64 `json:"reduction_vs_plain"`
+}
+
+// VRBenchConfig sizes the variance-reduction benchmark.
+type VRBenchConfig struct {
+	// Circuits to measure (default s298/s832/s1494 — the repo's
+	// regression trio).
+	Circuits []string
+	// Modes to sweep; must include the plain mode for reductions.
+	Modes []vr.Mode
+	// Spec is the accuracy target the runs converge to (default: the
+	// paper's 5% at 0.99).
+	RelErr     float64
+	Confidence float64
+	// Replications and Seed configure the estimator.
+	Replications int
+	Seed         int64
+	// RefCycles scales the per-circuit reference budget (nil = default).
+	RefCycles func(gates int) int
+	// Log receives progress lines when non-nil.
+	Log func(format string, args ...any)
+}
+
+// DefaultVRBenchConfig is the regression configuration: the trio of
+// benchmark circuits at the paper's accuracy target, plain vs
+// antithetic vs control-variate.
+func DefaultVRBenchConfig() VRBenchConfig {
+	return VRBenchConfig{
+		Circuits:     []string{"s298", "s832", "s1494"},
+		Modes:        []vr.Mode{vr.ModeNone, vr.ModeAntithetic, vr.ModeControlVariate},
+		RelErr:       0.05,
+		Confidence:   0.99,
+		Replications: 64,
+		Seed:         1997,
+	}
+}
+
+// VarianceReduction runs the benchmark: for every circuit, one long
+// reference plus one full estimation run per mode (dynamic interval
+// selection included, so every mode pays the same phase-1 cost it would
+// in production). The runs are deterministic: fixed seeds, fixed merge
+// order.
+func VarianceReduction(cfg VRBenchConfig) ([]VRBenchRow, error) {
+	if len(cfg.Circuits) == 0 || len(cfg.Modes) == 0 {
+		return nil, fmt.Errorf("experiments: empty VR bench config")
+	}
+	if cfg.RelErr == 0 {
+		cfg.RelErr = 0.05
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.99
+	}
+	if cfg.Replications == 0 {
+		cfg.Replications = 64
+	}
+	if cfg.RefCycles == nil {
+		cfg.RefCycles = DefaultRefCycles
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var rows []VRBenchRow
+	for ci, name := range cfg.Circuits {
+		c, err := bench89.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tb := core.DefaultTestbench(c)
+		width := len(c.Inputs)
+		seed := cfg.Seed + int64(ci)*1_000_003
+		refCycles := cfg.RefCycles(c.NumGates())
+		logf("vr-bench: %s reference (%d cycles)...\n", name, refCycles)
+		ref := refsim.Run(tb.NewSession(vectors.NewIID(width, 0.5, seed)), 256, refCycles)
+
+		circuitStart := len(rows)
+		for _, mode := range cfg.Modes {
+			opts := core.DefaultOptions()
+			opts.Spec.RelErr = cfg.RelErr
+			opts.Spec.Confidence = cfg.Confidence
+			opts.Replications = cfg.Replications
+			opts.Variance.Mode = mode
+			t0 := time.Now()
+			res, err := core.EstimateParallel(tb, vectors.IIDFactory(width, 0.5), seed+1, opts)
+			if err != nil {
+				return nil, fmt.Errorf("vr-bench %s/%s: %w", name, mode, err)
+			}
+			row := VRBenchRow{
+				Name:          name,
+				Gates:         c.NumGates(),
+				Mode:          mode.String(),
+				Interval:      res.Interval,
+				SampleSize:    res.SampleSize,
+				SampledCycles: res.SampledCycles,
+				HiddenCycles:  res.HiddenCycles,
+				Power:         res.Power,
+				HalfWidth:     res.HalfWidth,
+				RelHalfWidth:  res.RelHalfWidth(),
+				CVBeta:        res.CVBeta,
+				RefPower:      ref.Power,
+				RefRelSE:      ref.RelStdErr(),
+				Covered:       math.Abs(res.Power-ref.Power) <= res.HalfWidth+3*ref.StdErr,
+				Converged:     res.Converged,
+				Seconds:       time.Since(t0).Seconds(),
+			}
+			logf("vr-bench: %s/%-15s n=%d sampled=%d covered=%v\n",
+				name, mode, row.SampleSize, row.SampledCycles, row.Covered)
+			rows = append(rows, row)
+		}
+		// Reductions in a second pass, so the plain baseline may appear
+		// anywhere in cfg.Modes.
+		var plainSampled uint64
+		for _, r := range rows[circuitStart:] {
+			if vr.Mode(r.Mode).Canonical() == vr.ModeNone {
+				plainSampled = r.SampledCycles
+			}
+		}
+		if plainSampled > 0 {
+			for i := range rows[circuitStart:] {
+				r := &rows[circuitStart+i]
+				if r.SampledCycles > 0 {
+					r.Reduction = float64(plainSampled) / float64(r.SampledCycles)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// VRBenchReport is the JSON document emitted for regression tracking
+// (BENCH_4.json).
+type VRBenchReport struct {
+	Benchmark  string       `json:"benchmark"`
+	RelErr     float64      `json:"rel_err"`
+	Confidence float64      `json:"confidence"`
+	GoVersion  string       `json:"go_version"`
+	NumCPU     int          `json:"num_cpu"`
+	Rows       []VRBenchRow `json:"rows"`
+}
+
+// VRBenchJSON renders rows as an indented JSON report.
+func VRBenchJSON(rows []VRBenchRow, cfg VRBenchConfig) string {
+	rep := VRBenchReport{
+		Benchmark:  "variance reduction: sampled cycles to the accuracy target, plain vs antithetic vs control-variate",
+		RelErr:     cfg.RelErr,
+		Confidence: cfg.Confidence,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Rows:       rows,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		// Marshal of a plain struct cannot fail; keep the API total anyway.
+		return "{}"
+	}
+	return string(b) + "\n"
+}
+
+// RenderVRBench renders rows as an ASCII table.
+func RenderVRBench(rows []VRBenchRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-16s %3s %8s %10s %8s %8s %9s %8s\n",
+		"circuit", "mode", "II", "samples", "sampled", "hw%", "beta", "reduction", "covers")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-16s %3d %8d %10d %7.2f%% %8.3f %8.2fx %8v\n",
+			r.Name, r.Mode, r.Interval, r.SampleSize, r.SampledCycles,
+			100*r.RelHalfWidth, r.CVBeta, r.Reduction, r.Covered)
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vr"
+)
+
+// TestVarianceReductionSmoke runs the VR benchmark on the smallest
+// circuit with a loose target: every row must be converged, covered
+// and carry coherent accounting, and the control-variate row must not
+// cost more sampled cycles than plain (the regression the vr-bench CI
+// gate enforces at full size).
+func TestVarianceReductionSmoke(t *testing.T) {
+	cfg := DefaultVRBenchConfig()
+	cfg.Circuits = []string{"s27"}
+	cfg.RefCycles = func(int) int { return 20_000 }
+	rows, err := VarianceReduction(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byMode := map[string]VRBenchRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+		if !r.Converged {
+			t.Errorf("%s/%s did not converge", r.Name, r.Mode)
+		}
+		if !r.Covered {
+			t.Errorf("%s/%s CI does not cover the reference", r.Name, r.Mode)
+		}
+		if r.SampledCycles == 0 || r.Power <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	if byMode["none"].Reduction != 1.0 {
+		t.Errorf("plain reduction %v, want 1.0", byMode["none"].Reduction)
+	}
+	cv := byMode[vr.ModeControlVariate.String()]
+	if cv.Reduction < 1.0 {
+		t.Errorf("control-variate reduction %.2fx below break-even", cv.Reduction)
+	}
+	if cv.CVBeta == 0 {
+		t.Error("control-variate row carries no coefficient")
+	}
+
+	out := RenderVRBench(rows)
+	if !strings.Contains(out, "control-variate") {
+		t.Errorf("render missing mode:\n%s", out)
+	}
+	js := VRBenchJSON(rows, cfg)
+	if !strings.Contains(js, "reduction_vs_plain") {
+		t.Errorf("json missing reduction field:\n%s", js)
+	}
+}

@@ -1,0 +1,71 @@
+package netlist_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/netlist"
+)
+
+// FuzzParseBench is the native Go fuzz target for the .bench front
+// end, seeded from the bench89 corpora (the genuine s27 plus
+// deterministic synthetic family members, serialized by WriteBench) and
+// a set of adversarial fragments: malformed gate lines, self-referential
+// definitions, combinational cycles through latch-free paths, absurd
+// arities. The invariant matches TestParserNeverPanics: the parser
+// either fails with an error or returns a frozen circuit that survives
+// a serialize/re-parse round trip. Run with
+//
+//	go test -fuzz=FuzzParseBench ./internal/netlist
+//
+// to explore; the seed corpus runs as a plain unit test in CI.
+func FuzzParseBench(f *testing.F) {
+	for _, name := range []string{"s27", "s208", "s298", "s641"} {
+		c, err := bench89.Get(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(netlist.BenchString(c))
+	}
+	for _, seed := range []string{
+		"",
+		"INPUT(A)\nOUTPUT(A)\n",
+		"INPUT(A)\nY = AND(A, A)\nOUTPUT(Y)\n",
+		"A = AND(A)\nOUTPUT(A)\n",                     // direct combinational self-loop
+		"A = AND(B)\nB = OR(A)\nOUTPUT(A)\n",          // two-gate combinational cycle
+		"Q = DFF(Q)\nOUTPUT(Q)\n",                     // latch self-feedback (legal)
+		"Q = DFF(D)\nD = NOT(Q)\nOUTPUT(Q)\n",         // latch loop through logic (legal)
+		"Q = DFF(A, B)\nINPUT(A)\nINPUT(B)\n",         // DFF arity abuse
+		"INPUT(A)\nY = NOT()\nOUTPUT(Y)\n",            // empty argument list
+		"INPUT(A)\nY = FROB(A)\nOUTPUT(Y)\n",          // unknown function
+		"INPUT(A)\nY = NOT(A\nOUTPUT(Y)\n",            // unbalanced parens
+		"INPUT(A)\n= NOT(A)\n",                        // missing output name
+		"INPUT(A)\nY = NOT(A))) # trailing\n",         // trailing garbage
+		"INPUT(A)\nY = NOT(A)\nY = AND(A, A)\n",       // duplicate definition
+		"input(a)\noutput(y)\ny = nand(a, a)\n",       // lower-case keywords
+		"INPUT(A)\nOUTPUT(Y)\nY = AND(A, , A)\n",      // empty argument
+		"INPUT( A )\nOUTPUT( Y )\nY = BUF( A )\n",     // padded names
+		strings.Repeat("INPUT(A)\n", 3) + "OUTPUT(A)", // duplicate inputs
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := netlist.ParseBenchString("fuzz", text)
+		if err != nil {
+			return
+		}
+		if c == nil || !c.Frozen() {
+			t.Fatalf("parser returned ok with nil or unfrozen circuit")
+		}
+		// Round trip: a successfully parsed circuit must serialize to a
+		// netlist that parses to the same structure.
+		again, err := netlist.ParseBenchString("fuzz", netlist.BenchString(c))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal input:\n%s", err, text)
+		}
+		if a, b := c.ComputeStats(), again.ComputeStats(); a != b {
+			t.Fatalf("round trip changed stats: %+v vs %+v", a, b)
+		}
+	})
+}

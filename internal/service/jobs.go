@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/power"
 	"repro/internal/vectors"
+	"repro/internal/vr"
 )
 
 // JobState is the lifecycle state of a submitted estimation job.
@@ -97,6 +98,12 @@ type OptionsSpec struct {
 	// engine). Unknown values fail Validate, so bad requests are rejected
 	// at submit time.
 	PowerMode string `json:"powerMode,omitempty"`
+	// Variance selects a variance-reduction transform for the sampling
+	// phase: "" or "none" (plain), "antithetic" (mirrored replication
+	// pairs) or "control-variate" (zero-delay toggle covariate; needs
+	// general-delay sampling). Unknown values and invalid combinations
+	// fail Validate at submit time.
+	Variance string `json:"variance,omitempty"`
 }
 
 // Options expands the spec over the paper defaults. Exported for
@@ -126,6 +133,7 @@ func (o OptionsSpec) Options() core.Options {
 		opts.MaxSamples = o.MaxSamples
 	}
 	opts.Mode = power.PowerMode(o.PowerMode)
+	opts.Variance.Mode = vr.Mode(o.Variance).Canonical()
 	return opts
 }
 
@@ -188,6 +196,8 @@ type ResultView struct {
 	Criterion      string  `json:"criterion"`
 	Engine         string  `json:"engine"`
 	DelayModel     string  `json:"delayModel"`
+	Variance       string  `json:"variance,omitempty"`
+	CVBeta         float64 `json:"cvBeta,omitempty"`
 	Converged      bool    `json:"converged"`
 	ElapsedMS      float64 `json:"elapsedMs"`
 }
@@ -205,6 +215,8 @@ func viewResult(res core.Result) *ResultView {
 		Criterion:      res.Criterion,
 		Engine:         res.Engine,
 		DelayModel:     res.DelayModel,
+		Variance:       res.Variance,
+		CVBeta:         res.CVBeta,
 		Converged:      res.Converged,
 		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
 	}

@@ -229,6 +229,31 @@ func (s *PackedSession) StepSampled(weights []float64, powers []float64) {
 	s.pins, s.buf = s.buf, s.pins
 	s.vals, s.oldVals = s.oldVals, s.vals
 	s.pz.Settle(s.vals, s.pins, s.q)
+	s.toggleDiff(weights, powers)
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// observeLanes hands every lane of the advanced-but-unapplied state
+// (after advance: current settled values in vals, new pins in buf, new
+// latch state in nextQ) to the scalar power engine. It is the one
+// per-lane observation pass shared by StepSampledWith and
+// StepSampledBoth, which keeps their powers bit-identical by
+// construction.
+func (s *PackedSession) observeLanes(engine PowerEngine, weights, powers []float64) {
+	for k := 0; k < s.lanes; k++ {
+		extractWord(k, s.svals, s.vals)
+		extractWord(k, s.spins, s.buf)
+		extractWord(k, s.sq, s.nextQ)
+		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, nil)
+	}
+}
+
+// toggleDiff accumulates each lane's weighted zero-delay toggle sum
+// from the settled word diff (vals vs oldVals). It is the one diff
+// pass shared by StepSampled and StepSampledBoth, which keeps the
+// toggle covariate bit-identical to the packed zero-delay power by
+// construction.
+func (s *PackedSession) toggleDiff(weights, powers []float64) {
 	for k := 0; k < s.lanes; k++ {
 		powers[k] = 0
 	}
@@ -240,7 +265,6 @@ func (s *PackedSession) StepSampled(weights []float64, powers []float64) {
 			powers[bits.TrailingZeros64(d)] += w
 		}
 	}
-	s.SampledCycles += uint64(s.lanes)
 }
 
 // StepSampledWith advances every lane one clock cycle, observing each
@@ -255,15 +279,36 @@ func (s *PackedSession) StepSampledWith(engine PowerEngine, weights []float64, p
 		panic(fmt.Sprintf("sim: packed StepSampledWith powers length %d, want >= %d", len(powers), s.lanes))
 	}
 	s.advance()
-	for k := 0; k < s.lanes; k++ {
-		extractWord(k, s.svals, s.vals)
-		extractWord(k, s.spins, s.buf)
-		extractWord(k, s.sq, s.nextQ)
-		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, nil)
-	}
+	s.observeLanes(engine, weights, powers)
 	s.q, s.nextQ = s.nextQ, s.q
 	s.pins, s.buf = s.buf, s.pins
 	s.pz.Settle(s.vals, s.pins, s.q)
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// StepSampledBoth advances every lane one clock cycle, observing each
+// lane's transitions with the scalar power engine (exactly as
+// StepSampledWith does — powers[k] is bit-identical to it) while also
+// computing every lane's zero-delay toggle power at word level (exactly
+// as StepSampled does — toggles[k] is bit-identical to it). The same
+// cycle thus yields the general-delay sample and its functional-toggle
+// covariate, which is what the control-variate transform consumes: the
+// covariate costs one extra XOR diff pass, not a second simulation.
+func (s *PackedSession) StepSampledBoth(engine PowerEngine, weights []float64, powers, toggles []float64) {
+	if len(powers) < s.lanes || len(toggles) < s.lanes {
+		panic(fmt.Sprintf("sim: packed StepSampledBoth powers/toggles lengths %d/%d, want >= %d",
+			len(powers), len(toggles), s.lanes))
+	}
+	if len(weights) != len(s.vals) {
+		panic(fmt.Sprintf("sim: packed StepSampledBoth weights length %d, want %d", len(weights), len(s.vals)))
+	}
+	s.advance()
+	s.observeLanes(engine, weights, powers)
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.vals, s.oldVals = s.oldVals, s.vals
+	s.pz.Settle(s.vals, s.pins, s.q)
+	s.toggleDiff(weights, toggles)
 	s.SampledCycles += uint64(s.lanes)
 }
 

@@ -31,11 +31,12 @@ type Session struct {
 
 	weights []float64
 
-	vals  []bool
-	pins  []bool
-	q     []bool
-	nextQ []bool
-	buf   []bool
+	vals    []bool
+	pins    []bool
+	q       []bool
+	nextQ   []bool
+	buf     []bool
+	oldVals []bool // lazily allocated by StepSampledPair
 
 	// HiddenCycles and SampledCycles count the work done since the last
 	// ResetCounters; they are the paper's simulation-cost metrics.
@@ -141,6 +142,34 @@ func (s *Session) StepSampled(counts []uint32) float64 {
 	p := s.engine.CyclePower(s.vals, s.pins, s.q, s.weights, counts)
 	s.SampledCycles++
 	return p
+}
+
+// StepSampledPair advances one clock cycle like StepSampled, returning
+// both the engine's weighted transition sum x and the same cycle's
+// zero-delay toggle power c (the weights of every node whose settled
+// value changed, summed in node-index order). Every engine leaves vals
+// zero-delay settled, so c is bit-identical to what the ZeroDelayToggle
+// engine — and lane-for-lane the packed sampled step — would report for
+// the cycle, and the session trajectory and x are bit-identical to a
+// plain StepSampled. The pair is the calibration substrate of the
+// control-variate transform (internal/vr): x is the sample, c the
+// covariate.
+func (s *Session) StepSampledPair() (x, c float64) {
+	if s.oldVals == nil {
+		s.oldVals = make([]bool, len(s.vals))
+	}
+	copy(s.oldVals, s.vals)
+	s.advance()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	x = s.engine.CyclePower(s.vals, s.pins, s.q, s.weights, nil)
+	for i, v := range s.vals {
+		if v != s.oldVals[i] {
+			c += s.weights[i]
+		}
+	}
+	s.SampledCycles++
+	return x, c
 }
 
 // Engine returns the session's power engine.

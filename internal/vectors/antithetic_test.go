@@ -1,0 +1,182 @@
+package vectors
+
+import (
+	"math"
+	"testing"
+)
+
+// drawMany collects n patterns from a source as one flat bit slice.
+func drawMany(s Source, n int) []bool {
+	out := make([]bool, 0, n*s.Width())
+	buf := make([]bool, s.Width())
+	for i := 0; i < n; i++ {
+		s.Next(buf)
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// TestAntitheticIIDComplement: at p = 0.5 the antithetic twin emits the
+// bitwise complement of the original stream (the maximally negatively
+// correlated counterpart).
+func TestAntitheticIIDComplement(t *testing.T) {
+	plain := NewIID(16, 0.5, 42)
+	twinSrc, err := Antithetic(NewIID(16, 0.5, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drawMany(plain, 500)
+	b := drawMany(twinSrc, 500)
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatalf("bit %d equal in both streams; twin is not the complement at p=0.5", i)
+		}
+	}
+}
+
+// TestAntitheticPreservesMarginal: for p != 0.5 the twin is not a
+// complement, but its one-probability must still be p — the transform
+// mirrors the uniforms, not the bits.
+func TestAntitheticPreservesMarginal(t *testing.T) {
+	const (
+		p = 0.2
+		n = 40000
+	)
+	twin, err := Antithetic(NewIID(4, p, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := drawMany(twin, n)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	freq := float64(ones) / float64(len(bits))
+	if math.Abs(freq-p) > 4*math.Sqrt(p*(1-p)/float64(len(bits))) {
+		t.Fatalf("twin one-frequency %v, want ~%v", freq, p)
+	}
+}
+
+// TestAntitheticLagCorrelated: the twin of a lag-1 chain keeps both the
+// stationary probability and the autocorrelation (frequency checks),
+// and anticorrelates with the original.
+func TestAntitheticLagCorrelated(t *testing.T) {
+	const (
+		p, rho = 0.5, 0.4
+		n      = 30000
+	)
+	plain := NewLagCorrelated(1, p, rho, 11)
+	twinSrc, err := Antithetic(NewLagCorrelated(1, p, rho, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drawMany(plain, n)
+	b := drawMany(twinSrc, n)
+
+	freq := func(bits []bool) float64 {
+		ones := 0
+		for _, v := range bits {
+			if v {
+				ones++
+			}
+		}
+		return float64(ones) / float64(len(bits))
+	}
+	lag1 := func(bits []bool) float64 {
+		// Sample autocorrelation of the 0/1 series at lag 1.
+		m := freq(bits)
+		var num, den float64
+		for i := range bits {
+			x := -m
+			if bits[i] {
+				x = 1 - m
+			}
+			den += x * x
+			if i > 0 {
+				y := -m
+				if bits[i-1] {
+					y = 1 - m
+				}
+				num += x * y
+			}
+		}
+		return num / den
+	}
+	if f := freq(b); math.Abs(f-p) > 0.02 {
+		t.Errorf("twin frequency %v, want ~%v", f, p)
+	}
+	if r := lag1(b); math.Abs(r-rho) > 0.05 {
+		t.Errorf("twin lag-1 autocorrelation %v, want ~%v", r, rho)
+	}
+	// Cross-correlation between the streams must be strongly negative.
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	if f := float64(agree) / float64(len(a)); f > 0.1 {
+		t.Errorf("streams agree on %v of bits; expected near-complementary behaviour at p=0.5", f)
+	}
+}
+
+// TestAntitheticSpatial: the spatial source mirrors too, keeping its
+// group frequency.
+func TestAntitheticSpatial(t *testing.T) {
+	twin, err := Antithetic(NewSpatial(8, 4, 0.5, 0.1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := drawMany(twin, 20000)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	if f := float64(ones) / float64(len(bits)); math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("twin one-frequency %v, want ~0.5", f)
+	}
+}
+
+// TestAntitheticInvolution: mirroring a twin yields the plain stream
+// again.
+func TestAntitheticInvolution(t *testing.T) {
+	plain := NewIID(8, 0.3, 99)
+	twin, err := Antithetic(NewIID(8, 0.3, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Antithetic(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drawMany(plain, 200)
+	b := drawMany(back, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("double mirror differs from plain at bit %d", i)
+		}
+	}
+}
+
+// TestAntitheticNames: twins are visibly labelled; traces cannot be
+// mirrored.
+func TestAntitheticNames(t *testing.T) {
+	twin, err := Antithetic(NewIID(2, 0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin.Name() != "antithetic(iid)" {
+		t.Errorf("twin name %q", twin.Name())
+	}
+	tr, err := NewTrace([][]bool{{true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Antithetic(tr); err == nil {
+		t.Error("trace mirrored without error")
+	}
+}

@@ -18,8 +18,10 @@ type Source interface {
 // IID emits patterns whose bits are mutually independent Bernoulli
 // variables: bit i is 1 with probability P[i].
 type IID struct {
-	p   []float64
-	rng *rand.Rand
+	p    []float64
+	rng  *rand.Rand
+	seed int64
+	anti bool
 }
 
 // NewIID builds an i.i.d. source of the given width where every bit has
@@ -40,13 +42,17 @@ func NewIIDPerBit(p []float64, seed int64) *IID {
 			panic(fmt.Sprintf("vectors: probability p[%d]=%g out of [0,1]", i, v))
 		}
 	}
-	return &IID{p: cp, rng: rand.New(rand.NewSource(seed))}
+	return &IID{p: cp, rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Next implements Source.
 func (s *IID) Next(dst []bool) {
 	for i := range dst {
-		dst[i] = s.rng.Float64() < s.p[i]
+		u := s.rng.Float64()
+		if s.anti {
+			u = 1 - u
+		}
+		dst[i] = u < s.p[i]
 	}
 }
 
@@ -54,7 +60,12 @@ func (s *IID) Next(dst []bool) {
 func (s *IID) Width() int { return len(s.p) }
 
 // Name implements Source.
-func (s *IID) Name() string { return "iid" }
+func (s *IID) Name() string { return antiName("iid", s.anti) }
+
+// antithetic implements the mirroring hook (see Antithetic).
+func (s *IID) antithetic() Source {
+	return &IID{p: s.p, rng: rand.New(rand.NewSource(s.seed)), seed: s.seed, anti: !s.anti}
+}
 
 // LagCorrelated emits per-bit two-state Markov chains: each bit keeps its
 // previous value in a way that produces stationary probability P and
@@ -70,6 +81,8 @@ type LagCorrelated struct {
 	state  []bool
 	first  bool
 	rng    *rand.Rand
+	seed   int64
+	anti   bool
 }
 
 // NewLagCorrelated builds a temporally correlated source.
@@ -85,14 +98,25 @@ func NewLagCorrelated(width int, p, rho float64, seed int64) *LagCorrelated {
 		state: make([]bool, width),
 		first: true,
 		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
 	}
+}
+
+// uniform draws the next underlying uniform, mirrored when the source
+// is an antithetic twin.
+func (s *LagCorrelated) uniform() float64 {
+	u := s.rng.Float64()
+	if s.anti {
+		u = 1 - u
+	}
+	return u
 }
 
 // Next implements Source.
 func (s *LagCorrelated) Next(dst []bool) {
 	if s.first {
 		for i := range s.state {
-			s.state[i] = s.rng.Float64() < s.p
+			s.state[i] = s.uniform() < s.p
 		}
 		s.first = false
 	} else {
@@ -100,9 +124,9 @@ func (s *LagCorrelated) Next(dst []bool) {
 		p01 := s.p * (1 - s.rho)
 		for i := range s.state {
 			if s.state[i] {
-				s.state[i] = s.rng.Float64() < p11
+				s.state[i] = s.uniform() < p11
 			} else {
-				s.state[i] = s.rng.Float64() < p01
+				s.state[i] = s.uniform() < p01
 			}
 		}
 	}
@@ -113,7 +137,21 @@ func (s *LagCorrelated) Next(dst []bool) {
 func (s *LagCorrelated) Width() int { return len(s.state) }
 
 // Name implements Source.
-func (s *LagCorrelated) Name() string { return fmt.Sprintf("lag1(p=%.2f,rho=%.2f)", s.p, s.rho) }
+func (s *LagCorrelated) Name() string {
+	return antiName(fmt.Sprintf("lag1(p=%.2f,rho=%.2f)", s.p, s.rho), s.anti)
+}
+
+// antithetic implements the mirroring hook (see Antithetic).
+func (s *LagCorrelated) antithetic() Source {
+	return &LagCorrelated{
+		p: s.p, rho: s.rho,
+		state: make([]bool, len(s.state)),
+		first: true,
+		rng:   rand.New(rand.NewSource(s.seed)),
+		seed:  s.seed,
+		anti:  !s.anti,
+	}
+}
 
 // Rho returns the configured lag-1 autocorrelation.
 func (s *LagCorrelated) Rho() float64 { return s.rho }
@@ -127,6 +165,8 @@ type Spatial struct {
 	groupSize int
 	p, flip   float64
 	rng       *rand.Rand
+	seed      int64
+	anti      bool
 }
 
 // NewSpatial builds a spatially correlated source: bits are partitioned
@@ -141,20 +181,30 @@ func NewSpatial(width, groupSize int, p, flip float64, seed int64) *Spatial {
 		panic(fmt.Sprintf("vectors: bad parameters p=%g flip=%g", p, flip))
 	}
 	return &Spatial{width: width, groupSize: groupSize, p: p, flip: flip,
-		rng: rand.New(rand.NewSource(seed))}
+		rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// uniform draws the next underlying uniform, mirrored when the source
+// is an antithetic twin.
+func (s *Spatial) uniform() float64 {
+	u := s.rng.Float64()
+	if s.anti {
+		u = 1 - u
+	}
+	return u
 }
 
 // Next implements Source.
 func (s *Spatial) Next(dst []bool) {
 	for g := 0; g < s.width; g += s.groupSize {
-		v := s.rng.Float64() < s.p
+		v := s.uniform() < s.p
 		end := g + s.groupSize
 		if end > s.width {
 			end = s.width
 		}
 		for i := g; i < end; i++ {
 			b := v
-			if s.rng.Float64() < s.flip {
+			if s.uniform() < s.flip {
 				b = !b
 			}
 			dst[i] = b
@@ -167,7 +217,13 @@ func (s *Spatial) Width() int { return s.width }
 
 // Name implements Source.
 func (s *Spatial) Name() string {
-	return fmt.Sprintf("spatial(g=%d,p=%.2f,flip=%.2f)", s.groupSize, s.p, s.flip)
+	return antiName(fmt.Sprintf("spatial(g=%d,p=%.2f,flip=%.2f)", s.groupSize, s.p, s.flip), s.anti)
+}
+
+// antithetic implements the mirroring hook (see Antithetic).
+func (s *Spatial) antithetic() Source {
+	return &Spatial{width: s.width, groupSize: s.groupSize, p: s.p, flip: s.flip,
+		rng: rand.New(rand.NewSource(s.seed)), seed: s.seed, anti: !s.anti}
 }
 
 // Trace replays a fixed list of patterns, wrapping around at the end.
@@ -233,4 +289,40 @@ func LagCorrelatedFactory(width int, p, rho float64) Factory {
 // SpatialFactory returns a Factory of spatially correlated sources.
 func SpatialFactory(width, groupSize int, p, flip float64) Factory {
 	return func(seed int64) Source { return NewSpatial(width, groupSize, p, flip, seed) }
+}
+
+// mirrorable is implemented by the stochastic sources, which can derive
+// an antithetic twin from their stored configuration and seed.
+type mirrorable interface {
+	antithetic() Source
+}
+
+// antiName decorates a source name for its antithetic twin.
+func antiName(base string, anti bool) string {
+	if anti {
+		return "antithetic(" + base + ")"
+	}
+	return base
+}
+
+// Antithetic returns the antithetic twin of a stochastic source: a
+// fresh source over the same configuration and seed whose underlying
+// uniform draws are mirrored (every u replaced by 1-u). Because each
+// emitted bit is a threshold test u < p, the twin keeps the original's
+// exact distribution — Bernoulli marginals, lag-1 chains and spatial
+// groups alike — while being maximally negatively correlated with it
+// draw for draw: for p = 0.5 the twin's stream is the bitwise
+// complement of the original's (up to the measure-zero event u = 0.5).
+//
+// The twin restarts from the seed, so Antithetic must be called on a
+// freshly built source for the pairing to line up; the estimator builds
+// per-replication sources exactly once, which satisfies this by
+// construction. Mirroring a twin yields the plain source again.
+// Deterministic sources (Trace) have no twin and return an error.
+func Antithetic(s Source) (Source, error) {
+	m, ok := s.(mirrorable)
+	if !ok {
+		return nil, fmt.Errorf("vectors: source %q cannot be mirrored for antithetic sampling", s.Name())
+	}
+	return m.antithetic(), nil
 }

@@ -8,10 +8,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SERVER_PORT="${SERVER_PORT:-18415}"
-W1_PORT="${W1_PORT:-18416}"
-W2_PORT="${W2_PORT:-18417}"
-BASE="http://127.0.0.1:${SERVER_PORT}"
+# All three processes bind kernel-assigned ephemeral ports (":0") and
+# report the bound address on their first log line ("... listening on
+# HOST:PORT"), so any number of e2e runs can share a host — parallel CI
+# jobs included — without port collisions.
 
 BIN="$(mktemp -d)"
 LOGS="$(mktemp -d)"
@@ -25,14 +25,28 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# bound_addr LOGFILE: wait for a process to announce its listen address.
+bound_addr() {
+  local log="$1" addr=""
+  for i in $(seq 1 50); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" 2>/dev/null | head -n1)
+    [ -n "$addr" ] && { echo "$addr"; return 0; }
+    sleep 0.2
+  done
+  return 1
+}
+
 echo "== build"
 go build -o "$BIN/dipe-server" ./cmd/dipe-server
 go build -o "$BIN/dipe-worker" ./cmd/dipe-worker
 
 echo "== start coordinator (cluster mode, no workers yet)"
-"$BIN/dipe-server" -addr "127.0.0.1:${SERVER_PORT}" -cluster -heartbeat 500ms \
+"$BIN/dipe-server" -addr "127.0.0.1:0" -cluster -heartbeat 500ms \
   >"$LOGS/server.log" 2>&1 &
 PIDS+=($!)
+
+SERVER_ADDR=$(bound_addr "$LOGS/server.log") || { echo "server never reported its address"; exit 1; }
+BASE="http://${SERVER_ADDR}"
 
 for i in $(seq 1 50); do
   curl -sf "$BASE/healthz" >/dev/null && break
@@ -45,10 +59,12 @@ code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
 [ "$code" = 503 ] || { echo "readyz=$code before workers, want 503"; exit 1; }
 
 echo "== start two workers with self-registration"
-"$BIN/dipe-worker" -addr "127.0.0.1:${W1_PORT}" -register "$BASE" >"$LOGS/w1.log" 2>&1 &
+"$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w1.log" 2>&1 &
 PIDS+=($!)
-"$BIN/dipe-worker" -addr "127.0.0.1:${W2_PORT}" -register "$BASE" >"$LOGS/w2.log" 2>&1 &
+"$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w2.log" 2>&1 &
 PIDS+=($!)
+bound_addr "$LOGS/w1.log" >/dev/null || { echo "worker 1 never reported its address"; exit 1; }
+bound_addr "$LOGS/w2.log" >/dev/null || { echo "worker 2 never reported its address"; exit 1; }
 
 echo "== wait for readiness"
 for i in $(seq 1 50); do
@@ -67,12 +83,14 @@ assert len(ws) == 2, f"{len(ws)} workers registered, want 2"
 assert len(alive) == 2, f"{len(alive)} workers alive, want 2"
 '
 
-echo "== submit a batch over the cluster dispatcher"
+echo "== submit a batch over the cluster dispatcher (incl. variance-reduction modes)"
 ids=$(curl -sf -X POST "$BASE/v1/batch" -H 'Content-Type: application/json' -d '{
   "jobs": [
     {"circuit":"s27",  "seed":5, "options":{"replications":16,"workers":1}},
     {"circuit":"s298", "seed":9, "options":{"replications":32,"workers":1}},
-    {"circuit":"s1494","seed":3, "options":{"replications":64,"workers":1}}
+    {"circuit":"s1494","seed":3, "options":{"replications":64,"workers":1}},
+    {"circuit":"s298", "seed":4, "options":{"replications":16,"workers":1,"variance":"antithetic"}},
+    {"circuit":"s298", "seed":8, "options":{"replications":16,"workers":1,"variance":"control-variate"}}
   ]}' | python3 -c 'import json,sys; print("\n".join(json.load(sys.stdin)["ids"]))')
 
 echo "== wait for completion"
@@ -84,7 +102,10 @@ assert v["state"] == "done", "%s: state %s error %s" % (jid, v["state"], v.get("
 r = v["result"]
 assert r["power"] > 0, "%s: nonpositive power" % jid
 assert r["converged"], "%s: did not converge" % jid
-print("%s: %s P=%.4g W n=%d" % (jid, v["request"]["circuit"], r["power"], r["sampleSize"]))
+want_vr = v["request"]["options"].get("variance", "")
+assert r.get("variance", "") == want_vr, "%s: variance %r, want %r" % (jid, r.get("variance"), want_vr)
+print("%s: %s%s P=%.4g W n=%d" % (jid, v["request"]["circuit"],
+      " [%s]" % want_vr if want_vr else "", r["power"], r["sampleSize"]))
 '
 for id in $ids; do
   curl -sf "$BASE/v1/jobs/$id/wait?timeout=120s" | python3 -c "$check_job" "$id"
@@ -95,7 +116,7 @@ curl -s "$BASE/v1/stats" | python3 -c '
 import json, sys
 st = json.load(sys.stdin)
 assert st["dispatcher"] == "cluster", st["dispatcher"]
-assert st["pool"]["done"] >= 3, st["pool"]
+assert st["pool"]["done"] >= 5, st["pool"]
 '
 
 echo "e2e cluster: OK"
