@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		clusterN = fs.Int("cluster-samples", 8192, "sample budget per -cluster run")
 		clusterP = fs.Int("cluster-pace", 10000, "per-worker pacing in samples/s for -cluster (0 = raw CPU-bound)")
 		clusterJ = fs.String("cluster-json", "", "write the -cluster report as JSON to this file (BENCH_3.json)")
+		hetB     = fs.Bool("het", false, "run the heterogeneous-fleet work-stealing benchmark (fast+slow+flaky workers)")
+		hetJ     = fs.String("het-json", "", "write the -het report as JSON to this file (BENCH_5.json)")
 		modes    = fs.Bool("modes", false, "run the Table-1-style general-delay vs zero-delay mode comparison")
 		vrB      = fs.Bool("vr", false, "run the variance-reduction benchmark (plain vs antithetic vs control-variate)")
 		vrRelErr = fs.Float64("vr-relerr", 0.05, "accuracy target for -vr")
@@ -99,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes && !*clusterB && !*vrB {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes && !*clusterB && !*vrB && !*hetB {
 		fs.Usage()
 		return fmt.Errorf("no campaign selected")
 	}
@@ -153,6 +155,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", *clusterJ)
+		}
+	}
+
+	if *hetB {
+		hcfg := experiments.DefaultHeterogeneousConfig()
+		hcfg.Seed = cfg.BaseSeed
+		rows, err := experiments.HeterogeneousScaling(hcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderHeterogeneous(rows))
+		if *hetJ != "" {
+			if err := os.WriteFile(*hetJ, []byte(experiments.HeterogeneousJSON(rows, hcfg)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *hetJ)
 		}
 	}
 

@@ -13,6 +13,12 @@
 //	dipe-server -workers-addr http://10.0.0.7:8416,http://10.0.0.8:8416
 //	dipe-server -cluster                 # workers self-register later
 //
+// With -state-dir, jobs are journaled to an append-only store and a
+// restarted server resumes the ones a crash interrupted, with final
+// results bit-identical to an uninterrupted run:
+//
+//	dipe-server -state-dir /var/lib/dipe
+//
 // Endpoints (see internal/service for the full API):
 //
 //	curl -s localhost:8415/healthz
@@ -65,9 +71,23 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		clusterOn   = fs.Bool("cluster", false, "cluster mode with an empty worker set (workers register via POST /v1/cluster/workers)")
 		workersAddr = fs.String("workers-addr", "", "comma-separated dipe-worker base URLs (implies cluster mode)")
 		heartbeat   = fs.Duration("heartbeat", 0, "cluster worker health-poll period (0 = default 2s)")
+		leaseT      = fs.Duration("lease-timeout", 0, "cluster per-block lease deadline (0 = default 15s)")
+		workerWait  = fs.Duration("worker-wait", 0, "grace a cluster job waits for a live worker before failing (0 = fail fast, or 45s when -state-dir is set so resumed jobs outlast fleet re-registration)")
+		stateDir    = fs.String("state-dir", "", "durable job-store directory; jobs interrupted by a crash or restart resume on the next start (empty = in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var store *service.JobStore
+	if *stateDir != "" {
+		var err error
+		if store, err = service.OpenJobStore(*stateDir); err != nil {
+			return err
+		}
+		st := store.Stats()
+		fmt.Fprintf(out, "dipe-server job store %s: %d records, %d jobs restored (%d to resume)\n",
+			st.Path, st.Records, st.Restored, st.Resumed)
 	}
 
 	var dispatcher service.Dispatcher
@@ -78,9 +98,16 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 				urls = append(urls, u)
 			}
 		}
+		if *workerWait == 0 && store != nil {
+			// Resumed jobs re-run the moment the pool starts, before the
+			// fleet's periodic self-registration finds the new process.
+			*workerWait = 45 * time.Second
+		}
 		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
-			Workers:   urls,
-			Heartbeat: *heartbeat,
+			Workers:      urls,
+			Heartbeat:    *heartbeat,
+			LeaseTimeout: *leaseT,
+			WorkerWait:   *workerWait,
 		})
 		if err != nil {
 			return err
@@ -95,6 +122,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		Workers:    *workers,
 		QueueSize:  *queue,
 		Dispatcher: dispatcher,
+		Store:      store,
 	})
 	defer svc.Close()
 
@@ -129,8 +157,9 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 
 	// Graceful drain, in order: Close cancels every live job, rejects
-	// new submissions, and blocks until the whole job pool has retired —
-	// no estimation goroutine outlives it. That also closes the per-job
+	// new submissions, blocks until the whole job pool has retired — no
+	// estimation goroutine outlives it — and flushes the job store, so
+	// drained-but-unfinished jobs replay as resumable on the next start. That also closes the per-job
 	// done channels that parked /v1/jobs/{id}/wait handlers block on;
 	// otherwise a client long-polling a slow job would hold an in-flight
 	// request past the Shutdown deadline and turn every routine SIGTERM

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
@@ -63,7 +64,17 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: wk.Handler()}
+	// Every request context descends from baseCtx; cancelling it on
+	// shutdown aborts in-flight sample streams at their next block, so a
+	// draining worker doesn't sit out the whole Shutdown deadline waiting
+	// for coordinators to hang up. A severed stream is a fault the
+	// coordinator's lease/reassignment machinery already absorbs.
+	baseCtx, abortStreams := context.WithCancel(context.Background())
+	defer abortStreams()
+	srv := &http.Server{
+		Handler:     wk.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 	fmt.Fprintf(out, "dipe-worker listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -103,13 +114,15 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		}
 	}
 
-	// In-flight sample streams end when their coordinator-side contexts
-	// close; give them a moment, then cut the listener.
+	// Stop re-announcing, abort in-flight streams at their next block,
+	// then drain the remaining (short-lived) requests.
+	regCancel()
+	abortStreams()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		// A coordinator may legitimately hold a stream open past the
-		// deadline; surrender the sockets rather than hang shutdown.
+		// A coordinator may still hold a dead stream's socket open past
+		// the deadline; surrender the sockets rather than hang shutdown.
 		_ = srv.Close()
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
@@ -120,9 +133,11 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 }
 
 // selfRegister announces the worker to the coordinator and keeps
-// re-announcing it for the life of the process: quickly (2s) until the
-// first success — the coordinator may come up after the workers — then
-// at a slow steady cadence (15s). The coordinator's worker table is
+// re-announcing it for the life of the process: exponential backoff
+// with jitter until the first success — the coordinator may come up
+// well after the workers, and a fleet booting together must not
+// synchronize its retries — then a slow steady cadence (15s). Each
+// attempt carries its own timeout. The coordinator's worker table is
 // in-memory, so periodic re-registration is what lets a restarted
 // coordinator rediscover its fleet without operator action;
 // re-registering an already-known URL is an idempotent re-probe.
@@ -131,12 +146,19 @@ func selfRegister(ctx context.Context, out io.Writer, coordinator, self string) 
 	if err != nil {
 		return
 	}
-	client := &http.Client{Timeout: 3 * time.Second}
+	const (
+		baseDelay   = 500 * time.Millisecond
+		steadyDelay = 15 * time.Second
+	)
+	client := &http.Client{}
 	registered := false
+	delay := baseDelay
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		attempt, cancel := context.WithTimeout(ctx, 3*time.Second)
+		req, err := http.NewRequestWithContext(attempt, http.MethodPost,
 			coordinator+"/v1/cluster/workers", bytes.NewReader(body))
 		if err != nil {
+			cancel()
 			fmt.Fprintf(out, "dipe-worker: bad coordinator URL: %v\n", err)
 			return
 		}
@@ -154,18 +176,27 @@ func selfRegister(ctx context.Context, out io.Writer, coordinator, self string) 
 			case resp.StatusCode == http.StatusNotFound:
 				// The coordinator is not in cluster mode; retrying will not
 				// fix a configuration error, so say so and stop.
+				cancel()
 				fmt.Fprintf(out, "dipe-worker: %s is not running a cluster dispatcher (start dipe-server with -cluster or -workers-addr)\n", coordinator)
 				return
 			}
 		}
-		delay := 2 * time.Second
+		cancel()
+		var wait time.Duration
 		if registered {
-			delay = 15 * time.Second
+			delay = baseDelay // reset for the next outage
+			wait = steadyDelay
+		} else {
+			// ±20% jitter, then double toward the steady cadence.
+			wait = delay + time.Duration((rand.Float64()-0.5)*0.4*float64(delay))
+			if delay *= 2; delay > steadyDelay {
+				delay = steadyDelay
+			}
 		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(delay):
+		case <-time.After(wait):
 		}
 	}
 }

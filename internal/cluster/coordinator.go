@@ -36,6 +36,24 @@ type CoordinatorConfig struct {
 	// retries safe, so the bound exists only to fail jobs on a dead
 	// cluster instead of spinning.
 	MaxAttempts int
+	// LeaseTimeout is the per-block delivery deadline of a range lease
+	// (default 15s): a worker that goes this long without producing the
+	// next block — while another live worker is free to take over — has
+	// the lease reclaimed and the range reassigned with SkipBlocks
+	// replay. The first block of a stream is allowed leaseStartupFactor
+	// timeouts (setup + warm-up + replay).
+	LeaseTimeout time.Duration
+	// LeaseSplit is how many replication ranges the scheduler creates
+	// per live worker at job start (default 4, capped by the replication
+	// count). More ranges than workers is what gives fast workers a tail
+	// to steal; 1 reproduces the old static one-range-per-worker layout.
+	LeaseSplit int
+	// WorkerWait is how long a job waits for at least one live worker
+	// before failing with "no live workers" (default 0: fail fast). A
+	// restarted durable server re-runs its journaled jobs immediately —
+	// typically before the worker fleet has re-registered — so resume
+	// needs a grace period covering the workers' re-announce cadence.
+	WorkerWait time.Duration
 	// Client is the HTTP client for streams and uploads (default: a
 	// dedicated client with no overall timeout — streams are long-lived
 	// and cancelled by context).
@@ -58,6 +76,12 @@ type workerState struct {
 	alive    bool
 	lastSeen time.Time
 	failures uint64
+	// Degradation counters (see service.WorkerStatus for semantics).
+	activeLeases  int
+	retries       uint64
+	reassignments uint64
+	leaseExpiries uint64
+	lastErr       string
 }
 
 // Coordinator shards estimation jobs across dipe-worker processes. It
@@ -80,15 +104,17 @@ type Coordinator struct {
 	mu      sync.Mutex
 	workers map[string]*workerState
 	order   []string // registration order: deterministic assignment
-	rr      int      // round-robin cursor for reassignment
 	sources sourceResolver
 
-	client      *http.Client
-	hb          time.Duration
-	hbTimeout   time.Duration
-	maxAttempts int
-	hbTick      <-chan time.Time // injected heartbeat clock (tests)
-	hbProbed    chan<- struct{}  // per-round completion notification (tests)
+	client       *http.Client
+	hb           time.Duration
+	hbTimeout    time.Duration
+	maxAttempts  int
+	leaseTimeout time.Duration
+	leaseSplit   int
+	workerWait   time.Duration
+	hbTick       <-chan time.Time // injected heartbeat clock (tests)
+	hbProbed     chan<- struct{}  // per-round completion notification (tests)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -114,19 +140,28 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 8
 	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 15 * time.Second
+	}
+	if cfg.LeaseSplit <= 0 {
+		cfg.LeaseSplit = 4
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{} // streams must not carry an overall timeout
 	}
 	c := &Coordinator{
-		workers:     make(map[string]*workerState),
-		client:      client,
-		hb:          cfg.Heartbeat,
-		hbTimeout:   cfg.HeartbeatTimeout,
-		maxAttempts: cfg.MaxAttempts,
-		hbTick:      cfg.tick,
-		hbProbed:    cfg.probed,
-		stop:        make(chan struct{}),
+		workers:      make(map[string]*workerState),
+		client:       client,
+		hb:           cfg.Heartbeat,
+		hbTimeout:    cfg.HeartbeatTimeout,
+		maxAttempts:  cfg.MaxAttempts,
+		leaseTimeout: cfg.LeaseTimeout,
+		leaseSplit:   cfg.LeaseSplit,
+		workerWait:   cfg.WorkerWait,
+		hbTick:       cfg.tick,
+		hbProbed:     cfg.probed,
+		stop:         make(chan struct{}),
 	}
 	for _, u := range cfg.Workers {
 		if err := c.AddWorker(u); err != nil {
@@ -202,10 +237,15 @@ func (c *Coordinator) Workers() []service.WorkerStatus {
 	for _, u := range c.order {
 		w := c.workers[u]
 		out = append(out, service.WorkerStatus{
-			URL:      w.url,
-			Alive:    w.alive,
-			LastSeen: w.lastSeen,
-			Failures: w.failures,
+			URL:           w.url,
+			Alive:         w.alive,
+			LastSeen:      w.lastSeen,
+			Failures:      w.failures,
+			ActiveLeases:  w.activeLeases,
+			Retries:       w.retries,
+			Reassignments: w.reassignments,
+			LeaseExpiries: w.leaseExpiries,
+			LastError:     w.lastErr,
 		})
 	}
 	return out
@@ -290,12 +330,16 @@ func (c *Coordinator) setAlive(workerURL string, alive, failed bool) {
 
 // markFailed records a stream failure and takes the worker out of
 // rotation until a heartbeat revives it.
-func (c *Coordinator) markFailed(workerURL string) {
+func (c *Coordinator) markFailed(workerURL string, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if w := c.workers[workerURL]; w != nil {
 		w.alive = false
 		w.failures++
+		w.retries++
+		if err != nil {
+			w.lastErr = err.Error()
+		}
 	}
 }
 
@@ -312,49 +356,29 @@ func (c *Coordinator) aliveWorkers() []string {
 	return out
 }
 
-// pickWorker chooses a live worker for a reassignment, preferring one
-// other than `avoid` (the worker that just failed) and rotating a
-// round-robin cursor so concurrent reassignments spread out. ok is
-// false when no worker is alive.
-func (c *Coordinator) pickWorker(avoid string) (string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := len(c.order)
-	var fallback string
-	for i := 0; i < n; i++ {
-		u := c.order[(c.rr+i)%n]
-		if !c.workers[u].alive {
-			continue
-		}
-		if u != avoid {
-			c.rr = (c.rr + i + 1) % n
-			return u, true
-		}
-		fallback = u
-	}
-	if fallback != "" { // only the failed worker is alive; maybe it recovered
-		return fallback, true
-	}
-	return "", false
-}
-
 // Estimate implements service.Dispatcher: the full DIPE flow with the
 // sampling phase sharded across the cluster. Phase 1 (independence-
 // interval selection) runs locally; phase 2 streams per-range sample
 // blocks from the workers and merges them into the pooled stopping
 // rule. The result is bit-identical to core.EstimateParallel(tb, ...,
 // req.Seed, opts) — mean, half-width, sample size and cycle counts —
-// for any worker count and any mid-job reassignment history.
+// for any worker count and any mid-job lease/reassignment history.
 func (c *Coordinator) Estimate(ctx context.Context, tb *core.Testbench, req service.JobRequest, progress func(core.Progress)) (core.Result, error) {
+	return c.EstimateResumable(ctx, tb, req, nil, nil, progress)
+}
+
+// EstimateResumable implements service.ResumableDispatcher: Estimate
+// with the pre-sampling/sampling checkpoint seam exposed. A nil ckpt
+// runs phase 1 and plan resolution locally (core.PreparePlanCtx — the
+// same code, seeds and order as the single-process estimator) and
+// reports the frozen outcome through save before any worker streams; a
+// non-nil ckpt resumes the sampling phase directly. Since the sampling
+// phase re-streams deterministically from replication seeds, a resumed
+// job's Result is bit-identical to the uninterrupted run's.
+func (c *Coordinator) EstimateResumable(ctx context.Context, tb *core.Testbench, req service.JobRequest, ckpt *service.Checkpoint, save func(service.Checkpoint), progress func(core.Progress)) (core.Result, error) {
 	opts := req.Options.Options()
 	if err := opts.Validate(); err != nil {
 		return core.Result{}, err
-	}
-	if req.Interval != nil && *req.Interval < 0 {
-		// Same up-front rejection the local dispatcher gets from
-		// EstimateParallelWithIntervalCtx; without it a bad request would
-		// bounce off every worker as a 400 and read as a fleet outage.
-		return core.Result{}, fmt.Errorf("cluster: negative interval %d", *req.Interval)
 	}
 	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
 	if err != nil {
@@ -363,41 +387,29 @@ func (c *Coordinator) Estimate(ctx context.Context, tb *core.Testbench, req serv
 	opts.Progress = progress
 	start := time.Now()
 
-	var (
-		interval             int
-		sel                  core.IntervalSelection
-		selPtr               *core.IntervalSelection
-		selHidden, selSample uint64
-	)
-	if req.Interval != nil {
-		interval = *req.Interval
+	var rp core.ResumePoint
+	if ckpt != nil {
+		rp = ckpt.ResumePoint()
+		if rp.Interval < 0 {
+			return core.Result{}, fmt.Errorf("cluster: negative interval %d", rp.Interval)
+		}
 	} else {
-		// Phase 1, exactly as EstimateParallelCtx runs it: a scalar
-		// session seeded req.Seed, observed under the selected power mode.
-		sel0 := tb.NewSessionMode(factory(req.Seed), opts.Mode)
-		sel0.StepHiddenN(opts.WarmupCycles)
-		sel, err = core.SelectIntervalCtx(ctx, sel0, opts)
-		if err != nil {
+		// The up-front local validation (instead of bouncing a bad fixed
+		// interval off every worker as a 400) happens inside
+		// PreparePlanCtx.
+		if rp, err = core.PreparePlanCtx(ctx, tb, factory, req.Seed, opts, req.Interval); err != nil {
 			return core.Result{}, err
 		}
-		interval = sel.Interval
-		selPtr = &sel
-		selHidden, selSample = sel0.HiddenCycles, sel0.SampledCycles
+		if save != nil {
+			save(service.CheckpointOf(rp))
+		}
 	}
 
-	// Freeze the variance-reduction plan locally — the same resolution
-	// code, seeds and order as the single-process estimator — then ship
-	// it verbatim to every worker.
-	plan, seedSeq, cal, err := core.ResolvePlan(ctx, tb, factory, req.Seed, opts, interval, selPtr)
-	if err != nil {
-		return core.Result{}, err
-	}
-
-	res, err := c.sampledPhase(ctx, tb, req, opts, plan, interval, seedSeq)
-	res.Trials = sel.Trials
-	res.IntervalCapped = sel.Capped
-	res.HiddenCycles += selHidden + cal.Hidden
-	res.SampledCycles += selSample + cal.Sampled
+	res, err := c.sampledPhase(ctx, tb, req, opts, rp.Plan, rp.Interval, rp.SeedSeq)
+	res.Trials = rp.Trials
+	res.IntervalCapped = rp.Capped
+	res.HiddenCycles += rp.Hidden
+	res.SampledCycles += rp.Sampled
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -410,6 +422,7 @@ type rangeMsg struct {
 
 // repRange is one contiguous replication range and its stream channel.
 type repRange struct {
+	idx    int // position in the job's range list (scheduler penalty key)
 	lo, hi int
 	ch     chan rangeMsg
 }
@@ -439,27 +452,41 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 	hash := SourceHash(src)
 
 	alive := c.aliveWorkers()
+	if len(alive) == 0 && c.workerWait > 0 {
+		// Grace for a fleet that is still (re-)registering — a restarted
+		// durable server resumes its jobs before its workers re-announce.
+		wctx, wcancel := context.WithTimeout(ctx, c.workerWait)
+		bo := newRetryBackoff(50*time.Millisecond, c.hb)
+		for len(alive) == 0 && bo.sleep(wctx) == nil {
+			alive = c.aliveWorkers()
+		}
+		wcancel()
+	}
 	if len(alive) == 0 {
 		return core.Result{}, errors.New("cluster: no live workers")
 	}
-	k := len(alive)
+	// LeaseSplit ranges per live worker: over-partitioning is what gives
+	// fast workers a tail of leases to steal from slow ones. The range
+	// *boundaries* come from core.SplitRange — the one partition rule
+	// shared with the in-process shard layout — and the merge order is
+	// unchanged, so the range count never shows in the merged result.
+	k := len(alive) * c.leaseSplit
 	if k > reps {
 		k = reps
 	}
-	// core.SplitRange is the one partition rule shared with the
-	// in-process shard layout, so range boundaries are deterministic.
 	bounds := core.SplitRange(0, reps, k)
 	ranges := make([]*repRange, k)
 	lanes := make([]int, k)
 	blocks := make([][]float64, k)
 
+	js := newJobScheduler(c)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel() // stops every worker stream once stopping is decided
 	for i, b := range bounds {
-		rg := &repRange{lo: b[0], hi: b[1], ch: make(chan rangeMsg, 16)}
+		rg := &repRange{idx: i, lo: b[0], hi: b[1], ch: make(chan rangeMsg, 16)}
 		ranges[i] = rg
 		lanes[i] = b[1] - b[0]
-		go c.runRange(sctx, alive[i%len(alive)], hash, src, req, opts, plan, interval, rounds, maxBlocks, rg)
+		go c.runLeasedRange(sctx, js, hash, src, req, opts, plan, interval, rounds, maxBlocks, rg)
 	}
 
 	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !plan.NeedsCovariate()
@@ -548,72 +575,32 @@ var errUnknownCircuit = errors.New("cluster: worker misses circuit")
 // dead or burning retry budget across a healthy fleet.
 var errPermanent = errors.New("cluster: request rejected")
 
-// runRange owns one replication range for the duration of a job: it
-// streams blocks from a worker into rg.ch, and on worker death picks a
-// live replacement and resumes at the first undelivered block
-// (SkipBlocks), which deterministic seeding replays exactly. It gives
-// up after maxAttempts failures, delivering the error to the merge
-// loop.
-func (c *Coordinator) runRange(ctx context.Context, firstWorker, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, rg *repRange) {
-	defer close(rg.ch)
-	worker := firstWorker
-	delivered := 0 // blocks handed to the merge loop so far
-	attempts := 0
-	uploaded := make(map[string]bool)
-	for {
-		err := c.streamRange(ctx, worker, hash, req, opts, plan, interval, rounds, maxBlocks, &delivered, rg)
-		if err == nil || ctx.Err() != nil {
-			return // complete, or the merge loop is done with us
-		}
-		if errors.Is(err, errUnknownCircuit) && !uploaded[worker] {
-			// Propagate the circuit and retry the same worker; an install
-			// failure falls through to normal failure handling.
-			if uerr := c.installCircuit(ctx, worker, hash, src); uerr == nil {
-				uploaded[worker] = true
-				continue
-			}
-		}
-		if errors.Is(err, errPermanent) {
-			// The worker rejected the request itself; no other worker will
-			// accept it either, and the worker is healthy — fail the job
-			// without touching liveness.
-			select {
-			case rg.ch <- rangeMsg{err: err}:
-			case <-ctx.Done():
-			}
-			return
-		}
-		c.markFailed(worker)
-		attempts++
-		if attempts >= c.maxAttempts {
-			select {
-			case rg.ch <- rangeMsg{err: fmt.Errorf("giving up after %d attempts (last worker %s): %w", attempts, worker, err)}:
-			case <-ctx.Done():
-			}
-			return
-		}
-		// Reassign: any live worker will reproduce the remaining blocks.
-		next, ok := c.pickWorker(worker)
-		for !ok {
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(c.hb):
-			}
-			next, ok = c.pickWorker(worker)
-		}
-		worker = next
-	}
-}
-
-// streamRange opens one /v1/run stream and forwards its blocks,
-// starting at *delivered and bumping it per delivered block. A nil
-// return means the stream completed (maxBlocks reached); any error
+// streamRange opens one /v1/run stream under a block lease and
+// forwards its blocks, starting at *delivered and bumping it per
+// delivered block. A nil return means the stream completed (maxBlocks
+// reached); errLeaseExpired means the lease watchdog reclaimed the
+// stream (next block overdue while another worker was free); any error
 // leaves *delivered at the resume point for the next attempt.
-func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
+func (c *Coordinator) streamRange(ctx context.Context, js *jobScheduler, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
 	if *delivered >= maxBlocks {
 		return nil
 	}
+	// The lease deadline enforces block delivery by cancelling the
+	// stream's own context; the parent ctx (merge loop) is untouched.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	l := newBlockLease(js, worker, c.leaseTimeout, cancel)
+	defer l.stop()
+	err := c.streamBlocks(sctx, l, worker, hash, req, opts, plan, interval, rounds, maxBlocks, delivered, rg)
+	if err != nil && l.expired.Load() && ctx.Err() == nil {
+		return fmt.Errorf("%w: worker %s stalled before block %d", errLeaseExpired, worker, *delivered)
+	}
+	return err
+}
+
+// streamBlocks is the body of one stream attempt; ctx is the
+// lease-cancellable stream context.
+func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
 	runReq := RunRequest{
 		Hash:       hash,
 		Source:     req.Source,
@@ -684,6 +671,10 @@ func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req 
 		if len(blk.Samples) != want {
 			return fmt.Errorf("cluster: worker %s: block %d carries %d samples, want %d", worker, blk.Index, len(blk.Samples), want)
 		}
+		// Block in hand: suspend the delivery deadline while the merge
+		// loop applies backpressure — waiting on the coordinator's own
+		// queue is not the worker's fault.
+		l.pause()
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -693,6 +684,7 @@ func (c *Coordinator) streamRange(ctx context.Context, worker, hash string, req 
 		if *delivered >= maxBlocks {
 			return nil
 		}
+		l.arm()
 	}
 	if err := scanErr(sc); err != nil {
 		return fmt.Errorf("cluster: worker %s: stream broke at block %d: %w", worker, *delivered, err)
@@ -707,8 +699,12 @@ func scanErr(sc *bufio.Scanner) error {
 	return io.ErrUnexpectedEOF
 }
 
-// installCircuit propagates a circuit's provenance to one worker.
+// installCircuit propagates a circuit's provenance to one worker. The
+// call is bounded by its own timeout (an install is one bounded upload,
+// unlike a stream) so a black-holed worker cannot stall the retry loop.
 func (c *Coordinator) installCircuit(ctx context.Context, worker, hash string, src service.CircuitSource) error {
+	ctx, cancel := context.WithTimeout(ctx, c.leaseTimeout)
+	defer cancel()
 	body, err := json.Marshal(InstallRequest{Hash: hash, Source: src})
 	if err != nil {
 		return err

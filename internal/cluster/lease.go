@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/vr"
+)
+
+// This file is the work-stealing half of the coordinator: replication
+// ranges are not pinned to workers for the duration of a job but
+// *leased*, one stream attempt at a time, with a per-block delivery
+// deadline. A worker that stops producing blocks — dead, stalled, or
+// just slow while a faster worker sits idle — has its lease reclaimed
+// and the range reassigned; the replacement stream replays the merged
+// prefix via SkipBlocks, which deterministic seeding reproduces
+// exactly, so stealing is invisible in the merged result. The job is
+// partitioned into more ranges than workers (CoordinatorConfig
+// LeaseSplit) precisely so there is a tail of ranges for fast workers
+// to steal.
+//
+// Scheduling is least-loaded with memory: each (worker, range) pair
+// that burns a lease to expiry is penalized for that range, so a
+// reclaimed range is not handed straight back to the worker that just
+// timed out on it (which, having lost a lease, would otherwise look
+// attractively idle).
+
+// errLeaseExpired marks a stream attempt cancelled by its own lease
+// deadline: the worker is alive but did not deliver a block in time
+// while another worker was free to take over.
+var errLeaseExpired = errors.New("cluster: lease expired")
+
+// leaseStartupFactor scales the first block's delivery allowance: the
+// first block carries stream setup, per-replication warm-up and the
+// hidden-cycle replay of every already-merged block, so it is given
+// leaseStartupFactor lease timeouts where subsequent blocks get one.
+const leaseStartupFactor = 4
+
+// retryBackoff yields exponentially growing waits with ±20% jitter,
+// capped. The jitter decorrelates concurrent range runners retrying
+// against the same recovering worker.
+type retryBackoff struct {
+	next, max time.Duration
+}
+
+func newRetryBackoff(base, max time.Duration) *retryBackoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &retryBackoff{next: base, max: max}
+}
+
+// sleep waits the current interval (jittered) or until ctx ends, then
+// doubles the interval up to the cap.
+func (b *retryBackoff) sleep(ctx context.Context) error {
+	d := b.next + time.Duration((rand.Float64()-0.5)*0.4*float64(b.next))
+	if b.next *= 2; b.next > b.max {
+		b.next = b.max
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// jobScheduler arbitrates one job's leases: which worker streams each
+// replication range right now, how loaded every worker is, and which
+// (worker, range) pairs have burned a lease to expiry. One exists per
+// sampledPhase call; worker liveness and the global per-worker counters
+// live on the Coordinator it wraps.
+//
+// Lock order: js.mu before c.mu, always.
+type jobScheduler struct {
+	c  *Coordinator
+	mu sync.Mutex
+	// penalty[worker][rangeIdx] counts leases that worker burned to
+	// expiry on that range.
+	penalty map[string]map[int]int
+}
+
+func newJobScheduler(c *Coordinator) *jobScheduler {
+	return &jobScheduler{c: c, penalty: make(map[string]map[int]int)}
+}
+
+// acquire leases rangeIdx to a live worker, blocking (with backoff)
+// until one is available or ctx ends. prev is the worker that held the
+// range last ("" on first acquisition): it is deprioritized after a
+// failure or expiry but remains eligible when it is the only live
+// worker. delivered>0 with a changed owner counts as a reassignment on
+// the inheriting worker.
+func (s *jobScheduler) acquire(ctx context.Context, rangeIdx int, prev string, delivered int) (string, error) {
+	bo := newRetryBackoff(50*time.Millisecond, s.c.hb)
+	for {
+		if w, ok := s.tryAcquire(rangeIdx, prev, delivered); ok {
+			return w, nil
+		}
+		if err := bo.sleep(ctx); err != nil {
+			return "", err
+		}
+	}
+}
+
+// tryAcquire picks the live worker minimizing (range penalty, active
+// leases, registration order) and charges the lease to it. The previous
+// owner carries a large penalty addend so it wins only as the sole live
+// worker.
+func (s *jobScheduler) tryAcquire(rangeIdx int, prev string, delivered int) (string, bool) {
+	const prevOwnerPenalty = 1 << 20
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := ""
+	var bestPen, bestLoad int
+	for _, u := range c.order {
+		w := c.workers[u]
+		if !w.alive {
+			continue
+		}
+		pen := s.penalty[u][rangeIdx]
+		if u == prev {
+			pen += prevOwnerPenalty
+		}
+		if best == "" || pen < bestPen || (pen == bestPen && w.activeLeases < bestLoad) {
+			best, bestPen, bestLoad = u, pen, w.activeLeases
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	w := c.workers[best]
+	w.activeLeases++
+	if delivered > 0 && prev != "" && best != prev {
+		w.reassignments++
+	}
+	return best, true
+}
+
+// release returns a lease.
+func (s *jobScheduler) release(worker string) {
+	s.c.mu.Lock()
+	if w := s.c.workers[worker]; w != nil && w.activeLeases > 0 {
+		w.activeLeases--
+	}
+	s.c.mu.Unlock()
+}
+
+// expire records a lease reclaimed from worker on rangeIdx: the pair is
+// penalized in future assignment and the worker's degradation counters
+// bump. The worker stays in rotation — expiry means slow, not dead.
+func (s *jobScheduler) expire(worker string, rangeIdx int) {
+	s.mu.Lock()
+	m := s.penalty[worker]
+	if m == nil {
+		m = make(map[int]int)
+		s.penalty[worker] = m
+	}
+	m[rangeIdx]++
+	s.mu.Unlock()
+	s.c.mu.Lock()
+	if w := s.c.workers[worker]; w != nil {
+		w.leaseExpiries++
+		w.retries++
+		w.lastErr = fmt.Sprintf("lease expired on range %d", rangeIdx)
+	}
+	s.c.mu.Unlock()
+}
+
+// shouldReclaim reports whether expiring worker's lease can help:
+// either another live worker exists to steal the range, or the holder
+// itself has been marked dead (its stream is a zombie). A slow but sole
+// live worker keeps its lease — reclaiming would only force a pointless
+// replay onto the same worker.
+func (s *jobScheduler) shouldReclaim(worker string) bool {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[worker]; w != nil && !w.alive {
+		return true
+	}
+	for _, u := range c.order {
+		if u != worker && c.workers[u].alive {
+			return true
+		}
+	}
+	return false
+}
+
+// blockLease is the watchdog of one stream attempt: a deadline on the
+// *next block's delivery*, armed while the coordinator waits on the
+// worker and paused while the block is handed to the merge loop (merge
+// backpressure is the coordinator's queue, not the worker's fault).
+// Firing reclaims the lease by cancelling the stream context — unless
+// reclaiming cannot help (see shouldReclaim), in which case the lease
+// silently renews.
+type blockLease struct {
+	timeout time.Duration
+	timer   *time.Timer
+	expired atomic.Bool
+}
+
+// newBlockLease arms the watchdog with the first-block allowance
+// (leaseStartupFactor timeouts) and returns it.
+func newBlockLease(js *jobScheduler, worker string, timeout time.Duration, cancel context.CancelFunc) *blockLease {
+	l := &blockLease{timeout: timeout}
+	l.timer = time.AfterFunc(leaseStartupFactor*timeout, func() { l.fire(js, worker, cancel) })
+	return l
+}
+
+func (l *blockLease) fire(js *jobScheduler, worker string, cancel context.CancelFunc) {
+	if !js.shouldReclaim(worker) {
+		l.timer.Reset(l.timeout)
+		return
+	}
+	l.expired.Store(true)
+	cancel()
+}
+
+// pause suspends the deadline (block in hand, delivering to the merge
+// loop).
+func (l *blockLease) pause() { l.timer.Stop() }
+
+// arm restarts the per-block deadline (waiting on the worker again).
+func (l *blockLease) arm() {
+	if !l.expired.Load() {
+		l.timer.Reset(l.timeout)
+	}
+}
+
+// stop retires the watchdog at the end of a stream attempt.
+func (l *blockLease) stop() { l.timer.Stop() }
+
+// runLeasedRange owns one replication range for the duration of a job:
+// it repeatedly leases the range to a worker and streams blocks into
+// rg.ch until the range's block budget is delivered. Stream failures
+// mark the worker dead and move on; lease expiries penalize the
+// (worker, range) pair and move on; SkipBlocks replay makes every
+// handover invisible in the merged result. The error budget
+// (maxAttempts) fails the job on a cluster that keeps breaking rather
+// than spinning forever.
+func (c *Coordinator) runLeasedRange(ctx context.Context, js *jobScheduler, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, rg *repRange) {
+	defer close(rg.ch)
+	delivered := 0
+	attempts := 0
+	uploaded := make(map[string]bool)
+	prev := ""
+	bo := newRetryBackoff(50*time.Millisecond, c.hb)
+	for {
+		worker, err := js.acquire(ctx, rg.idx, prev, delivered)
+		if err != nil {
+			return // job context ended while waiting for a live worker
+		}
+		serr := func() error {
+			for {
+				err := c.streamRange(ctx, js, worker, hash, req, opts, plan, interval, rounds, maxBlocks, &delivered, rg)
+				if errors.Is(err, errUnknownCircuit) && !uploaded[worker] {
+					// Propagate the circuit and retry the same worker under
+					// the same lease; an install failure falls through to
+					// normal failure handling.
+					if uerr := c.installCircuit(ctx, worker, hash, src); uerr == nil {
+						uploaded[worker] = true
+						continue
+					}
+				}
+				return err
+			}
+		}()
+		js.release(worker)
+		if serr == nil || ctx.Err() != nil {
+			return // range complete, or the merge loop is done with us
+		}
+		if errors.Is(serr, errPermanent) {
+			// The worker rejected the request itself; no other worker will
+			// accept it either, and the worker is healthy — fail the job
+			// without touching liveness.
+			select {
+			case rg.ch <- rangeMsg{err: serr}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		attempts++
+		if attempts >= c.maxAttempts {
+			select {
+			case rg.ch <- rangeMsg{err: fmt.Errorf("giving up after %d attempts (last worker %s): %w", attempts, worker, serr)}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		if errors.Is(serr, errLeaseExpired) {
+			// Reclaimed, not broken: penalize the pair and reassign
+			// immediately — the whole point is that someone faster is free.
+			js.expire(worker, rg.idx)
+		} else {
+			c.markFailed(worker, serr)
+			if bo.sleep(ctx) != nil {
+				return
+			}
+		}
+		prev = worker
+	}
+}

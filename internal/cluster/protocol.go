@@ -1,11 +1,8 @@
 package cluster
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 
 	"repro/internal/service"
@@ -113,21 +110,11 @@ type InstallResponse struct {
 // hash their generator identity; uploads hash name, format and the full
 // netlist text. Workers recompute the hash over the propagated
 // provenance and refuse mismatches, so a hash uniquely names one frozen
-// circuit across the whole cluster.
+// circuit across the whole cluster. The definition lives in the service
+// package (service.HashSource) so the result cache shares the same
+// circuit identity without importing this package.
 func SourceHash(src service.CircuitSource) string {
-	h := sha256.New()
-	if src.Builtin != "" {
-		io.WriteString(h, "builtin\x00")
-		io.WriteString(h, src.Builtin)
-	} else {
-		io.WriteString(h, "upload\x00")
-		io.WriteString(h, src.Name)
-		io.WriteString(h, "\x00")
-		io.WriteString(h, src.Format)
-		io.WriteString(h, "\x00")
-		io.WriteString(h, src.Text)
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return service.HashSource(src)
 }
 
 // errorBody is the uniform JSON error shape, mirroring the service API.

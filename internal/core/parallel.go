@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -53,35 +52,18 @@ func EstimateParallel(tb *Testbench, src vectors.Factory, baseSeed int64, opts O
 // (unconverged) result together with ctx.Err() when the context is
 // cancelled. The dipe-server job manager uses this to abort jobs.
 func EstimateParallelCtx(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options) (Result, error) {
-	if err := opts.Validate(); err != nil {
-		return Result{}, err
-	}
+	// Phase 1 (interval selection on a scalar session seeded baseSeed)
+	// and plan resolution freeze into a ResumePoint; the sampling tail
+	// runs from it. The split is the checkpoint seam the durable job
+	// store persists across server restarts — the uninterrupted path
+	// here is literally prepare-then-resume, so a resumed run cannot
+	// diverge from it.
 	start := time.Now()
-
-	// Phase 1: independence-interval selection on a scalar session, as in
-	// Estimate, observed under the selected power mode (the power-sample
-	// distribution the runs test probes depends on the engine). The
-	// selected interval is shared by every replication.
-	sel0 := tb.NewSessionMode(src(baseSeed), opts.Mode)
-	sel0.StepHiddenN(opts.WarmupCycles)
-	sel, err := SelectIntervalCtx(ctx, sel0, opts)
+	rp, err := PreparePlanCtx(ctx, tb, src, baseSeed, opts, nil)
 	if err != nil {
 		return Result{}, err
 	}
-
-	// Freeze the variance-reduction plan before any phase-2 sample is
-	// drawn; under the control-variate mode the accepted phase-1 sequence
-	// calibrates the coefficient and seeds the criterion transformed.
-	plan, seedSeq, cal, err := ResolvePlan(ctx, tb, src, baseSeed, opts, sel.Interval, &sel)
-	if err != nil {
-		return Result{}, err
-	}
-
-	res, err := parallelTail(ctx, tb, src, baseSeed, opts, sel.Interval, seedSeq, plan)
-	res.Trials = sel.Trials
-	res.IntervalCapped = sel.Capped
-	res.HiddenCycles += sel0.HiddenCycles + cal.Hidden
-	res.SampledCycles += sel0.SampledCycles + cal.Sampled
+	res, err := EstimateParallelResumeCtx(ctx, tb, src, baseSeed, opts, rp)
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -96,20 +78,12 @@ func EstimateParallelWithInterval(tb *Testbench, src vectors.Factory, baseSeed i
 // EstimateParallelWithIntervalCtx is EstimateParallelWithInterval with
 // cancellation (see EstimateParallelCtx).
 func EstimateParallelWithIntervalCtx(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int) (Result, error) {
-	if err := opts.Validate(); err != nil {
-		return Result{}, err
-	}
-	if interval < 0 {
-		return Result{}, fmt.Errorf("core: negative interval %d", interval)
-	}
 	start := time.Now()
-	plan, _, cal, err := ResolvePlan(ctx, tb, src, baseSeed, opts, interval, nil)
+	rp, err := PreparePlanCtx(ctx, tb, src, baseSeed, opts, &interval)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := parallelTail(ctx, tb, src, baseSeed, opts, interval, nil, plan)
-	res.HiddenCycles += cal.Hidden
-	res.SampledCycles += cal.Sampled
+	res, err := EstimateParallelResumeCtx(ctx, tb, src, baseSeed, opts, rp)
 	res.Elapsed = time.Since(start)
 	return res, err
 }

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -14,6 +12,7 @@ import (
 
 	"repro/internal/bench89"
 	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
 	"repro/internal/service"
 )
 
@@ -195,9 +194,9 @@ func startLocalWorkers(n, pacedSPS int) ([]string, func(), error) {
 			stop()
 			return nil, nil, err
 		}
-		var h http.Handler = cluster.NewWorker(cluster.WorkerConfig{}).Handler()
+		h := cluster.NewWorker(cluster.WorkerConfig{}).Handler()
 		if pacedSPS > 0 {
-			h = &pacedWorker{inner: h, perSample: time.Duration(float64(time.Second) / float64(pacedSPS))}
+			h = chaos.Pace(h, perSamplePace(pacedSPS))
 		}
 		srv := &http.Server{Handler: h}
 		servers = append(servers, srv)
@@ -207,66 +206,17 @@ func startLocalWorkers(n, pacedSPS int) ([]string, func(), error) {
 	return urls, stop, nil
 }
 
-// pacedWorker throttles /v1/run streams to a fixed per-sample service
-// time, emulating a worker machine of fixed simulation capacity. The
-// sleep sits in the response write path, so it backpressures the
-// worker's compute loop exactly like a slower CPU would.
-type pacedWorker struct {
-	inner     http.Handler
-	perSample time.Duration
-}
-
-func (p *pacedWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/v1/run" {
-		p.inner.ServeHTTP(w, r)
-		return
-	}
-	// Samples per block = rounds * lanes, from the (replayed) request.
-	var req cluster.RunRequest
-	body, err := replayBody(r)
-	if err != nil || json.Unmarshal(body, &req) != nil {
-		p.inner.ServeHTTP(w, r)
-		return
-	}
-	perBlock := time.Duration(req.Rounds*(req.RepHi-req.RepLo)) * p.perSample
-	p.inner.ServeHTTP(&pacedWriter{ResponseWriter: w, perBlock: perBlock}, r)
-}
-
-// replayBody reads a request body and reinstalls it so the inner
-// handler can read it again.
-func replayBody(r *http.Request) ([]byte, error) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		return nil, err
-	}
-	r.Body.Close()
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	return body, nil
-}
-
-// pacedWriter sleeps once per streamed block line (every line after the
-// header).
-type pacedWriter struct {
-	http.ResponseWriter
-	perBlock time.Duration
-	lines    int
-}
-
-func (pw *pacedWriter) Write(b []byte) (int, error) {
-	for i := 0; i < len(b); i++ {
-		if b[i] == '\n' {
-			pw.lines++
-			if pw.lines > 1 { // line 1 is the stream header
-				time.Sleep(pw.perBlock)
-			}
+// perSamplePace converts a samples-per-second capacity into a chaos
+// pacing function: per-block delay = block size (rounds * lanes, from
+// the stream request) times the per-sample service time.
+func perSamplePace(sps int) chaos.PaceFunc {
+	perSample := time.Duration(float64(time.Second) / float64(sps))
+	return func(body []byte) time.Duration {
+		var req cluster.RunRequest
+		if json.Unmarshal(body, &req) != nil {
+			return 0
 		}
-	}
-	return pw.ResponseWriter.Write(b)
-}
-
-func (pw *pacedWriter) Flush() {
-	if f, ok := pw.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
+		return time.Duration(req.Rounds*(req.RepHi-req.RepLo)) * perSample
 	}
 }
 

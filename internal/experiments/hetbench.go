@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench89"
+	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
+	"repro/internal/service"
+)
+
+// The heterogeneous benchmark (BENCH_5.json) measures what the leased
+// scheduler is for: a fleet whose workers are NOT interchangeable — one
+// fast, one pathologically slow (its per-block service time exceeds the
+// lease timeout, so its leases keep getting reclaimed), one flaky (its
+// streams die after a few blocks, every time). Static range partitioning
+// would pin ~1/3 of the replication space to each and run the whole job
+// at the slow worker's pace; work stealing should instead run it near
+// the fast worker's pace. The gate compares cluster throughput against
+// the slowest worker running the job alone.
+
+// HeterogeneousRow is one measured configuration of the heterogeneous
+// fleet benchmark.
+type HeterogeneousRow struct {
+	// Config labels the run: "cluster" (fast+slow+flaky fleet) or
+	// "slow-alone" (the slowest worker running the job by itself).
+	Config        string  `json:"config"`
+	Workers       int     `json:"workers"`
+	Samples       int     `json:"samples"`
+	Seconds       float64 `json:"seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// Scheduler churn observed during the run, summed over workers.
+	LeaseExpiries uint64 `json:"lease_expiries"`
+	Reassignments uint64 `json:"reassignments"`
+	Retries       uint64 `json:"retries"`
+}
+
+// HeterogeneousConfig sizes the heterogeneous fleet run.
+type HeterogeneousConfig struct {
+	// Circuit to measure.
+	Circuit string
+	// FastSPS, SlowSPS and FlakySPS pace the three workers
+	// (samples/second of emulated simulation capacity). SlowSPS should
+	// be chosen so one block takes longer than LeaseTimeout — that is
+	// what makes its leases reclaimable.
+	FastSPS, SlowSPS, FlakySPS int
+	// FlakyKillBlocks crashes every flaky-worker stream after this many
+	// delivered blocks.
+	FlakyKillBlocks int
+	// Samples is the cluster run's sample budget; BaselineSamples is the
+	// (smaller) budget for the slow-alone baseline, which would
+	// otherwise dominate wall-clock. Both runs are budget-bound, so
+	// samples/s is comparable across budgets.
+	Samples, BaselineSamples int
+	// Interval is the fixed independence interval (selection skipped).
+	Interval int
+	// Replications is the job's replication count.
+	Replications int
+	// LeaseTimeout is the coordinator's per-block delivery deadline.
+	LeaseTimeout time.Duration
+	Seed         int64
+}
+
+// DefaultHeterogeneousConfig is the regression configuration: s1494,
+// zero-delay sampling (real compute far below every pace), a 4000 sps
+// fast worker, a 60 sps slow worker against a 50 ms lease (one ~6-sample
+// block takes ~100 ms, so every slow lease expires after its first
+// block), and a flaky worker that crashes every stream after 3 blocks.
+func DefaultHeterogeneousConfig() HeterogeneousConfig {
+	return HeterogeneousConfig{
+		Circuit:         "s1494",
+		FastSPS:         4000,
+		SlowSPS:         60,
+		FlakySPS:        2000,
+		FlakyKillBlocks: 3,
+		Samples:         4096,
+		BaselineSamples: 384,
+		Interval:        4,
+		Replications:    64,
+		LeaseTimeout:    50 * time.Millisecond,
+		Seed:            1997,
+	}
+}
+
+// HeterogeneousScaling runs the heterogeneous fleet benchmark: the
+// cluster row on the fast+slow+flaky fleet, the slow-alone baseline row,
+// and the speedup of the first over the second. Workers are real
+// cluster.Worker HTTP servers on loopback, faulted through the chaos
+// package.
+func HeterogeneousScaling(cfg HeterogeneousConfig) ([]HeterogeneousRow, error) {
+	if cfg.Samples < 1024 || cfg.BaselineSamples < 64 || cfg.Replications < 1 || cfg.Interval < 0 {
+		return nil, fmt.Errorf("experiments: bad heterogeneous bench config %+v", cfg)
+	}
+	if _, err := bench89.Get(cfg.Circuit); err != nil {
+		return nil, err
+	}
+
+	cluster3 := func() ([]string, func(), error) {
+		return startFaultedWorkers([]func(http.Handler) http.Handler{
+			func(h http.Handler) http.Handler { return chaos.Pace(h, perSamplePace(cfg.FastSPS)) },
+			func(h http.Handler) http.Handler { return chaos.Pace(h, perSamplePace(cfg.SlowSPS)) },
+			func(h http.Handler) http.Handler {
+				return chaos.KillAfterBlocks(chaos.Pace(h, perSamplePace(cfg.FlakySPS)), cfg.FlakyKillBlocks, 0)
+			},
+		})
+	}
+	slowAlone := func() ([]string, func(), error) {
+		return startFaultedWorkers([]func(http.Handler) http.Handler{
+			func(h http.Handler) http.Handler { return chaos.Pace(h, perSamplePace(cfg.SlowSPS)) },
+		})
+	}
+
+	rows := make([]HeterogeneousRow, 0, 2)
+	clusterRow, err := heterogeneousOne(cfg, "cluster", cluster3, cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *clusterRow)
+	baseRow, err := heterogeneousOne(cfg, "slow-alone", slowAlone, cfg.BaselineSamples)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *baseRow)
+	return rows, nil
+}
+
+// heterogeneousOne measures one fleet configuration.
+func heterogeneousOne(cfg HeterogeneousConfig, label string, boot func() ([]string, func(), error), samples int) (*HeterogeneousRow, error) {
+	urls, stop, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Workers: urls,
+		// A short heartbeat so the flaky worker rejoins quickly after
+		// each scripted crash.
+		Heartbeat:    200 * time.Millisecond,
+		LeaseTimeout: cfg.LeaseTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	reg := service.NewRegistry(0)
+	coord.SetRegistry(reg)
+	tb, err := reg.Testbench(cfg.Circuit)
+	if err != nil {
+		return nil, err
+	}
+
+	interval := cfg.Interval
+	req := service.JobRequest{
+		Circuit:  cfg.Circuit,
+		Seed:     cfg.Seed,
+		Interval: &interval,
+		Options: service.OptionsSpec{
+			// Unreachably tight spec: the run is ended by the sample
+			// budget, so every configuration does identical work.
+			RelErr:       0.0001,
+			Confidence:   0.9999,
+			Replications: cfg.Replications,
+			Workers:      1,
+			MaxSamples:   samples,
+			PowerMode:    "zero-delay",
+		},
+	}
+	// Untimed warm-up: propagate the circuit to every worker directly
+	// (the pace wrappers only throttle /v1/run), so provenance install
+	// and testbench freeze happen outside the measurement.
+	src, err := reg.Source(cfg.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	if err := installEverywhere(urls, src); err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	res, err := coord.Estimate(context.Background(), tb, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	sec := time.Since(t0).Seconds()
+	row := &HeterogeneousRow{
+		Config:  label,
+		Workers: len(urls),
+		Samples: res.SampleSize,
+		Seconds: sec,
+	}
+	if sec > 0 {
+		row.SamplesPerSec = float64(res.SampleSize) / sec
+	}
+	for _, w := range coord.Workers() {
+		row.LeaseExpiries += w.LeaseExpiries
+		row.Reassignments += w.Reassignments
+		row.Retries += w.Retries
+	}
+	return row, nil
+}
+
+// installEverywhere propagates a circuit's provenance to every worker
+// up front, exactly as the coordinator would on a 404.
+func installEverywhere(urls []string, src service.CircuitSource) error {
+	body, err := json.Marshal(cluster.InstallRequest{Hash: cluster.SourceHash(src), Source: src})
+	if err != nil {
+		return err
+	}
+	for _, u := range urls {
+		resp, err := http.Post(u+"/v1/circuits", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("experiments: install on %s: status %d", u, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// startFaultedWorkers boots one cluster worker per fault wrapper on
+// loopback listeners.
+func startFaultedWorkers(faults []func(http.Handler) http.Handler) ([]string, func(), error) {
+	var (
+		urls    []string
+		servers []*http.Server
+	)
+	stop := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for _, fault := range faults {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv := &http.Server{Handler: fault(cluster.NewWorker(cluster.WorkerConfig{}).Handler())}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	return urls, stop, nil
+}
+
+// HeterogeneousReport is the JSON document emitted for regression
+// tracking (BENCH_5.json).
+type HeterogeneousReport struct {
+	Benchmark       string             `json:"benchmark"`
+	Circuit         string             `json:"circuit"`
+	FastSPS         int                `json:"fast_samples_per_sec"`
+	SlowSPS         int                `json:"slow_samples_per_sec"`
+	FlakySPS        int                `json:"flaky_samples_per_sec"`
+	FlakyKillBlocks int                `json:"flaky_kill_after_blocks"`
+	LeaseTimeoutMS  float64            `json:"lease_timeout_ms"`
+	GoVersion       string             `json:"go_version"`
+	NumCPU          int                `json:"num_cpu"`
+	Rows            []HeterogeneousRow `json:"rows"`
+	// SpeedupVsSlowest is cluster samples/s over slow-alone samples/s —
+	// the number the CI gate floors.
+	SpeedupVsSlowest float64 `json:"speedup_vs_slowest_alone"`
+}
+
+// HeterogeneousJSON renders rows as an indented JSON report.
+func HeterogeneousJSON(rows []HeterogeneousRow, cfg HeterogeneousConfig) string {
+	rep := HeterogeneousReport{
+		Benchmark:       "work stealing on a heterogeneous fleet: cluster throughput vs slowest worker alone",
+		Circuit:         cfg.Circuit,
+		FastSPS:         cfg.FastSPS,
+		SlowSPS:         cfg.SlowSPS,
+		FlakySPS:        cfg.FlakySPS,
+		FlakyKillBlocks: cfg.FlakyKillBlocks,
+		LeaseTimeoutMS:  float64(cfg.LeaseTimeout) / float64(time.Millisecond),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Rows:            rows,
+	}
+	var clusterSPS, slowSPS float64
+	for _, r := range rows {
+		switch r.Config {
+		case "cluster":
+			clusterSPS = r.SamplesPerSec
+		case "slow-alone":
+			slowSPS = r.SamplesPerSec
+		}
+	}
+	if slowSPS > 0 {
+		rep.SpeedupVsSlowest = clusterSPS / slowSPS
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		// Marshal of a plain struct cannot fail; keep the API total anyway.
+		return "{}"
+	}
+	return string(b) + "\n"
+}
+
+// RenderHeterogeneous renders rows as an ASCII table.
+func RenderHeterogeneous(rows []HeterogeneousRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %9s %9s %11s %9s %9s\n",
+		"config", "workers", "samples", "seconds", "samples/s", "expiries", "reassign")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %8d %9d %9.2f %11.0f %9d %9d\n",
+			r.Config, r.Workers, r.Samples, r.Seconds, r.SamplesPerSec, r.LeaseExpiries, r.Reassignments)
+	}
+	return sb.String()
+}

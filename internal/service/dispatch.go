@@ -31,6 +31,23 @@ type Dispatcher interface {
 	Estimate(ctx context.Context, tb *core.Testbench, req JobRequest, progress func(core.Progress)) (core.Result, error)
 }
 
+// ResumableDispatcher is the optional Dispatcher extension for
+// substrates that can checkpoint and resume the estimation flow at the
+// pre-sampling/sampling boundary. When the configured dispatcher
+// implements it and a job store is attached, the manager persists the
+// checkpoint the moment the plan freezes and ships it back on restart —
+// a resumed job skips interval selection and plan calibration and, by
+// the determinism contract, finishes with a Result bit-identical to the
+// uninterrupted run's.
+type ResumableDispatcher interface {
+	Dispatcher
+	// EstimateResumable is Estimate with the checkpoint seam exposed:
+	// a nil ckpt runs the pre-sampling phases and reports their frozen
+	// outcome through save (when non-nil) before sampling starts; a
+	// non-nil ckpt skips them and resumes sampling directly.
+	EstimateResumable(ctx context.Context, tb *core.Testbench, req JobRequest, ckpt *Checkpoint, save func(Checkpoint), progress func(core.Progress)) (core.Result, error)
+}
+
 // WorkerRegistrar is the optional Dispatcher extension for substrates
 // with a dynamic worker set; the HTTP layer exposes it as the
 // /v1/cluster/workers endpoints when the configured dispatcher
@@ -50,7 +67,10 @@ type RegistryAware interface {
 	SetRegistry(*Registry)
 }
 
-// WorkerStatus is one registered worker's health snapshot.
+// WorkerStatus is one registered worker's health and degradation
+// snapshot. Beyond liveness, the lease counters let operators see a
+// worker that is alive but slow (leases keep expiring), flaky (streams
+// keep retrying) or picking up others' work (reassignments).
 type WorkerStatus struct {
 	URL      string    `json:"url"`
 	Alive    bool      `json:"alive"`
@@ -58,6 +78,21 @@ type WorkerStatus struct {
 	// Failures counts stream and heartbeat failures attributed to the
 	// worker since registration.
 	Failures uint64 `json:"failures"`
+	// ActiveLeases is the number of replication-range leases the worker
+	// holds right now.
+	ActiveLeases int `json:"activeLeases,omitempty"`
+	// Retries counts failed stream attempts charged to the worker
+	// (transport/server errors and expired leases alike).
+	Retries uint64 `json:"retries,omitempty"`
+	// Reassignments counts leases the worker inherited mid-range after
+	// another worker failed or timed out (its streams replay the merged
+	// prefix via SkipBlocks).
+	Reassignments uint64 `json:"reassignments,omitempty"`
+	// LeaseExpiries counts leases reclaimed from the worker because a
+	// block missed its delivery deadline.
+	LeaseExpiries uint64 `json:"leaseExpiries,omitempty"`
+	// LastError is the most recent failure attributed to the worker.
+	LastError string `json:"lastError,omitempty"`
 }
 
 // localDispatcher runs jobs in-process over the goroutine-parallel
@@ -82,4 +117,25 @@ func (localDispatcher) Estimate(ctx context.Context, tb *core.Testbench, req Job
 		return core.EstimateParallelWithIntervalCtx(ctx, tb, factory, req.Seed, opts, *req.Interval)
 	}
 	return core.EstimateParallelCtx(ctx, tb, factory, req.Seed, opts)
+}
+
+func (localDispatcher) EstimateResumable(ctx context.Context, tb *core.Testbench, req JobRequest, ckpt *Checkpoint, save func(Checkpoint), progress func(core.Progress)) (core.Result, error) {
+	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
+	if err != nil {
+		return core.Result{}, err
+	}
+	opts := req.Options.Options()
+	opts.Progress = progress
+	var rp core.ResumePoint
+	if ckpt != nil {
+		rp = ckpt.ResumePoint()
+	} else {
+		if rp, err = core.PreparePlanCtx(ctx, tb, factory, req.Seed, opts, req.Interval); err != nil {
+			return core.Result{}, err
+		}
+		if save != nil {
+			save(CheckpointOf(rp))
+		}
+	}
+	return core.EstimateParallelResumeCtx(ctx, tb, factory, req.Seed, opts, rp)
 }

@@ -40,12 +40,22 @@ type BatchResponse struct {
 	IDs []string `json:"ids"`
 }
 
-// StatsResponse aggregates registry and pool statistics.
+// StatsResponse aggregates registry, pool, cache and durability
+// statistics, plus per-worker degradation counters in cluster mode.
 type StatsResponse struct {
 	Registry RegistryStats `json:"registry"`
 	Pool     PoolStats     `json:"pool"`
+	// Cache reports result-cache effectiveness (hits answer repeated
+	// submissions without re-running them).
+	Cache CacheStats `json:"cache"`
+	// Store reports the job journal, when the service runs durable.
+	Store *StoreStats `json:"store,omitempty"`
 	// Dispatcher names the execution substrate ("local" or "cluster").
 	Dispatcher string `json:"dispatcher"`
+	// Workers mirrors GET /v1/cluster/workers in cluster mode so one
+	// stats scrape shows degradation (retries, reassignments, lease
+	// expiries, last errors), not just liveness.
+	Workers []WorkerStatus `json:"workers,omitempty"`
 }
 
 // RegisterWorkerRequest adds a worker to a cluster dispatcher.
@@ -262,11 +272,17 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Registry:   s.Registry.Stats(),
 		Pool:       s.Jobs.Stats(),
+		Cache:      s.Jobs.CacheStats(),
+		Store:      s.Jobs.StoreStats(),
 		Dispatcher: s.dispatch.Name(),
-	})
+	}
+	if reg, ok := s.dispatch.(WorkerRegistrar); ok {
+		resp.Workers = reg.Workers()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // submitStatus maps Submit errors to HTTP statuses: a full queue and a

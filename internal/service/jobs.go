@@ -200,6 +200,10 @@ type ResultView struct {
 	CVBeta         float64 `json:"cvBeta,omitempty"`
 	Converged      bool    `json:"converged"`
 	ElapsedMS      float64 `json:"elapsedMs"`
+	// Cached marks a result served from the result cache instead of a
+	// fresh run; by determinism the two are bit-identical (ElapsedMS
+	// reports the original run's cost).
+	Cached bool `json:"cached,omitempty"`
 }
 
 func viewResult(res core.Result) *ResultView {
@@ -262,6 +266,20 @@ type job struct {
 	err      string
 	cancel   context.CancelFunc
 	done     chan struct{} // closed on terminal state
+	// ckpt is the frozen pre-sampling outcome: set by the running
+	// dispatcher once the plan freezes, or restored from the journal for
+	// a resumed job.
+	ckpt *Checkpoint
+	// cacheKey addresses the job's slot in the result cache ("" when the
+	// circuit provenance could not be resolved at submit time).
+	cacheKey string
+	// userCancel distinguishes an explicit Cancel (terminal, journaled)
+	// from a shutdown-drain cancellation (not journaled, so the job
+	// replays as resumable on restart).
+	userCancel bool
+	// progSamples is the sample count at the last journaled progress
+	// record (throttle state).
+	progSamples int
 }
 
 // PoolStats is a snapshot of the job pool.
@@ -292,6 +310,8 @@ type Manager struct {
 	reg      *Registry
 	dispatch Dispatcher
 	workers  int
+	store    *JobStore    // nil = in-memory only
+	cache    *resultCache // finished results keyed by provenance+options
 
 	ctx   context.Context // parent of every job context
 	stop  context.CancelFunc
@@ -311,7 +331,13 @@ type Manager struct {
 // in-process dispatcher if nil). Each job may itself fan out over
 // Options.Workers simulation goroutines (or cluster workers), so the
 // pool size bounds concurrent *jobs*, not goroutines.
-func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int) *Manager {
+//
+// A non-nil store makes the manager durable: the journal replayed at
+// store open is folded back in before the pool starts — terminal jobs
+// become queryable again (and re-prime the result cache), every other
+// journaled job is re-enqueued and resumed from its checkpoint. The
+// manager owns the store from here and closes it on Close.
+func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int, store *JobStore) *Manager {
 	if dispatch == nil {
 		dispatch = NewLocalDispatcher()
 	}
@@ -321,16 +347,28 @@ func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int) *Mana
 	if queueCap <= 0 {
 		queueCap = 64
 	}
+	var restored []RestoredJob
+	if store != nil {
+		restored = store.Restored()
+		// The journal can hold more pending jobs than the configured
+		// queue; restoring must never drop one.
+		if queueCap < len(restored) {
+			queueCap = len(restored)
+		}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		reg:      reg,
 		dispatch: dispatch,
 		workers:  workers,
+		store:    store,
+		cache:    newResultCache(0),
 		ctx:      ctx,
 		stop:     stop,
 		queue:    make(chan *job, queueCap),
 		jobs:     make(map[string]*job),
 	}
+	m.restore(restored)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -338,12 +376,60 @@ func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int) *Mana
 	return m
 }
 
+// restore folds replayed journal records into the job table before the
+// pool starts: terminal jobs are installed finished (their done channel
+// already closed, their results priming the cache), everything else is
+// re-enqueued with its checkpoint attached. ID sequencing continues
+// from the highest replayed ID so restarts never reuse a job ID.
+func (m *Manager) restore(restored []RestoredJob) {
+	for _, r := range restored {
+		j := &job{
+			id:       r.ID,
+			req:      r.Req,
+			state:    r.State,
+			progress: r.Progress,
+			result:   r.Result,
+			err:      r.Error,
+			ckpt:     r.Checkpoint,
+			done:     make(chan struct{}),
+		}
+		if src, err := m.reg.Source(r.Req.Circuit); err == nil {
+			j.cacheKey = resultKey(src, r.Req)
+		}
+		if j.state.Terminal() {
+			close(j.done)
+			if j.state == StateDone && j.result != nil && j.cacheKey != "" {
+				m.cache.put(j.cacheKey, *j.result)
+			}
+		} else {
+			j.state = StateQueued
+			m.queue <- j // capacity >= len(restored) by construction
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		var n uint64
+		if _, err := fmt.Sscanf(j.id, "job-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+}
+
 // Submit validates and enqueues a request, returning the job ID. The
 // non-blocking enqueue and the registration happen under one lock so a
-// full queue never leaves a half-registered job behind.
+// full queue never leaves a half-registered job behind. A request whose
+// result is already in the result cache skips the queue entirely: the
+// job is registered terminal with the cached (bit-identical) result and
+// its view is available immediately.
 func (m *Manager) Submit(req JobRequest) (string, error) {
 	if err := req.Validate(); err != nil {
 		return "", err
+	}
+	// Provenance resolution happens outside the manager lock (it takes
+	// the registry lock); an unresolvable circuit just bypasses the
+	// cache and fails later in run() with the precise error.
+	cacheKey := ""
+	if src, err := m.reg.Source(req.Circuit); err == nil {
+		cacheKey = resultKey(src, req)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -351,10 +437,23 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 		return "", ErrClosed
 	}
 	j := &job{
-		id:    fmt.Sprintf("job-%06d", m.seq+1),
-		req:   req,
-		state: StateQueued,
-		done:  make(chan struct{}),
+		id:       fmt.Sprintf("job-%06d", m.seq+1),
+		req:      req,
+		state:    StateQueued,
+		done:     make(chan struct{}),
+		cacheKey: cacheKey,
+	}
+	if cacheKey != "" {
+		if rv, ok := m.cache.get(cacheKey); ok {
+			m.seq++
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			if m.store != nil {
+				m.store.submit(j.id, req)
+			}
+			m.finishLocked(j, StateDone, rv, "")
+			return j.id, nil
+		}
 	}
 	select {
 	case m.queue <- j:
@@ -364,6 +463,9 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 	m.seq++
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	if m.store != nil {
+		m.store.submit(j.id, req)
+	}
 	return j.id, nil
 }
 
@@ -409,8 +511,10 @@ func (m *Manager) Cancel(id string) (JobView, bool) {
 	}
 	switch j.state {
 	case StateQueued:
+		j.userCancel = true
 		m.finishLocked(j, StateCancelled, nil, "cancelled before start")
 	case StateRunning:
+		j.userCancel = true
 		if j.cancel != nil {
 			j.cancel()
 		}
@@ -470,6 +574,11 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.stop()
 	m.wg.Wait()
+	if m.store != nil {
+		// Flush after the pool retires so every record of the drain —
+		// including checkpoints written moments ago — reaches disk.
+		m.store.Close()
+	}
 }
 
 // worker consumes the queue until the manager is closed.
@@ -514,10 +623,37 @@ func (m *Manager) run(j *job) {
 	progress := func(p core.Progress) {
 		m.mu.Lock()
 		j.progress = viewProgress(p)
+		journal := m.store != nil && p.Samples-j.progSamples >= progressJournalEvery
+		if journal {
+			j.progSamples = p.Samples
+		}
 		m.mu.Unlock()
+		// Throttled merged-round snapshots let a restarted server show a
+		// resumed job's last known progress; they are cosmetic for
+		// correctness (the resume replays from the checkpoint), so they
+		// are journaled without fsync.
+		if journal {
+			m.store.progress(j.id, *viewProgress(p))
+		}
 	}
 
-	res, err := m.dispatch.Estimate(ctx, tb, j.req, progress)
+	var res core.Result
+	if rd, ok := m.dispatch.(ResumableDispatcher); ok {
+		m.mu.Lock()
+		ckpt := j.ckpt
+		m.mu.Unlock()
+		save := func(c Checkpoint) {
+			m.mu.Lock()
+			j.ckpt = &c
+			m.mu.Unlock()
+			if m.store != nil {
+				m.store.checkpoint(j.id, c)
+			}
+		}
+		res, err = rd.EstimateResumable(ctx, tb, j.req, ckpt, save, progress)
+	} else {
+		res, err = m.dispatch.Estimate(ctx, tb, j.req, progress)
+	}
 	switch {
 	case errors.Is(err, context.Canceled):
 		m.finish(j, StateCancelled, nil, "cancelled")
@@ -535,6 +671,12 @@ func (m *Manager) finish(j *job, state JobState, res *ResultView, msg string) {
 }
 
 // finishLocked moves a job to a terminal state. Caller holds m.mu.
+//
+// Durability rules: terminal states are journaled — except a
+// cancellation caused by the manager draining (not by an explicit
+// Cancel), which is deliberately left out of the journal so the job
+// replays as resumable after a restart. Finished results fill the
+// result cache.
 func (m *Manager) finishLocked(j *job, state JobState, res *ResultView, msg string) {
 	if j.state.Terminal() {
 		return
@@ -543,6 +685,32 @@ func (m *Manager) finishLocked(j *job, state JobState, res *ResultView, msg stri
 	j.result = res
 	j.err = msg
 	close(j.done)
+	if state == StateDone && res != nil && !res.Cached && j.cacheKey != "" {
+		m.cache.put(j.cacheKey, *res)
+	}
+	if m.store != nil {
+		if state == StateCancelled && m.closed && !j.userCancel {
+			return // shutdown drain: resume after restart instead
+		}
+		m.store.terminal(j.id, state, res, msg)
+	}
+}
+
+// progressJournalEvery throttles progress records: one journal line per
+// this many newly merged samples.
+const progressJournalEvery = 4096
+
+// CacheStats snapshots the result cache.
+func (m *Manager) CacheStats() CacheStats { return m.cache.stats() }
+
+// StoreStats snapshots the job journal; nil when the manager runs
+// without one.
+func (m *Manager) StoreStats() *StoreStats {
+	if m.store == nil {
+		return nil
+	}
+	st := m.store.Stats()
+	return &st
 }
 
 // viewLocked snapshots a job. Caller holds m.mu.

@@ -23,6 +23,12 @@ type Config struct {
 	// the in-process local dispatcher; a cluster.Coordinator shards jobs
 	// across dipe-worker processes instead.
 	Dispatcher Dispatcher
+	// Store, when non-nil, makes the job pool durable: every job is
+	// journaled to the store's state directory and a restarted service
+	// resumes journaled in-flight jobs from their checkpoints. Open one
+	// with OpenJobStore; the service owns it from here (closed on
+	// Close).
+	Store *JobStore
 }
 
 // DefaultConfig returns the default sizing.
@@ -49,7 +55,7 @@ func New(cfg Config) *Service {
 	if ra, ok := dispatch.(RegistryAware); ok {
 		ra.SetRegistry(s.Registry)
 	}
-	s.Jobs = NewManager(s.Registry, dispatch, cfg.Workers, cfg.QueueSize)
+	s.Jobs = NewManager(s.Registry, dispatch, cfg.Workers, cfg.QueueSize, cfg.Store)
 	s.mux = s.routes()
 	return s
 }

@@ -159,9 +159,20 @@ func TestDeterminismAndCacheHit(t *testing.T) {
 	if statsAfterFirst.Misses != 1 {
 		t.Fatalf("first request: misses = %d, want 1", statsAfterFirst.Misses)
 	}
-	if statsAfterSecond.Misses != 1 || statsAfterSecond.Hits != statsAfterFirst.Hits+1 {
-		t.Fatalf("second request did not hit the cache: first %+v, second %+v",
+	// The second identical request is answered by the result cache: no
+	// new estimation, no new registry traffic, result marked Cached.
+	if !second.Result.Cached {
+		t.Fatalf("second identical request was re-run instead of served from the result cache: %+v", second.Result)
+	}
+	if first.Result.Cached {
+		t.Fatalf("first request claims to be cached: %+v", first.Result)
+	}
+	if statsAfterSecond.Misses != statsAfterFirst.Misses {
+		t.Fatalf("second request re-froze the circuit: first %+v, second %+v",
 			statsAfterFirst, statsAfterSecond)
+	}
+	if cs := svc.Jobs.CacheStats(); cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("result cache stats = %+v, want 1 hit / 1 miss / 1 entry", cs)
 	}
 }
 

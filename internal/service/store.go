@@ -1,0 +1,291 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/vr"
+)
+
+// This file is the durability layer of the job manager: an append-only
+// JSONL journal of job lifecycle records under a state directory. Every
+// accepted job appends a submit record, the frozen pre-sampling outcome
+// (interval + resolved VR plan) appends a checkpoint record, merged
+// progress appends throttled progress records, and terminal states
+// append a state record. A restarted server replays the journal, makes
+// finished jobs queryable again (and re-primes the result cache), and
+// re-enqueues every job that never reached a terminal state — resuming
+// from the checkpoint, which skips interval selection and plan
+// calibration. Determinism closes the loop: the re-streamed sampling
+// phase reproduces the interrupted run's samples bit for bit, so a
+// resumed job's final Result is identical to what the uninterrupted run
+// would have produced.
+
+// Checkpoint is the persisted form of core.ResumePoint: everything the
+// sampling phase needs to restart without repeating the pre-sampling
+// phases. It is written to the journal as soon as the plan is frozen
+// and shipped back into the dispatcher on resume.
+type Checkpoint struct {
+	// Interval is the selected (or fixed) independence interval.
+	Interval int `json:"interval"`
+	// Capped marks a selection that hit Options.MaxInterval.
+	Capped bool `json:"capped,omitempty"`
+	// SeedSeq is the accepted phase-1 sequence that seeds the stopping
+	// criterion under ReuseTestSamples; JSON renders float64 in shortest
+	// round-trip form, so persistence is lossless.
+	SeedSeq []float64 `json:"seedSeq,omitempty"`
+	// Plan is the frozen variance-reduction plan.
+	Plan vr.Plan `json:"plan,omitzero"`
+	// HiddenCycles and SampledCycles are the pre-sampling phase costs,
+	// restored into the final Result's counters.
+	HiddenCycles  uint64 `json:"hiddenCycles,omitempty"`
+	SampledCycles uint64 `json:"sampledCycles,omitempty"`
+}
+
+// ResumePoint converts the persisted checkpoint back to the core seam.
+func (c Checkpoint) ResumePoint() core.ResumePoint {
+	return core.ResumePoint{
+		Interval: c.Interval,
+		Capped:   c.Capped,
+		SeedSeq:  c.SeedSeq,
+		Plan:     c.Plan,
+		Hidden:   c.HiddenCycles,
+		Sampled:  c.SampledCycles,
+	}
+}
+
+// CheckpointOf freezes a core.ResumePoint into its persisted form.
+// (Selection trial diagnostics are deliberately dropped: they document
+// the selection procedure, not the sampling phase, and never surface in
+// a ResultView.)
+func CheckpointOf(rp core.ResumePoint) Checkpoint {
+	return Checkpoint{
+		Interval:      rp.Interval,
+		Capped:        rp.Capped,
+		SeedSeq:       rp.SeedSeq,
+		Plan:          rp.Plan,
+		HiddenCycles:  rp.Hidden,
+		SampledCycles: rp.Sampled,
+	}
+}
+
+// storeRecord is one journal line. Kind selects which optional fields
+// are meaningful.
+type storeRecord struct {
+	// Kind is "submit", "checkpoint", "progress" or "state".
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+	// Req accompanies "submit".
+	Req *JobRequest `json:"req,omitempty"`
+	// Checkpoint accompanies "checkpoint".
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	// Progress accompanies "progress" (throttled merged-round snapshots).
+	Progress *ProgressView `json:"progress,omitempty"`
+	// State, Result and Error accompany "state" (terminal states only).
+	State  JobState    `json:"state,omitempty"`
+	Result *ResultView `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// RestoredJob is one job folded out of a journal replay.
+type RestoredJob struct {
+	ID  string
+	Req JobRequest
+	// Checkpoint is the frozen pre-sampling outcome, if the job got that
+	// far before the interruption.
+	Checkpoint *Checkpoint
+	// Progress is the last journaled merged-round snapshot; surfaced as
+	// the restored job's progress until the resumed run overtakes it.
+	Progress *ProgressView
+	// State is a terminal state, or StateQueued for jobs that must be
+	// re-run.
+	State  JobState
+	Result *ResultView
+	Error  string
+}
+
+// StoreStats is a snapshot of the journal.
+type StoreStats struct {
+	// Path is the journal file.
+	Path string `json:"path"`
+	// Records counts journal lines appended this process lifetime.
+	Records uint64 `json:"records"`
+	// Restored counts jobs folded out of the journal at open (terminal
+	// and resumable alike); Resumed counts the non-terminal subset that
+	// was re-enqueued.
+	Restored int `json:"restored"`
+	Resumed  int `json:"resumed"`
+}
+
+// JobStore is the append-only JSONL job journal. Open it once per state
+// directory and hand it to the service Config; the job manager owns it
+// from there (appends records, closes it on drain). All methods are
+// safe for concurrent use.
+type JobStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	path     string
+	records  uint64
+	restored []RestoredJob
+	resumed  int
+}
+
+// OpenJobStore opens (creating if needed) the job journal under dir,
+// replaying any existing records first. A trailing line truncated by a
+// crash mid-write is tolerated and dropped; anything before it replays
+// normally.
+func OpenJobStore(dir string) (*JobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	path := filepath.Join(dir, "jobs.jsonl")
+	restored, err := replayJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: job journal: %w", err)
+	}
+	resumed := 0
+	for _, r := range restored {
+		if !r.State.Terminal() {
+			resumed++
+		}
+	}
+	return &JobStore{
+		f:        f,
+		w:        bufio.NewWriter(f),
+		path:     path,
+		restored: restored,
+		resumed:  resumed,
+	}, nil
+}
+
+// replayJournal folds the journal into per-job restored records,
+// preserving submission order.
+func replayJournal(path string) ([]RestoredJob, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: job journal: %w", err)
+	}
+	defer f.Close()
+
+	jobs := make(map[string]*RestoredJob)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxBodyBytes)
+	for sc.Scan() {
+		var rec storeRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A crash can truncate the final append; everything after the
+			// first malformed line is untrusted, so stop folding there.
+			break
+		}
+		switch rec.Kind {
+		case "submit":
+			if rec.Req == nil || jobs[rec.ID] != nil {
+				continue
+			}
+			jobs[rec.ID] = &RestoredJob{ID: rec.ID, Req: *rec.Req, State: StateQueued}
+			order = append(order, rec.ID)
+		case "checkpoint":
+			if j := jobs[rec.ID]; j != nil && rec.Checkpoint != nil {
+				j.Checkpoint = rec.Checkpoint
+			}
+		case "progress":
+			if j := jobs[rec.ID]; j != nil && rec.Progress != nil {
+				j.Progress = rec.Progress
+			}
+		case "state":
+			if j := jobs[rec.ID]; j != nil && rec.State.Terminal() {
+				j.State, j.Result, j.Error = rec.State, rec.Result, rec.Error
+			}
+		}
+	}
+	out := make([]RestoredJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, *jobs[id])
+	}
+	return out, nil
+}
+
+// Restored returns the jobs folded out of the journal at open, in
+// submission order.
+func (s *JobStore) Restored() []RestoredJob { return s.restored }
+
+// append writes one record; sync forces it to stable storage (used for
+// every record that changes what a replay reconstructs — submits,
+// checkpoints and terminal states — while throttled progress snapshots
+// ride along on the next sync).
+func (s *JobStore) append(rec storeRecord, sync bool) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return
+	}
+	s.w.Write(line)
+	s.w.WriteByte('\n')
+	s.records++
+	if sync {
+		s.w.Flush()
+		s.f.Sync()
+	}
+}
+
+func (s *JobStore) submit(id string, req JobRequest) {
+	s.append(storeRecord{Kind: "submit", ID: id, Req: &req}, true)
+}
+
+func (s *JobStore) checkpoint(id string, c Checkpoint) {
+	s.append(storeRecord{Kind: "checkpoint", ID: id, Checkpoint: &c}, true)
+}
+
+func (s *JobStore) progress(id string, p ProgressView) {
+	s.append(storeRecord{Kind: "progress", ID: id, Progress: &p}, false)
+}
+
+func (s *JobStore) terminal(id string, state JobState, res *ResultView, msg string) {
+	s.append(storeRecord{Kind: "state", ID: id, State: state, Result: res, Error: msg}, true)
+}
+
+// Stats snapshots the journal counters.
+func (s *JobStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Path:     s.path,
+		Records:  s.records,
+		Restored: len(s.restored),
+		Resumed:  s.resumed,
+	}
+}
+
+// Close flushes and closes the journal. Further appends are dropped.
+func (s *JobStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	s.w.Flush()
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

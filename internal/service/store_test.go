@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// stallDispatcher is the local dispatcher with a crash stand-in: the
+// first progress report closes running, then the merge loop parks until
+// the job context is cancelled. That freezes a job deterministically
+// AFTER its checkpoint is journaled (the plan freezes before sampling,
+// and progress only fires during sampling) and BEFORE it can finish, so
+// a restart test never races the estimator.
+type stallDispatcher struct {
+	inner   ResumableDispatcher
+	running chan struct{}
+	once    sync.Once
+}
+
+func newStallDispatcher() *stallDispatcher {
+	return &stallDispatcher{inner: localDispatcher{}, running: make(chan struct{})}
+}
+
+func (d *stallDispatcher) Name() string { return d.inner.Name() }
+
+func (d *stallDispatcher) Ready() error { return d.inner.Ready() }
+
+func (d *stallDispatcher) Estimate(ctx context.Context, tb *core.Testbench, req JobRequest, progress func(core.Progress)) (core.Result, error) {
+	return d.inner.Estimate(ctx, tb, req, progress)
+}
+
+func (d *stallDispatcher) EstimateResumable(ctx context.Context, tb *core.Testbench, req JobRequest, ckpt *Checkpoint, save func(Checkpoint), progress func(core.Progress)) (core.Result, error) {
+	wrapped := func(p core.Progress) {
+		if progress != nil {
+			progress(p)
+		}
+		d.once.Do(func() { close(d.running) })
+		<-ctx.Done()
+	}
+	return d.inner.EstimateResumable(ctx, tb, req, ckpt, save, wrapped)
+}
+
+// sameResultView compares two result views bit for bit, ignoring the
+// fields the determinism contract does not cover (wall-clock, cache
+// provenance).
+func sameResultView(t *testing.T, got, want *ResultView, label string) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: missing result (got %v, want %v)", label, got, want)
+	}
+	g, w := *got, *want
+	g.ElapsedMS, w.ElapsedMS = 0, 0
+	g.Cached, w.Cached = false, false
+	if g != w {
+		t.Errorf("%s: result mismatch\n got %+v\nwant %+v", label, g, w)
+	}
+}
+
+// TestServerRestartResumesInterruptedJob is the durability property
+// test: a job interrupted mid-sampling by a drain (the SIGTERM/crash
+// stand-in) is re-enqueued when a new manager opens the same state
+// directory, keeps its job ID, resumes from the journaled checkpoint,
+// and finishes with a Result bit-identical to an uninterrupted run.
+func TestServerRestartResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(0)
+	req := JobRequest{
+		Circuit: "s298",
+		Seed:    61,
+		Options: OptionsSpec{
+			RelErr: 0.02, Confidence: 0.95,
+			Replications: 16, Workers: 1, PowerMode: "zero-delay",
+		},
+	}
+
+	// Uninterrupted reference run, no store.
+	ref := NewManager(reg, nil, 1, 0, nil)
+	refID, err := ref.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refView, err := ref.Wait(context.Background(), refID)
+	ref.Close()
+	if err != nil || refView.State != StateDone {
+		t.Fatalf("reference run: state %v err %v (%s)", refView.State, err, refView.Error)
+	}
+	want := refView.Result
+
+	// Interrupted run: the dispatcher parks the merge loop after the
+	// checkpoint is on disk, then Close drains the manager. A drain
+	// cancellation is deliberately not journaled as terminal, so the job
+	// must replay as resumable.
+	store1, err := OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newStallDispatcher()
+	m1 := NewManager(reg, d, 1, 0, store1)
+	id, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started sampling")
+	}
+	m1.Close()
+
+	// Restart on the same state directory with the real dispatcher.
+	store2, err := OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(reg, nil, 1, 0, store2)
+	defer m2.Close()
+	if st := m2.StoreStats(); st == nil || st.Resumed < 1 {
+		t.Fatalf("restart resumed nothing: %+v", st)
+	}
+	got, err := m2.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id {
+		t.Errorf("restart changed the job ID: %s -> %s", id, got.ID)
+	}
+	if got.State != StateDone {
+		t.Fatalf("resumed job: state %v (%s)", got.State, got.Error)
+	}
+	sameResultView(t, got.Result, want, "resumed job")
+
+	// The resumed result must prime the result cache: an identical
+	// request after the restart is served without a fresh run.
+	id2, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m2.Wait(context.Background(), id2)
+	if err != nil || v2.State != StateDone {
+		t.Fatalf("cached re-submit: state %v err %v (%s)", v2.State, err, v2.Error)
+	}
+	if v2.Result == nil || !v2.Result.Cached {
+		t.Errorf("re-submit after restart was not served from the cache: %+v", v2.Result)
+	}
+	sameResultView(t, v2.Result, want, "cached after restart")
+}
+
+// TestJournalTruncatedTailTolerated: a crash can cut the final journal
+// append mid-line; everything before the torn line must still replay.
+func TestJournalTruncatedTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"kind":"submit","id":"job-000001","req":{"circuit":"s298","seed":1}}` + "\n" +
+		`{"kind":"state","id":"job-0000` // torn mid-write
+	if err := os.WriteFile(filepath.Join(dir, "jobs.jsonl"), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	restored := store.Restored()
+	if len(restored) != 1 {
+		t.Fatalf("restored %d jobs, want 1", len(restored))
+	}
+	if restored[0].ID != "job-000001" || restored[0].State != StateQueued {
+		t.Errorf("restored %+v; want job-000001 queued (torn terminal record dropped)", restored[0])
+	}
+}
+
+// TestCheckpointRoundTrip: the persisted checkpoint reproduces the core
+// resume point exactly, including the float64 seed sequence (JSON's
+// shortest round-trip rendering is lossless).
+func TestCheckpointRoundTrip(t *testing.T) {
+	rp := core.ResumePoint{
+		Interval: 7,
+		Capped:   true,
+		SeedSeq:  []float64{0.125, 1.0 / 3, 0x1p-52, 0.9999999999999999},
+		Hidden:   1234,
+		Sampled:  5678,
+	}
+	b, err := json.Marshal(CheckpointOf(rp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.ResumePoint(); !reflect.DeepEqual(got, rp) {
+		t.Errorf("checkpoint round trip changed the resume point\n got %+v\nwant %+v", got, rp)
+	}
+}

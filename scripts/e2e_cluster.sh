@@ -3,10 +3,20 @@
 # a batch through it: one dipe-server coordinator + two dipe-worker
 # processes, worker self-registration, readiness transition, batch
 # submission over the cluster dispatcher, and completion checks.
-# CI runs this as the cluster end-to-end gate; it needs only go, curl
-# and python3.
+#
+# With --chaos the script instead runs the fault-tolerance gate on real
+# processes: a worker is SIGKILLed mid-batch (jobs must still finish), a
+# replacement worker heals the fleet, and the server is SIGTERMed mid-job
+# and restarted on the same -state-dir — the journaled job must resume
+# and finish with a result bit-identical to a clean local-mode run.
+#
+# CI runs both modes as end-to-end gates; they need only go, curl and
+# python3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHAOS=0
+[ "${1:-}" = "--chaos" ] && CHAOS=1
 
 # All three processes bind kernel-assigned ephemeral ports (":0") and
 # report the bound address on their first log line ("... listening on
@@ -20,7 +30,9 @@ cleanup() {
   for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
   wait 2>/dev/null || true
   rm -rf "$BIN"
-  echo "--- server log ---"; cat "$LOGS/server.log" || true
+  for log in "$LOGS"/server*.log; do
+    echo "--- $(basename "$log") ---"; cat "$log" || true
+  done
   rm -rf "$LOGS"
 }
 trap cleanup EXIT
@@ -40,10 +52,15 @@ echo "== build"
 go build -o "$BIN/dipe-server" ./cmd/dipe-server
 go build -o "$BIN/dipe-worker" ./cmd/dipe-worker
 
+STATE="$LOGS/state"
+SERVER_FLAGS=(-cluster -heartbeat 500ms)
+[ "$CHAOS" = 1 ] && SERVER_FLAGS+=(-state-dir "$STATE")
+
 echo "== start coordinator (cluster mode, no workers yet)"
-"$BIN/dipe-server" -addr "127.0.0.1:0" -cluster -heartbeat 500ms \
+"$BIN/dipe-server" -addr "127.0.0.1:0" "${SERVER_FLAGS[@]}" \
   >"$LOGS/server.log" 2>&1 &
-PIDS+=($!)
+SERVER_PID=$!
+PIDS+=($SERVER_PID)
 
 SERVER_ADDR=$(bound_addr "$LOGS/server.log") || { echo "server never reported its address"; exit 1; }
 BASE="http://${SERVER_ADDR}"
@@ -60,7 +77,8 @@ code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
 
 echo "== start two workers with self-registration"
 "$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w1.log" 2>&1 &
-PIDS+=($!)
+W1_PID=$!
+PIDS+=($W1_PID)
 "$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w2.log" 2>&1 &
 PIDS+=($!)
 bound_addr "$LOGS/w1.log" >/dev/null || { echo "worker 1 never reported its address"; exit 1; }
@@ -82,6 +100,8 @@ alive = [w for w in ws if w["alive"]]
 assert len(ws) == 2, f"{len(ws)} workers registered, want 2"
 assert len(alive) == 2, f"{len(alive)} workers alive, want 2"
 '
+
+if [ "$CHAOS" = 0 ]; then
 
 echo "== submit a batch over the cluster dispatcher (incl. variance-reduction modes)"
 ids=$(curl -sf -X POST "$BASE/v1/batch" -H 'Content-Type: application/json' -d '{
@@ -120,3 +140,112 @@ assert st["pool"]["done"] >= 5, st["pool"]
 '
 
 echo "e2e cluster: OK"
+exit 0
+fi
+
+# ---------------------------------------------------------------------
+# --chaos: fault-tolerance gate on real processes.
+# ---------------------------------------------------------------------
+
+check_done='
+import json, sys
+jid = sys.argv[1]
+v = json.load(sys.stdin)
+assert v["state"] == "done", "%s: state %s error %s" % (jid, v["state"], v.get("error", ""))
+r = v["result"]
+assert r["power"] > 0, "%s: nonpositive power" % jid
+print("%s: %s P=%.4g n=%d" % (jid, v["request"]["circuit"], r["power"], r["sampleSize"]))
+'
+
+echo "== chaos 1: SIGKILL a worker mid-batch; jobs must still finish"
+ids=$(curl -sf -X POST "$BASE/v1/batch" -H 'Content-Type: application/json' -d '{
+  "jobs": [
+    {"circuit":"s1494","seed":11,"options":{"relErr":0.03,"replications":64,"workers":1}},
+    {"circuit":"s1494","seed":12,"options":{"relErr":0.03,"replications":64,"workers":1}},
+    {"circuit":"s1494","seed":13,"options":{"relErr":0.03,"replications":64,"workers":1}}
+  ]}' | python3 -c 'import json,sys; print("\n".join(json.load(sys.stdin)["ids"]))')
+sleep 0.3
+kill -9 "$W1_PID" 2>/dev/null || true
+for id in $ids; do
+  curl -sf "$BASE/v1/jobs/$id/wait?timeout=120s" | python3 -c "$check_done" "$id"
+done
+
+echo "== dead worker detected with failures recorded"
+for i in $(seq 1 50); do
+  dead=$(curl -s "$BASE/v1/cluster/workers" | python3 -c '
+import json, sys
+ws = json.load(sys.stdin)["workers"]
+print(sum(1 for w in ws if not w["alive"] and w["failures"] > 0))')
+  [ "$dead" -ge 1 ] && break
+  sleep 0.2
+done
+[ "$dead" -ge 1 ] || { echo "killed worker never reported dead with failures"; exit 1; }
+
+echo "== replacement worker heals the fleet"
+"$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w3.log" 2>&1 &
+PIDS+=($!)
+for i in $(seq 1 50); do
+  alive=$(curl -s "$BASE/v1/cluster/workers" | python3 -c '
+import json, sys
+print(sum(1 for w in json.load(sys.stdin)["workers"] if w["alive"]))')
+  [ "$alive" -ge 2 ] && break
+  sleep 0.2
+done
+[ "$alive" -ge 2 ] || { echo "replacement worker never became alive"; exit 1; }
+curl -sf -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+  -d '{"circuit":"s298","seed":14,"options":{"replications":32,"workers":1}}' |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])' | while read -r id; do
+    curl -sf "$BASE/v1/jobs/$id/wait?timeout=120s" | python3 -c "$check_done" "$id"
+  done
+
+echo "== chaos 2: SIGTERM the server mid-job; restart must resume it"
+# Budget-bound spec (unreachably tight accuracy): the job cannot finish
+# early, so the SIGTERM below always lands mid-run.
+resume_req='{"circuit":"s1494","seed":77,"interval":4,"options":{"relErr":0.0001,"confidence":0.9999,"replications":64,"workers":1,"maxSamples":262144}}'
+RESUME_ID=$(curl -sf -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' -d "$resume_req" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+for i in $(seq 1 200); do
+  running=$(curl -s "$BASE/v1/jobs/$RESUME_ID" | python3 -c '
+import json, sys
+print(1 if json.load(sys.stdin)["state"] == "running" else 0)')
+  [ "$running" = 1 ] && break
+  sleep 0.05
+done
+[ "$running" = 1 ] || { echo "resume job never started running"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+echo "== restart server on the same address and state dir"
+"$BIN/dipe-server" -addr "$SERVER_ADDR" "${SERVER_FLAGS[@]}" \
+  >"$LOGS/server2.log" 2>&1 &
+SERVER_PID=$!
+PIDS+=($SERVER_PID)
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "restarted server never came up"; exit 1; }
+resumed=$(sed -n 's/.*(\([0-9]*\) to resume).*/\1/p' "$LOGS/server2.log" | head -n1)
+[ "${resumed:-0}" -ge 1 ] || { echo "restarted server resumed ${resumed:-0} jobs, want >= 1"; exit 1; }
+
+echo "== resumed job finishes (workers re-register within their steady cadence)"
+RESUMED_RESULT=$(curl -sf "$BASE/v1/jobs/$RESUME_ID/wait?timeout=120s")
+echo "$RESUMED_RESULT" | python3 -c "$check_done" "$RESUME_ID"
+
+echo "== resumed result is bit-identical to a clean local-mode run"
+"$BIN/dipe-server" -addr "127.0.0.1:0" >"$LOGS/server-ref.log" 2>&1 &
+PIDS+=($!)
+REF_ADDR=$(bound_addr "$LOGS/server-ref.log") || { echo "reference server never reported its address"; exit 1; }
+REF_ID=$(curl -sf -X POST "http://$REF_ADDR/v1/jobs" -H 'Content-Type: application/json' -d "$resume_req" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+curl -sf "http://$REF_ADDR/v1/jobs/$REF_ID/wait?timeout=120s" |
+  python3 -c '
+import json, sys
+ref = json.load(sys.stdin)["result"]
+got = json.loads(sys.argv[1])["result"]
+for k in ("power", "sampleSize", "interval", "hiddenCycles", "sampledCycles", "halfWidth"):
+    assert got[k] == ref[k], "resumed %s=%r, clean run %r" % (k, got[k], ref[k])
+print("resumed == clean: P=%.6g n=%d" % (ref["power"], ref["sampleSize"]))
+' "$RESUMED_RESULT"
+
+echo "e2e cluster chaos: OK"
