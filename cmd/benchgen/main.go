@@ -9,6 +9,7 @@
 //	benchgen -out . -family lfsr:16           # maximal 16-bit LFSR
 //	benchgen -out . -family shift:32          # 32-stage shift register
 //	benchgen -out . -family pipeline:8:4      # 8 bits wide, 4 stages
+//	benchgen -out . -family random:42         # seeded random netlist
 package main
 
 import (
@@ -71,8 +72,17 @@ func buildFamily(spec string) (*netlist.Circuit, error) {
 			return nil, err
 		}
 		return bench89.GeneratePipeline(fmt.Sprintf("pipe%dx%d", width, stages), width, stages)
+	case "random":
+		seed, err := atoi(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		if seed < 0 {
+			return nil, fmt.Errorf("random seed %d must be >= 0", seed)
+		}
+		return bench89.Generate(bench89.RandomSignature(uint32(seed)))
 	}
-	return nil, fmt.Errorf("unknown family %q (counter|lfsr|shift|pipeline)", parts[0])
+	return nil, fmt.Errorf("unknown family %q (counter|lfsr|shift|pipeline|random)", parts[0])
 }
 
 func knownTapSizes() []int {

@@ -8,6 +8,7 @@
 //	dipe-experiments -ablation stopping            # criterion comparison
 //	dipe-experiments -modes                        # general- vs zero-delay power modes
 //	dipe-experiments -sampled -sampled-json BENCH_2.json   # sampled-phase throughput
+//	dipe-experiments -compiled -compiled-json BENCH_6.json # compiled-vs-packed duty cycle
 //	dipe-experiments -table1 -circuits s27,s298    # subset
 //	dipe-experiments -all -small                   # everything, small circuits
 //
@@ -59,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sampled  = fs.Bool("sampled", false, "run the sampled-cycle throughput benchmark (event-driven vs packed zero-delay)")
 		sampledN = fs.Int("sampled-cycles", 2_000, "scalar sampled-cycle budget for -sampled")
 		sampledJ = fs.String("sampled-json", "", "write the -sampled report as JSON to this file (BENCH_2.json)")
+		compiled = fs.Bool("compiled", false, "run the compiled-vs-packed estimation duty-cycle benchmark")
+		compSw   = fs.Int("compiled-sweeps", 8, "timed duty-cycle sweeps per circuit for -compiled")
+		compLn   = fs.Int("compiled-lanes", 512, "compiled session width for -compiled")
+		compJ    = fs.String("compiled-json", "", "write the -compiled report as JSON to this file (BENCH_6.json)")
 		clusterB = fs.Bool("cluster", false, "run the distributed scaling benchmark (coordinator + in-process workers)")
 		clusterW = fs.String("cluster-workers", "1,2", "comma-separated worker counts for -cluster")
 		clusterN = fs.Int("cluster-samples", 8192, "sample budget per -cluster run")
@@ -101,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*modes && !*clusterB && !*vrB && !*hetB {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*compiled && !*modes && !*clusterB && !*vrB && !*hetB {
 		fs.Usage()
 		return fmt.Errorf("no campaign selected")
 	}
@@ -209,6 +214,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", *sampledJ)
+		}
+	}
+
+	if *compiled {
+		set := cfg.Circuits
+		if *circuits == "" && !*small {
+			// Default to the regression trio unless the user chose a set.
+			set = []string{"s298", "s832", "s1494"}
+		}
+		// Warmup 512 + one 32-sample stopping round at interval 8 is the
+		// estimator's per-replication cycle mix (DefaultOptions
+		// WarmupCycles and CheckEvery, a mid-range stationarity interval).
+		rows, err := experiments.CompiledThroughput(set, 512, 32, 8, *compSw, *compLn, cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderCompiledBench(rows))
+		if *compJ != "" {
+			if err := os.WriteFile(*compJ, []byte(experiments.CompiledBenchJSON(rows)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *compJ)
 		}
 	}
 

@@ -85,6 +85,7 @@ func main() {
 		test        = flag.String("test", "runs", "randomness test: runs | updown | vonneumann")
 		powerMode   = flag.String("power-mode", "general-delay", "sampled-cycle observation: general-delay (glitches included) | zero-delay (functional toggles, bit-parallel)")
 		variance    = flag.String("variance", "none", "variance reduction: none | antithetic | control-variate (implies -replications; fewer sampled cycles to the same confidence interval)")
+		backendName = flag.String("backend", "packed", "lane-parallel backend for -replications: packed | compiled (observation-equivalent; compiled replays word-level bytecode)")
 		inputProb   = flag.Float64("p", 0.5, "primary-input signal probability")
 		inputRho    = flag.Float64("rho", 0, "primary-input lag-1 autocorrelation (0 = i.i.d.)")
 		seed        = flag.Int64("seed", 1, "random seed")
@@ -103,7 +104,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
-		*criterion, *test, *powerMode, *variance, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
+		*criterion, *test, *powerMode, *variance, *backendName, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
 		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "dipe:", err)
 		os.Exit(1)
@@ -111,7 +112,7 @@ func main() {
 }
 
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
-	criterion, test, powerMode, variance string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
+	criterion, test, powerMode, variance, backendName string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
 	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int) error {
 
 	var (
@@ -176,6 +177,11 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 		return err
 	}
 	opts.Variance.Mode = vrMode
+	backend, err := dipe.ParseBackend(backendName)
+	if err != nil {
+		return err
+	}
+	opts.Backend = backend
 	if vrMode != dipe.VarianceNone && reps == 0 {
 		// The transforms are defined over the replication space; default
 		// to one full packed word like the parallel estimator does.
@@ -270,7 +276,7 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 		if w > reps {
 			w = reps
 		}
-		fmt.Printf("replications      : %d (bit-packed, %d workers)\n", reps, w)
+		fmt.Printf("replications      : %d (%s backend, %d workers)\n", reps, res.Backend, w)
 	}
 	if verbose {
 		// Post-hoc audit: a fresh sequence at the selected interval run

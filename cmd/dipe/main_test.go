@@ -17,6 +17,7 @@ type runArgs struct {
 	criterion, test      string
 	powerMode            string
 	variance             string
+	backend              string
 	inputProb, inputRho  float64
 	seed                 int64
 	fixed, reps, workers int
@@ -39,7 +40,7 @@ func defaults() runArgs {
 
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
-		a.criterion, a.test, a.powerMode, a.variance, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
+		a.criterion, a.test, a.powerMode, a.variance, a.backend, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
 		a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
 }
 
@@ -202,6 +203,25 @@ func TestRunErrors(t *testing.T) {
 		if err := a.run(); err == nil {
 			t.Errorf("case %d: run succeeded, want error", i)
 		}
+	}
+}
+
+func TestRunCompiledBackend(t *testing.T) {
+	a := defaults()
+	a.circuit = "s27"
+	a.backend = "compiled"
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	// Replications + zero-delay take the compiled word-parallel path.
+	a.reps = 8
+	a.powerMode = "zero-delay"
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	a.backend = "bogus"
+	if err := a.run(); err == nil {
+		t.Fatal("bogus backend accepted")
 	}
 }
 

@@ -127,6 +127,31 @@ func ParsePowerMode(s string) (PowerMode, error) { return power.ParseMode(s) }
 // PowerModes lists the valid canonical power modes.
 func PowerModes() []PowerMode { return power.Modes() }
 
+// Backend names a lane-parallel simulation backend for the parallel
+// estimators' sampling phase. The backends are observation-equivalent —
+// per-lane samples are bit-identical — so Options.Backend is purely a
+// throughput knob; Result.Backend records what a run used.
+type Backend = sim.Backend
+
+// Simulation backends for Options.Backend.
+const (
+	// BackendPacked is the interpreted bit-parallel simulator (the
+	// default; equals the zero value): one levelized sweep per cycle,
+	// 64 replication lanes per machine word.
+	BackendPacked = sim.BackendPacked
+	// BackendCompiled compiles the circuit once into straight-line
+	// word-level bytecode (fused gate chains, dead-fanout elimination)
+	// and replays it with up to 512 lanes per step.
+	BackendCompiled = sim.BackendCompiled
+)
+
+// ParseBackend resolves a user-supplied backend string ("packed",
+// "compiled"; empty means packed).
+func ParseBackend(s string) (Backend, error) { return sim.ParseBackend(s) }
+
+// Backends lists the valid canonical simulation backends.
+func Backends() []Backend { return sim.Backends() }
+
 // VarianceMode names a variance-reduction transform for the sampling
 // phase; see internal/vr for the statistics.
 type VarianceMode = vr.Mode

@@ -146,6 +146,28 @@ func seedFor(name string) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
+// RandomSignature derives a small well-formed random circuit signature
+// from a seed: 3..10 inputs, 1..6 outputs, 1..16 latches and a gate
+// budget padded past Generate's structural minimum. The same seed
+// always yields the same signature (and so, via Generate, the same
+// circuit) — the basis of the seeded property tests and of benchgen's
+// "random" family.
+func RandomSignature(seed uint32) Signature {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	pi := 3 + rng.Intn(8)
+	po := 1 + rng.Intn(6)
+	ff := 1 + rng.Intn(16)
+	// Minimum: 1 + 2*ff (counter worst case) + ff (free) + po, padded.
+	gates := 1 + 3*ff + po + rng.Intn(120)
+	return Signature{
+		Name:    fmt.Sprintf("rnd%d", seed),
+		Inputs:  pi,
+		Outputs: po,
+		Latches: ff,
+		Gates:   gates,
+	}
+}
+
 // Generate builds a synthetic sequential circuit matching the signature.
 // The same signature always yields the identical circuit.
 //

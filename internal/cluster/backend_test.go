@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestClusterCompiledBackendGolden: the golden cross-backend guarantee
+// over the wire — a cluster job on the compiled backend, with one and
+// with two workers, reproduces the single-process *packed* reference
+// bit for bit. Backend selection travels in the run request, is
+// reported in the result, and cannot move the estimate.
+func TestClusterCompiledBackendGolden(t *testing.T) {
+	w1, w2 := NewWorker(WorkerConfig{}), NewWorker(WorkerConfig{})
+	s1 := httptest.NewServer(w1.Handler())
+	defer s1.Close()
+	s2 := httptest.NewServer(w2.Handler())
+	defer s2.Close()
+
+	reg := service.NewRegistry(0)
+
+	packedReq := service.JobRequest{
+		Circuit: "s298", Seed: 404,
+		Options: service.OptionsSpec{Replications: 96, Workers: 2, PowerMode: "zero-delay"},
+	}
+	want := reference(t, reg, packedReq)
+	compiledReq := packedReq
+	compiledReq.Options.Backend = string(sim.BackendCompiled)
+
+	tb, err := reg.Testbench(compiledReq.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		urls []string
+	}{
+		{"one-worker", []string{s1.URL}},
+		{"two-workers", []string{s1.URL, s2.URL}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			coord := newTestCoordinator(t, reg, tc.urls...)
+			got, err := coord.Estimate(context.Background(), tb, compiledReq, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Engine != sim.EngineCompiledZeroDelay {
+				t.Errorf("engine %q, want %q", got.Engine, sim.EngineCompiledZeroDelay)
+			}
+			if got.Backend != string(sim.BackendCompiled) {
+				t.Errorf("backend %q, want %q", got.Backend, sim.BackendCompiled)
+			}
+			// Everything but the engine/backend labels must equal the
+			// packed single-process run.
+			got.Engine, got.Backend = want.Engine, want.Backend
+			sameResult(t, got, want, tc.name)
+			if !got.Converged {
+				t.Fatal("cluster run did not converge")
+			}
+		})
+	}
+}
+
+// TestRunRequestBackendValidation: unknown backends are rejected at the
+// protocol boundary, before any simulation starts.
+func TestRunRequestBackendValidation(t *testing.T) {
+	req := RunRequest{
+		Hash: "abc", Interval: 1, RepHi: 4, Rounds: 1,
+		Backend: "vectorized",
+	}
+	if err := req.Validate(); err == nil {
+		t.Fatal("bad backend accepted")
+	}
+	req.Backend = "compiled"
+	if err := req.Validate(); err != nil {
+		t.Fatalf("compiled backend rejected: %v", err)
+	}
+}

@@ -489,8 +489,15 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 		go c.runLeasedRange(sctx, js, hash, src, req, opts, plan, interval, rounds, maxBlocks, rg)
 	}
 
+	// Engine naming mirrors core.parallelTail exactly, including the
+	// all-zero-delay upgrade and the backend that observed the sampled
+	// cycles, so a cluster result is indistinguishable from a local one.
+	backend := opts.Backend.Canonical()
 	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !plan.NeedsCovariate()
 	engineName, delayName := sim.EnginePackedZeroDelay, delay.Zero{}.Name()
+	if packedSampled && backend == sim.BackendCompiled {
+		engineName = sim.EngineCompiledZeroDelay
+	}
 	if !packedSampled {
 		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
 	}
@@ -513,6 +520,7 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 			SampledCycles: merged * uint64(reps),
 			Criterion:     m.CriterionName(),
 			Engine:        engineName,
+			Backend:       string(backend),
 			DelayModel:    delayName,
 			Variance:      plan.Label(),
 			CVBeta:        plan.Beta,
@@ -606,6 +614,7 @@ func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, h
 		Source:     req.Source,
 		Seed:       req.Seed,
 		Mode:       string(opts.Mode),
+		Backend:    string(opts.Backend),
 		VR:         plan,
 		Warmup:     opts.WarmupCycles,
 		Interval:   interval,

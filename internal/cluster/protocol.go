@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/vr"
 )
 
@@ -24,6 +25,11 @@ type RunRequest struct {
 	Seed int64 `json:"seed"`
 	// Mode is the power-observation mode ("" = general-delay).
 	Mode string `json:"mode,omitempty"`
+	// Backend is the lane-parallel simulation backend ("" = packed).
+	// The backends are observation-equivalent, so a mixed cluster still
+	// merges bit-identical samples; the field exists so operators can
+	// pick throughput per job.
+	Backend string `json:"backend,omitempty"`
 	// VR is the resolved variance-reduction plan (zero value = plain
 	// estimation). The coordinator freezes it — including the
 	// regression-estimated control-variate coefficient and covariate
@@ -74,6 +80,9 @@ func (r RunRequest) Validate() error {
 		return fmt.Errorf("cluster: negative maxBlocks %d", r.MaxBlocks)
 	case r.Workers < 0:
 		return fmt.Errorf("cluster: negative workers %d", r.Workers)
+	}
+	if err := sim.Backend(r.Backend).Validate(); err != nil {
+		return err
 	}
 	return r.VR.Validate()
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/power"
 	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 // DefaultCircuitCap bounds the worker's installed-circuit table.
@@ -208,6 +209,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	opts := core.DefaultOptions()
 	opts.WarmupCycles = req.Warmup
 	opts.Mode = mode
+	opts.Backend = sim.Backend(req.Backend)
 	opts.Workers = req.Workers
 	// Errors terminate the stream; the client distinguishes a complete
 	// stream from a truncated one by block count, so nothing more is

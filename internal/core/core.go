@@ -71,6 +71,14 @@ type Options struct {
 	// (EstimateParallel and friends); the session-based estimators follow
 	// the engine of the session they are handed (Testbench.NewSessionMode).
 	Mode power.PowerMode
+	// Backend selects the lane-parallel simulation backend of the
+	// parallel estimators: the interpreted packed sweep (the zero-value
+	// default) or the compiled word-level engine (sim.BackendCompiled),
+	// which compiles the circuit once at first use and replays it. The
+	// backends are observation-equivalent — per-lane samples are
+	// bit-identical — so this switch changes throughput, never results.
+	// Ignored by the serial estimators (they are scalar).
+	Backend sim.Backend
 	// Variance selects a variance-reduction transform for the sampling
 	// phase (see internal/vr): antithetic replication pairing, or a
 	// control-variate correction by the same-cycle zero-delay toggle
@@ -153,6 +161,9 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: negative Workers %d", o.Workers)
 	}
 	if err := o.Mode.Validate(); err != nil {
+		return err
+	}
+	if err := o.Backend.Validate(); err != nil {
 		return err
 	}
 	reps := o.Replications

@@ -280,35 +280,15 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 	useCov := plan.NeedsCovariate()
 	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !useCov
 
-	// The same shard layout as parallelTail, over the sub-range: enough
-	// shards to saturate the worker pool, none wider than a machine word,
-	// contiguous ascending so block assembly is replication-ordered.
-	nShards := workers
-	if min := (n + sim.MaxLanes - 1) / sim.MaxLanes; nShards < min {
-		nShards = min
+	// The same shard layout as parallelTail (newShards), over the
+	// sub-range: contiguous ascending so block assembly is
+	// replication-ordered.
+	shards, err := newShards(tb, src, baseSeed, opts, plan, lo, hi, workers, packedSampled, useCov)
+	if err != nil {
+		return err
 	}
-	shards := make([]*shard, 0, nShards)
-	for _, b := range SplitRange(lo, hi, nShards) {
-		lanes := b[1] - b[0]
-		srcs := make([]vectors.Source, lanes)
-		for k := range srcs {
-			var err error
-			if srcs[k], err = replicationSource(src, baseSeed, b[0]+k, plan); err != nil {
-				return err
-			}
-		}
-		sh := &shard{
-			ps:     sim.NewPackedSession(tb.Circuit, srcs),
-			lanes:  lanes,
-			powers: make([]float64, rounds*lanes),
-		}
-		if !packedSampled {
-			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
-		}
-		if useCov {
-			sh.cov = make([]float64, lanes)
-		}
-		shards = append(shards, sh)
+	for _, sh := range shards {
+		sh.powers = make([]float64, rounds*sh.lanes)
 	}
 
 	runShards(shards, workers, func(sh *shard) {

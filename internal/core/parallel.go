@@ -13,17 +13,57 @@ import (
 )
 
 // shard is one worker's slice of the replication space: a contiguous
-// range of replication indices driven by a single packed session (at
-// most sim.MaxLanes lanes). Under the general-delay engine each shard
-// additionally owns a private scalar power engine for the sampled
-// cycles; under the packed zero-delay engine sampled cycles stay
-// word-parallel and engine is nil.
+// range of replication indices driven by a single lane-parallel session
+// (at most sim.MaxLanes lanes interpreted, sim.CompiledMaxLanes
+// compiled). Under the general-delay engine each shard additionally
+// owns a private scalar power engine for the sampled cycles; under the
+// word-parallel zero-delay engines sampled cycles stay packed and
+// engine is nil.
 type shard struct {
-	ps     *sim.PackedSession
+	ps     sim.LaneSession
 	engine sim.PowerEngine
 	lanes  int
 	powers []float64 // per-block lane powers, round-major: [round*lanes + lane]
 	cov    []float64 // per-round covariate scratch (control-variate runs only)
+}
+
+// newShards builds the canonical shard layout over replications
+// [lo, hi): SplitRange into at least `workers` shards (so the pool is
+// saturated) and enough that none exceeds the backend's lane width.
+// Replication r keeps its globally fixed seed baseSeed+1+r regardless
+// of the layout, and lane counts differ by at most one. Both
+// parallelTail and StreamReplications build their shards here, so
+// in-process and cluster runs cannot drift apart.
+func newShards(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, plan vr.Plan, lo, hi, workers int, packedSampled, useCov bool) ([]*shard, error) {
+	backend := opts.Backend.Canonical()
+	n := hi - lo
+	nShards := workers
+	if min := (n + sim.MaxLanesFor(backend) - 1) / sim.MaxLanesFor(backend); nShards < min {
+		nShards = min
+	}
+	shards := make([]*shard, 0, nShards)
+	for _, b := range SplitRange(lo, hi, nShards) {
+		lanes := b[1] - b[0]
+		srcs := make([]vectors.Source, lanes)
+		for k := range srcs {
+			var err error
+			if srcs[k], err = replicationSource(src, baseSeed, b[0]+k, plan); err != nil {
+				return nil, err
+			}
+		}
+		sh := &shard{
+			ps:    sim.NewLaneSession(backend, tb.Circuit, srcs),
+			lanes: lanes,
+		}
+		if !packedSampled {
+			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
+		}
+		if useCov {
+			sh.cov = make([]float64, lanes)
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
 }
 
 // EstimateParallel runs the DIPE flow with many independent replications
@@ -115,42 +155,25 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		workers = reps
 	}
 	useCov := plan.NeedsCovariate()
+	backend := opts.Backend.Canonical()
 	packedSampled := (opts.Mode.IsZeroDelay() || tb.Delays.AllZero()) && !useCov
+	// The reported engine must track both the sampled-phase upgrade
+	// (including the implicit one a general-delay run takes when its
+	// delay table is all-zero — see delay.Table.AllZero) AND the backend
+	// that actually observed the sampled cycles: a compiled-backend run
+	// whose sampled phase stays word-parallel reports the compiled
+	// zero-delay engine, not the packed interpreter.
 	engineName, delayName := sim.EnginePackedZeroDelay, delay.Zero{}.Name()
+	if packedSampled && backend == sim.BackendCompiled {
+		engineName = sim.EngineCompiledZeroDelay
+	}
 	if !packedSampled {
 		engineName, delayName = sim.EngineEventDriven, tb.Delays.ModelName
 	}
 
-	// Shard the replication space (SplitRange — the one partition rule):
-	// at least `workers` shards so the pool is saturated, and enough
-	// shards that none exceeds 64 lanes. Lane counts differ by at most
-	// one, and every replication keeps its globally fixed seed regardless
-	// of the shard/worker layout.
-	nShards := workers
-	if min := (reps + sim.MaxLanes - 1) / sim.MaxLanes; nShards < min {
-		nShards = min
-	}
-	shards := make([]*shard, 0, nShards)
-	for _, b := range SplitRange(0, reps, nShards) {
-		lanes := b[1] - b[0]
-		srcs := make([]vectors.Source, lanes)
-		for k := range srcs {
-			var err error
-			if srcs[k], err = replicationSource(src, baseSeed, b[0]+k, plan); err != nil {
-				return Result{}, err
-			}
-		}
-		sh := &shard{
-			ps:    sim.NewPackedSession(tb.Circuit, srcs),
-			lanes: lanes,
-		}
-		if !packedSampled {
-			sh.engine = sim.NewEventDriven(tb.Circuit, tb.Delays)
-		}
-		if useCov {
-			sh.cov = make([]float64, lanes)
-		}
-		shards = append(shards, sh)
+	shards, err := newShards(tb, src, baseSeed, opts, plan, 0, reps, workers, packedSampled, useCov)
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Warm every replication up from reset in parallel.
@@ -186,8 +209,9 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 	result := func(converged bool) Result {
 		var hidden, sampled uint64
 		for _, sh := range shards {
-			hidden += sh.ps.HiddenCycles
-			sampled += sh.ps.SampledCycles
+			h, s := sh.ps.CycleCounts()
+			hidden += h
+			sampled += s
 		}
 		// Every exit fires a final Progress snapshot so long-running
 		// callers (the dipe-server job manager) never show a stale last
@@ -204,6 +228,7 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			SampledCycles: sampled,
 			Criterion:     m.CriterionName(),
 			Engine:        engineName,
+			Backend:       string(backend),
 			DelayModel:    delayName,
 			Variance:      plan.Label(),
 			CVBeta:        plan.Beta,

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vectors"
+)
+
+// CompiledBenchRow compares the interpreted packed backend against the
+// compiled word-level backend on one circuit, phase by phase. The
+// headline figure is the estimation duty cycle — the cycle mix one
+// replication sweep of the paper's two-phase scheme actually runs
+// (warmup hidden cycles, then samples taken every `interval` cycles) —
+// because hidden cycles dominate estimation cost and that is where the
+// compiled engine's fused next-state program wins. All throughput
+// figures count per-replication clock cycles, so different lane widths
+// (64 packed words vs multi-word compiled blocks) are comparable.
+type CompiledBenchRow struct {
+	Name          string `json:"circuit"`
+	Gates         int    `json:"gates"`
+	PackedLanes   int    `json:"packed_lanes"`
+	CompiledLanes int    `json:"compiled_lanes"`
+	Warmup        int    `json:"warmup_cycles"`
+	Samples       int    `json:"samples_per_sweep"`
+	Interval      int    `json:"sampling_interval"`
+
+	PackedHiddenCPS    float64 `json:"packed_hidden_cycles_per_sec"`
+	CompiledHiddenCPS  float64 `json:"compiled_hidden_cycles_per_sec"`
+	HiddenSpeedup      float64 `json:"hidden_speedup"`
+	PackedSampledCPS   float64 `json:"packed_sampled_cycles_per_sec"`
+	CompiledSampledCPS float64 `json:"compiled_sampled_cycles_per_sec"`
+	SampledSpeedup     float64 `json:"sampled_speedup"`
+	PackedDutyCPS      float64 `json:"packed_duty_cycles_per_sec"`
+	CompiledDutyCPS    float64 `json:"compiled_duty_cycles_per_sec"`
+	DutySpeedup        float64 `json:"duty_speedup"`
+}
+
+// CompiledThroughput measures packed-vs-compiled throughput for the
+// given circuits. Each duty-cycle sweep runs `warmup` hidden cycles
+// followed by `samples` samples spaced `interval` cycles apart
+// (interval-1 hidden cycles then one sampled cycle), matching the
+// estimator's per-replication cycle mix; `sweeps` sweeps are timed. The
+// hidden and sampled phases are also timed in isolation over the same
+// cycle budgets. lanes is the compiled session width (the packed side
+// always runs full 64-lane words).
+func CompiledThroughput(circuits []string, warmup, samples, interval, sweeps, lanes int, seed int64) ([]CompiledBenchRow, error) {
+	if warmup < 1 || samples < 1 || interval < 1 || sweeps < 1 {
+		return nil, fmt.Errorf("experiments: bad compiled bench config (warmup=%d samples=%d interval=%d sweeps=%d)",
+			warmup, samples, interval, sweeps)
+	}
+	if lanes < 1 || lanes > sim.CompiledMaxLanes {
+		return nil, fmt.Errorf("experiments: compiled bench lanes %d out of range [1, %d]", lanes, sim.CompiledMaxLanes)
+	}
+	perSweep := warmup + samples*interval
+	rows := make([]CompiledBenchRow, 0, len(circuits))
+	for _, name := range circuits {
+		c, err := bench89.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tb := core.DefaultTestbench(c)
+		weights := tb.Weights()
+		width := len(c.Inputs)
+
+		measure := func(b sim.Backend, n int) (hiddenSec, sampledSec, dutySec float64) {
+			mk := func() sim.LaneSession {
+				srcs := make([]vectors.Source, n)
+				for k := range srcs {
+					srcs[k] = vectors.NewIID(width, 0.5, seed+1+int64(k))
+				}
+				return sim.NewLaneSession(b, c, srcs)
+			}
+			powers := make([]float64, n)
+
+			s := mk()
+			s.StepHiddenN(64) // touch everything once before timing
+			t0 := time.Now()
+			s.StepHiddenN(sweeps * perSweep)
+			hiddenSec = time.Since(t0).Seconds()
+
+			s = mk()
+			for i := 0; i < 16; i++ {
+				s.StepSampled(weights, powers)
+			}
+			t0 = time.Now()
+			for i := 0; i < sweeps*samples; i++ {
+				s.StepSampled(weights, powers)
+			}
+			sampledSec = time.Since(t0).Seconds()
+
+			s = mk()
+			sweep := func() {
+				s.StepHiddenN(warmup)
+				for i := 0; i < samples; i++ {
+					s.StepHiddenN(interval - 1)
+					s.StepSampled(weights, powers)
+				}
+			}
+			sweep() // warm pass
+			t0 = time.Now()
+			for i := 0; i < sweeps; i++ {
+				sweep()
+			}
+			dutySec = time.Since(t0).Seconds()
+			return hiddenSec, sampledSec, dutySec
+		}
+
+		pH, pS, pD := measure(sim.BackendPacked, sim.MaxLanes)
+		cH, cS, cD := measure(sim.BackendCompiled, lanes)
+
+		row := CompiledBenchRow{
+			Name: name, Gates: c.NumGates(),
+			PackedLanes: sim.MaxLanes, CompiledLanes: lanes,
+			Warmup: warmup, Samples: samples, Interval: interval,
+		}
+		cps := func(cycles, n int, sec float64) float64 {
+			if sec <= 0 {
+				return 0
+			}
+			return float64(cycles*n) / sec
+		}
+		row.PackedHiddenCPS = cps(sweeps*perSweep, sim.MaxLanes, pH)
+		row.CompiledHiddenCPS = cps(sweeps*perSweep, lanes, cH)
+		row.PackedSampledCPS = cps(sweeps*samples, sim.MaxLanes, pS)
+		row.CompiledSampledCPS = cps(sweeps*samples, lanes, cS)
+		row.PackedDutyCPS = cps(sweeps*perSweep, sim.MaxLanes, pD)
+		row.CompiledDutyCPS = cps(sweeps*perSweep, lanes, cD)
+		if row.PackedHiddenCPS > 0 {
+			row.HiddenSpeedup = row.CompiledHiddenCPS / row.PackedHiddenCPS
+		}
+		if row.PackedSampledCPS > 0 {
+			row.SampledSpeedup = row.CompiledSampledCPS / row.PackedSampledCPS
+		}
+		if row.PackedDutyCPS > 0 {
+			row.DutySpeedup = row.CompiledDutyCPS / row.PackedDutyCPS
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CompiledBenchReport is the JSON document emitted for regression
+// tracking (BENCH_6.json): the machine context plus one row per
+// circuit.
+type CompiledBenchReport struct {
+	Benchmark string             `json:"benchmark"`
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Rows      []CompiledBenchRow `json:"rows"`
+}
+
+// CompiledBenchJSON renders rows as an indented JSON report.
+func CompiledBenchJSON(rows []CompiledBenchRow) string {
+	rep := CompiledBenchReport{
+		Benchmark: "estimation duty cycle: packed interpreter vs compiled program",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		// Marshal of a plain struct cannot fail; keep the API total anyway.
+		return "{}"
+	}
+	return string(b) + "\n"
+}
+
+// RenderCompiledBench renders rows as an ASCII table.
+func RenderCompiledBench(rows []CompiledBenchRow) string {
+	s := fmt.Sprintf("%-8s %7s %6s %12s %12s %7s %12s %12s %7s\n",
+		"circuit", "gates", "lanes", "pk hidden", "cc hidden", "hid.x", "pk duty", "cc duty", "duty.x")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %7d %6d %12.3g %12.3g %6.2fx %12.3g %12.3g %6.2fx\n",
+			r.Name, r.Gates, r.CompiledLanes,
+			r.PackedHiddenCPS, r.CompiledHiddenCPS, r.HiddenSpeedup,
+			r.PackedDutyCPS, r.CompiledDutyCPS, r.DutySpeedup)
+	}
+	return s
+}

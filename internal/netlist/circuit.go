@@ -3,6 +3,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -30,12 +31,25 @@ type Circuit struct {
 	Outputs []NodeID // primary outputs, in declaration order
 	Latches []NodeID // DFF nodes, in declaration order
 
-	byName map[string]NodeID
-	order  []NodeID // levelized combinational evaluation order
-	levels []int32  // per-node level (sources are 0)
-	csr    *CSR     // flattened view, built by Freeze
-	frozen bool
+	byName   map[string]NodeID
+	order    []NodeID // levelized combinational evaluation order
+	levels   []int32  // per-node level (sources are 0)
+	csr      *CSR     // flattened view, built by Freeze
+	frozen   bool
+	artifact atomic.Value // derived-form cache, see SetArtifact
 }
+
+// Artifact returns the derived-form cache slot set by SetArtifact, or
+// nil. Simulation backends use it to stash an expensive pure function of
+// the frozen circuit (e.g. a compiled program) on the circuit itself, so
+// the cache lives and dies with the circuit rather than in a package
+// global.
+func (c *Circuit) Artifact() any { return c.artifact.Load() }
+
+// SetArtifact stores v in the circuit's derived-form cache slot. Safe
+// for concurrent use; v must be non-nil and successive values must be of
+// the same concrete type (atomic.Value's contract).
+func (c *Circuit) SetArtifact(v any) { c.artifact.Store(v) }
 
 // NewCircuit returns an empty circuit with the given name.
 func NewCircuit(name string) *Circuit {

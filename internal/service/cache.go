@@ -18,7 +18,11 @@ import (
 // re-uploading the same netlist under the same name hits, replacing it
 // with different text misses — plus the request knobs with defaults
 // applied, so spelling a default explicitly still hits. Worker count is
-// excluded: results are worker-independent by construction.
+// excluded: results are worker-independent by construction. The
+// simulation backend is included even though estimates are
+// backend-independent too — the result's engine/backend labels report
+// what actually ran, and a cached compiled result must not answer a
+// packed request (or vice versa) with the wrong provenance.
 
 // HashSource content-addresses a circuit's provenance. Builtin circuits
 // hash their generator identity; uploads hash name, format and the full
@@ -68,6 +72,7 @@ type cacheKeySpec struct {
 	Replications  int      `json:"replications"`
 	Reuse         bool     `json:"reuse"`
 	Mode          string   `json:"mode"`
+	Backend       string   `json:"backend"`
 	Variance      string   `json:"variance,omitempty"`
 	Beta          *float64 `json:"beta,omitempty"`
 	ControlCycles int      `json:"controlCycles,omitempty"`
@@ -95,6 +100,7 @@ func resultKey(src CircuitSource, req JobRequest) string {
 		Replications:  opts.Replications,
 		Reuse:         opts.ReuseTestSamples,
 		Mode:          opts.Mode.String(),
+		Backend:       opts.Backend.String(),
 		Variance:      string(opts.Variance.Mode.Canonical()),
 		Beta:          opts.Variance.BetaOverride,
 		ControlCycles: opts.Variance.ControlCycles,

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/vectors"
 	"repro/internal/vr"
 )
@@ -98,6 +99,13 @@ type OptionsSpec struct {
 	// engine). Unknown values fail Validate, so bad requests are rejected
 	// at submit time.
 	PowerMode string `json:"powerMode,omitempty"`
+	// Backend selects the lane-parallel simulation backend: "" or
+	// "packed" (the interpreted word-parallel sweep) or "compiled" (the
+	// word-level bytecode engine, compiled once per circuit). The
+	// backends are observation-equivalent — results are bit-identical —
+	// so this is a throughput knob. Unknown values fail Validate at
+	// submit time.
+	Backend string `json:"backend,omitempty"`
 	// Variance selects a variance-reduction transform for the sampling
 	// phase: "" or "none" (plain), "antithetic" (mirrored replication
 	// pairs) or "control-variate" (zero-delay toggle covariate; needs
@@ -133,6 +141,7 @@ func (o OptionsSpec) Options() core.Options {
 		opts.MaxSamples = o.MaxSamples
 	}
 	opts.Mode = power.PowerMode(o.PowerMode)
+	opts.Backend = sim.Backend(o.Backend)
 	opts.Variance.Mode = vr.Mode(o.Variance).Canonical()
 	return opts
 }
@@ -195,6 +204,7 @@ type ResultView struct {
 	SampledCycles  uint64  `json:"sampledCycles"`
 	Criterion      string  `json:"criterion"`
 	Engine         string  `json:"engine"`
+	Backend        string  `json:"backend,omitempty"`
 	DelayModel     string  `json:"delayModel"`
 	Variance       string  `json:"variance,omitempty"`
 	CVBeta         float64 `json:"cvBeta,omitempty"`
@@ -218,6 +228,7 @@ func viewResult(res core.Result) *ResultView {
 		SampledCycles:  res.SampledCycles,
 		Criterion:      res.Criterion,
 		Engine:         res.Engine,
+		Backend:        res.Backend,
 		DelayModel:     res.DelayModel,
 		Variance:       res.Variance,
 		CVBeta:         res.CVBeta,

@@ -176,6 +176,58 @@ func TestDeterminismAndCacheHit(t *testing.T) {
 	}
 }
 
+// TestCacheKeyedByBackend: requests differing only in simulation
+// backend occupy separate cache slots — estimates are bit-identical
+// across backends by construction, but the result's engine/backend
+// labels report what actually ran, so a cached compiled run must not
+// answer a packed request.
+func TestCacheKeyedByBackend(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1})
+
+	run := func(backend string) JobView {
+		req := fastRequest(7)
+		req.Options.PowerMode = "zero-delay"
+		req.Options.Backend = backend
+		var v JobView
+		if code := postJSON(t, ts.URL+"/v1/jobs", req, &v); code != http.StatusAccepted {
+			t.Fatalf("submit status = %d", code)
+		}
+		var out JobView
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/wait?timeout=60s", &out); code != http.StatusOK {
+			t.Fatalf("wait status = %d", code)
+		}
+		if out.State != StateDone {
+			t.Fatalf("job %s finished %s (%s)", v.ID, out.State, out.Error)
+		}
+		return out
+	}
+
+	compiled := run("compiled")
+	packed := run("packed")
+	if packed.Result.Cached {
+		t.Fatalf("packed request was served from the compiled run's cache slot: %+v", packed.Result)
+	}
+	if compiled.Result.Backend != "compiled" || compiled.Result.Engine != "compiled-zero-delay" {
+		t.Fatalf("compiled run labels = (%q, %q)", compiled.Result.Backend, compiled.Result.Engine)
+	}
+	if packed.Result.Backend != "packed" || packed.Result.Engine != "packed-zero-delay" {
+		t.Fatalf("packed run labels = (%q, %q)", packed.Result.Backend, packed.Result.Engine)
+	}
+	if b1, b2 := math.Float64bits(compiled.Result.Power), math.Float64bits(packed.Result.Power); b1 != b2 {
+		t.Fatalf("backends disagree on the estimate: %x vs %x", b1, b2)
+	}
+	// A repeat of each spelling hits its own slot.
+	if again := run("compiled"); !again.Result.Cached || again.Result.Backend != "compiled" {
+		t.Fatalf("compiled repeat = %+v, want cached compiled result", again.Result)
+	}
+	if again := run("packed"); !again.Result.Cached || again.Result.Backend != "packed" {
+		t.Fatalf("packed repeat = %+v, want cached packed result", again.Result)
+	}
+	if cs := svc.Jobs.CacheStats(); cs.Hits != 2 || cs.Misses != 2 || cs.Entries != 2 {
+		t.Fatalf("result cache stats = %+v, want 2 hits / 2 misses / 2 entries", cs)
+	}
+}
+
 func TestCancelQueuedJob(t *testing.T) {
 	svc := New(Config{Workers: 1, QueueSize: 8})
 	defer svc.Close()

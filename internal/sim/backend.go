@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// Backend names a lane-parallel simulation backend for the sampling
+// phase: the interpreted packed sweep or the compiled word-level
+// program. The empty string means the default (packed).
+type Backend string
+
+const (
+	// BackendPacked is the interpreted bit-parallel simulator
+	// (PackedSession): one levelized CSR sweep per cycle, 64 lanes.
+	BackendPacked Backend = "packed"
+	// BackendCompiled is the compiled word-level engine
+	// (CompiledSession): the circuit is compiled once into straight-line
+	// bytecode and replayed, with up to CompiledMaxLanes lanes per step.
+	BackendCompiled Backend = "compiled"
+)
+
+// Canonical maps the empty backend to the default.
+func (b Backend) Canonical() Backend {
+	if b == "" {
+		return BackendPacked
+	}
+	return b
+}
+
+// Validate rejects unknown backend names.
+func (b Backend) Validate() error {
+	switch b.Canonical() {
+	case BackendPacked, BackendCompiled:
+		return nil
+	}
+	return fmt.Errorf("sim: unknown backend %q", string(b))
+}
+
+// String returns the canonical name.
+func (b Backend) String() string { return string(b.Canonical()) }
+
+// ParseBackend resolves a user-supplied backend string ("packed",
+// "compiled"; empty means packed).
+func ParseBackend(s string) (Backend, error) {
+	b := Backend(s)
+	if err := b.Validate(); err != nil {
+		return "", err
+	}
+	return b.Canonical(), nil
+}
+
+// Backends lists the valid canonical backends.
+func Backends() []Backend { return []Backend{BackendPacked, BackendCompiled} }
+
+// MaxLanesFor returns the widest session the backend supports.
+func MaxLanesFor(b Backend) int {
+	if b.Canonical() == BackendCompiled {
+		return CompiledMaxLanes
+	}
+	return MaxLanes
+}
+
+// LaneSession is the lane-parallel session contract the estimation
+// layer drives: both PackedSession and CompiledSession implement it
+// with bit-identical per-lane observations, so backend selection can
+// never change an estimate — only its speed. See the differential
+// battery in this package for the enforcement.
+type LaneSession interface {
+	// Circuit returns the simulated circuit.
+	Circuit() *netlist.Circuit
+	// Lanes returns the number of active replication lanes.
+	Lanes() int
+	// ResetCounters zeroes the cycle-cost counters.
+	ResetCounters()
+	// CycleCounts returns the per-replication hidden and sampled cycle
+	// counts accumulated so far.
+	CycleCounts() (hidden, sampled uint64)
+	// StepHidden advances every lane one cycle without observing power.
+	StepHidden()
+	// StepHiddenN advances n cycles with StepHidden.
+	StepHiddenN(n int)
+	// StepSampled advances one cycle and writes each lane's weighted
+	// zero-delay toggle power into powers[:Lanes()].
+	StepSampled(weights, powers []float64)
+	// StepSampledWith advances one cycle, observing each lane with the
+	// scalar power engine (general-delay accounting).
+	StepSampledWith(engine PowerEngine, weights, powers []float64)
+	// StepSampledBoth observes each lane with the scalar engine while
+	// also computing the zero-delay toggle covariate at word level.
+	StepSampledBoth(engine PowerEngine, weights []float64, powers, toggles []float64)
+	// ExtractLane copies lane k's settled state into scalar arrays; any
+	// destination may be nil.
+	ExtractLane(k int, vals, pins, q []bool)
+}
+
+// NewLaneSession builds a session of the given backend over the
+// per-lane sources. The packed backend accepts up to MaxLanes sources,
+// the compiled backend up to CompiledMaxLanes; lane k of either is
+// bit-identical to a scalar Session seeded from srcs[k].
+func NewLaneSession(b Backend, c *netlist.Circuit, srcs []vectors.Source) LaneSession {
+	if b.Canonical() == BackendCompiled {
+		return NewCompiledSession(c, srcs)
+	}
+	return NewPackedSession(c, srcs)
+}
+
+// CycleCounts returns the packed session's cost counters, satisfying
+// LaneSession.
+func (s *PackedSession) CycleCounts() (hidden, sampled uint64) {
+	return s.HiddenCycles, s.SampledCycles
+}

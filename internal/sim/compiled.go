@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/compile"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// CompiledMaxLanes is the widest compiled session: 8 words of lanes per
+// register row, so one pass over the program advances up to 512
+// replications. Wider rows amortize the per-instruction dispatch cost
+// over more lanes while keeping an s1494-sized register file inside L2.
+const CompiledMaxLanes = 8 * 64
+
+// CompiledSession drives up to CompiledMaxLanes independent
+// replications through clock cycles with the compiled word-level
+// programs of internal/compile, instead of interpreting the CSR netlist
+// gate-by-gate. It implements LaneSession with per-lane observations
+// bit-identical to PackedSession (and hence to scalar sessions):
+//
+//   - Hidden cycles execute the Step program, which computes only the
+//     next latch state — dead fanout, BUF chains and fused gate chains
+//     cost nothing. Full node values are left stale and recomputed
+//     lazily (settling is a pure function of the current inputs and
+//     latch state, so nothing is lost by deferring it).
+//   - Sampled cycles execute the observation-exact Full program: one
+//     register row per node, so the weighted toggle diff — accumulated
+//     in node-index order per lane, exactly like PackedSession — and
+//     per-lane scalar-engine observation see precisely the interpreted
+//     values.
+//
+// Lanes are packed row-major: lane k lives in bit k%64 of word k/64 of
+// every row, and all rows are w = ceil(lanes/64) words wide.
+type CompiledSession struct {
+	c     *netlist.Circuit
+	unit  *compile.Unit
+	srcs  []vectors.Source
+	lanes int
+	w     int      // words per register row
+	masks []uint64 // per-word active-lane masks
+
+	full    []uint64 // Full register file: NumNodes rows (settled iff fresh)
+	oldFull []uint64 // previous settled rows, for zero-delay toggle diffs
+	step    []uint64 // Step register file
+	fresh   bool     // full holds the settled values of the current (pins, q)
+
+	pins  []uint64 // one row per input
+	q     []uint64 // one row per latch
+	nextQ []uint64
+	buf   []uint64 // next packed pattern under construction
+
+	laneBuf []bool   // one lane's pattern, as drawn from its source
+	accBuf  []uint64 // word-local input accumulators (one per input)
+
+	// scratch for per-lane engine observation: one lane, scalar form.
+	svals []bool
+	spins []bool
+	sq    []bool
+
+	// HiddenCycles and SampledCycles count per-replication cycles, the
+	// same accounting as PackedSession and the scalar Session.
+	HiddenCycles  uint64
+	SampledCycles uint64
+}
+
+// NewCompiledSession builds a compiled session over 1..CompiledMaxLanes
+// per-lane sources, compiling the circuit on first use (the Unit is
+// cached on the circuit). Every lane starts in the all-zero latch state
+// with an all-zero input pattern, settled — the same reset state as the
+// packed and scalar sessions.
+func NewCompiledSession(c *netlist.Circuit, srcs []vectors.Source) *CompiledSession {
+	if len(srcs) == 0 || len(srcs) > CompiledMaxLanes {
+		panic(fmt.Sprintf("sim: NewCompiledSession needs 1..%d sources, got %d", CompiledMaxLanes, len(srcs)))
+	}
+	for k, src := range srcs {
+		if src.Width() != len(c.Inputs) {
+			panic(fmt.Sprintf("sim: lane %d source width %d, circuit has %d inputs",
+				k, src.Width(), len(c.Inputs)))
+		}
+	}
+	lanes := len(srcs)
+	w := (lanes + 63) / 64
+	masks := make([]uint64, w)
+	for j := range masks {
+		masks[j] = ^uint64(0)
+	}
+	if r := lanes & 63; r != 0 {
+		masks[w-1] = 1<<uint(r) - 1
+	}
+	u := compile.For(c)
+	s := &CompiledSession{
+		c:       c,
+		unit:    u,
+		srcs:    append([]vectors.Source(nil), srcs...),
+		lanes:   lanes,
+		w:       w,
+		masks:   masks,
+		full:    make([]uint64, u.Full.Slots*w),
+		oldFull: make([]uint64, u.Full.Slots*w),
+		step:    make([]uint64, u.Step.Slots*w),
+		pins:    make([]uint64, len(c.Inputs)*w),
+		q:       make([]uint64, len(c.Latches)*w),
+		nextQ:   make([]uint64, len(c.Latches)*w),
+		buf:     make([]uint64, len(c.Inputs)*w),
+		laneBuf: make([]bool, len(c.Inputs)),
+		accBuf:  make([]uint64, len(c.Inputs)),
+		svals:   make([]bool, c.NumNodes()),
+		spins:   make([]bool, len(c.Inputs)),
+		sq:      make([]bool, len(c.Latches)),
+	}
+	// Constant rows are written once per register file; Exec never
+	// touches them, and the full/oldFull swap exchanges two files that
+	// both carry them.
+	u.Full.InitConsts(s.full, w)
+	u.Full.InitConsts(s.oldFull, w)
+	u.Step.InitConsts(s.step, w)
+	s.settleFull()
+	return s
+}
+
+// Circuit returns the simulated circuit.
+func (s *CompiledSession) Circuit() *netlist.Circuit { return s.c }
+
+// Lanes returns the number of active replication lanes.
+func (s *CompiledSession) Lanes() int { return s.lanes }
+
+// ResetCounters zeroes the cycle-cost counters.
+func (s *CompiledSession) ResetCounters() {
+	s.HiddenCycles = 0
+	s.SampledCycles = 0
+}
+
+// CycleCounts returns the cost counters, satisfying LaneSession.
+func (s *CompiledSession) CycleCounts() (hidden, sampled uint64) {
+	return s.HiddenCycles, s.SampledCycles
+}
+
+// copyRows writes src (one row per element of rows) into the register
+// file at the listed rows.
+func copyRows(file []uint64, rows []int32, src []uint64, w int) {
+	for i, r := range rows {
+		copy(file[int(r)*w:(int(r)+1)*w], src[i*w:(i+1)*w])
+	}
+}
+
+// settleFull executes the Full program for the current (pins, q),
+// restoring the invariant that full holds every node's settled row.
+func (s *CompiledSession) settleFull() {
+	p := s.unit.Full
+	copyRows(s.full, p.In, s.pins, s.w)
+	copyRows(s.full, p.Q, s.q, s.w)
+	p.Exec(s.full, s.w)
+	s.fresh = true
+}
+
+// refreshFull re-settles the Full register file if hidden cycles left
+// it stale. Settling is a pure function of (pins, q), so the recomputed
+// rows are exactly what an interpreted session would hold here.
+func (s *CompiledSession) refreshFull() {
+	if !s.fresh {
+		s.settleFull()
+	}
+}
+
+// b2u maps a bool to 0/1 branchlessly (the compiler emits SETcc, not a
+// jump — drawn input bits are 50/50 random, so a branch here would
+// mispredict half the time).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// drawInputs fills buf with every lane's next input pattern, consuming
+// the sources in lane order (the same order as PackedSession.advance).
+// Lanes are packed one word at a time through register-local
+// accumulators: the 64 lanes of a word OR into accBuf (a few hot cache
+// lines) instead of read-modify-writing the strided buf rows per lane,
+// and the bit insert is branchless.
+func (s *CompiledSession) drawInputs() {
+	w := s.w
+	acc := s.accBuf
+	for word := 0; word < w; word++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		lo, hi := word<<6, word<<6+64
+		if hi > s.lanes {
+			hi = s.lanes
+		}
+		for k := lo; k < hi; k++ {
+			s.srcs[k].Next(s.laneBuf)
+			bit := uint64(1) << uint(k&63)
+			for i, v := range s.laneBuf {
+				acc[i] |= bit * b2u(v)
+			}
+		}
+		for i, a := range acc {
+			s.buf[i*w+word] = a
+		}
+	}
+}
+
+// advanceHidden computes the packed next latch state with the Step
+// program and draws the next input patterns. The Full file stays stale.
+func (s *CompiledSession) advanceHidden() {
+	p := s.unit.Step
+	copyRows(s.step, p.In, s.pins, s.w)
+	copyRows(s.step, p.Q, s.q, s.w)
+	p.Exec(s.step, s.w)
+	for i, d := range p.D {
+		copy(s.nextQ[i*s.w:(i+1)*s.w], s.step[int(d)*s.w:(int(d)+1)*s.w])
+	}
+	s.drawInputs()
+}
+
+// advanceFull reads the packed next latch state out of the settled Full
+// file (which must be fresh) and draws the next input patterns.
+func (s *CompiledSession) advanceFull() {
+	for i, d := range s.unit.Full.D {
+		copy(s.nextQ[i*s.w:(i+1)*s.w], s.full[int(d)*s.w:(int(d)+1)*s.w])
+	}
+	s.drawInputs()
+}
+
+// StepHidden advances every lane one clock cycle with the Step program.
+// No transitions are counted, and full node values are not maintained —
+// the next sampled cycle recomputes them.
+func (s *CompiledSession) StepHidden() {
+	s.advanceHidden()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.fresh = false
+	s.HiddenCycles += uint64(s.lanes)
+}
+
+// StepHiddenN advances n cycles with StepHidden.
+func (s *CompiledSession) StepHiddenN(n int) {
+	for i := 0; i < n; i++ {
+		s.StepHidden()
+	}
+}
+
+// StepSampled advances every lane one clock cycle and computes each
+// lane's weighted zero-delay toggle power from the Full-program row
+// diff, in the same per-lane accumulation order as
+// PackedSession.StepSampled — bit-identical including float summation
+// order.
+func (s *CompiledSession) StepSampled(weights []float64, powers []float64) {
+	if len(powers) < s.lanes {
+		panic(fmt.Sprintf("sim: compiled StepSampled powers length %d, want >= %d", len(powers), s.lanes))
+	}
+	if len(weights) != s.c.NumNodes() {
+		panic(fmt.Sprintf("sim: compiled StepSampled weights length %d, want %d", len(weights), s.c.NumNodes()))
+	}
+	s.refreshFull()
+	s.advanceFull()
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.full, s.oldFull = s.oldFull, s.full
+	s.settleFull()
+	s.toggleDiff(weights, powers)
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// observeLanes hands every lane of the advanced-but-unapplied state
+// (settled values in full, new pins in buf, new latch state in nextQ)
+// to the scalar power engine — the compiled counterpart of
+// PackedSession.observeLanes.
+func (s *CompiledSession) observeLanes(engine PowerEngine, weights, powers []float64) {
+	for k := 0; k < s.lanes; k++ {
+		s.extractRows(k, s.svals, s.full)
+		s.extractRows(k, s.spins, s.buf)
+		s.extractRows(k, s.sq, s.nextQ)
+		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, nil)
+	}
+}
+
+// toggleDiff accumulates each lane's weighted toggle sum from the
+// settled row diff (full vs oldFull). Iteration is word-outer: every
+// lane lives in exactly one word, so each lane still sees its weights
+// added in ascending node order — the float summation order per lane is
+// identical to the interpreter's; only the (unobservable) cross-lane
+// interleaving changes. Word-outer lets each word's 64-lane power span
+// be addressed through a fixed-size array pointer, eliminating the
+// bounds check on the scatter add in the hottest loop of StepSampled.
+func (s *CompiledSession) toggleDiff(weights, powers []float64) {
+	for k := 0; k < s.lanes; k++ {
+		powers[k] = 0
+	}
+	w := s.w
+	full, old := s.full, s.oldFull
+	for j := 0; j < w; j++ {
+		// Inactive lanes are masked out, as in PackedSession.
+		mask := s.masks[j]
+		if base := j << 6; base+64 <= len(powers) {
+			pw := (*[64]float64)(powers[base:])
+			for i, wt := range weights {
+				d := (full[i*w+j] ^ old[i*w+j]) & mask
+				for ; d != 0; d &= d - 1 {
+					pw[bits.TrailingZeros64(d)&63] += wt
+				}
+			}
+		} else {
+			// Final partial word: fewer than 64 lanes of powers remain.
+			pw := powers[base:]
+			for i, wt := range weights {
+				d := (full[i*w+j] ^ old[i*w+j]) & mask
+				for ; d != 0; d &= d - 1 {
+					pw[bits.TrailingZeros64(d)] += wt
+				}
+			}
+		}
+	}
+}
+
+// StepSampledWith advances every lane one clock cycle, observing each
+// lane with the scalar power engine — the general-delay path. Per-lane
+// results are bit-identical to PackedSession.StepSampledWith.
+func (s *CompiledSession) StepSampledWith(engine PowerEngine, weights []float64, powers []float64) {
+	if len(powers) < s.lanes {
+		panic(fmt.Sprintf("sim: compiled StepSampledWith powers length %d, want >= %d", len(powers), s.lanes))
+	}
+	s.refreshFull()
+	s.advanceFull()
+	s.observeLanes(engine, weights, powers)
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.settleFull()
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// StepSampledBoth advances every lane one clock cycle, observing each
+// lane with the scalar engine while also computing the zero-delay
+// toggle covariate from the row diff — both per-lane bit-identical to
+// PackedSession.StepSampledBoth.
+func (s *CompiledSession) StepSampledBoth(engine PowerEngine, weights []float64, powers, toggles []float64) {
+	if len(powers) < s.lanes || len(toggles) < s.lanes {
+		panic(fmt.Sprintf("sim: compiled StepSampledBoth powers/toggles lengths %d/%d, want >= %d",
+			len(powers), len(toggles), s.lanes))
+	}
+	if len(weights) != s.c.NumNodes() {
+		panic(fmt.Sprintf("sim: compiled StepSampledBoth weights length %d, want %d", len(weights), s.c.NumNodes()))
+	}
+	s.refreshFull()
+	s.advanceFull()
+	s.observeLanes(engine, weights, powers)
+	s.q, s.nextQ = s.nextQ, s.q
+	s.pins, s.buf = s.buf, s.pins
+	s.full, s.oldFull = s.oldFull, s.full
+	s.settleFull()
+	s.toggleDiff(weights, toggles)
+	s.SampledCycles += uint64(s.lanes)
+}
+
+// ExtractLane copies lane k's settled state into scalar arrays (any
+// destination may be nil), re-settling the Full file first if hidden
+// cycles left it stale.
+func (s *CompiledSession) ExtractLane(k int, vals, pins, q []bool) {
+	if k < 0 || k >= s.lanes {
+		panic(fmt.Sprintf("sim: ExtractLane %d of %d", k, s.lanes))
+	}
+	if vals != nil {
+		s.refreshFull()
+		s.extractRows(k, vals, s.full)
+	}
+	if pins != nil {
+		s.extractRows(k, pins, s.pins)
+	}
+	if q != nil {
+		s.extractRows(k, q, s.q)
+	}
+}
+
+// extractRows unpacks lane k of every w-word row in src into dst.
+func (s *CompiledSession) extractRows(k int, dst []bool, src []uint64) {
+	word, bit := k>>6, uint64(1)<<uint(k&63)
+	for i := range dst {
+		dst[i] = src[i*s.w+word]&bit != 0
+	}
+}

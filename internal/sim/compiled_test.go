@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench89"
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+// packedTile is one <=64-lane packed reference covering compiled lanes
+// [lo, lo+ps.Lanes()). A compiled session wider than 64 lanes is
+// checked against packed sessions tiling the same lane range — per-lane
+// bit-identity is width-independent, so tiling checks exactly the
+// multi-word packing contract.
+type packedTile struct {
+	lo int
+	ps *PackedSession
+}
+
+// newPackedTiles builds packed reference sessions tiling `lanes` lanes
+// with the same lane→seed mapping the compiled session uses.
+func newPackedTiles(c *netlist.Circuit, lanes int, base int64) []packedTile {
+	var tiles []packedTile
+	for lo := 0; lo < lanes; lo += MaxLanes {
+		n := lanes - lo
+		if n > MaxLanes {
+			n = MaxLanes
+		}
+		tiles = append(tiles, packedTile{
+			lo: lo,
+			ps: NewPackedSession(c, laneSources(len(c.Inputs), n, base+int64(lo))),
+		})
+	}
+	return tiles
+}
+
+// diffCompiledPacked drives a compiled session and its packed reference
+// tiles through `cycles` mixed steps (hidden runs and all three sampled
+// flavours, chosen by a seeded rng) and reports any per-lane
+// divergence: settled node values, input pattern, latch state,
+// zero-delay toggle powers, scalar-engine powers and the
+// control-variate covariate must all be bit-identical.
+func diffCompiledPacked(t *testing.T, c *netlist.Circuit, lanes, cycles int, base, rngSeed int64) {
+	t.Helper()
+	cs := NewCompiledSession(c, laneSources(len(c.Inputs), lanes, base))
+	tiles := newPackedTiles(c, lanes, base)
+	weights := make([]float64, c.NumNodes())
+	for i := range weights {
+		weights[i] = 1 + float64(i%7)/3
+	}
+	dt := delay.BuildTable(c, delay.DefaultFanoutLoaded())
+	csEngine := NewEventDriven(c, dt)
+	tileEngine := NewEventDriven(c, dt)
+
+	// The packed tiles write into their own slice of the lane-indexed
+	// buffers, so comparisons address both sessions by global lane.
+	cPow := make([]float64, lanes)
+	cTog := make([]float64, lanes)
+	pPow := make([]float64, lanes)
+	pTog := make([]float64, lanes)
+	cVals := make([]bool, c.NumNodes())
+	pVals := make([]bool, c.NumNodes())
+	cPins := make([]bool, len(c.Inputs))
+	pPins := make([]bool, len(c.Inputs))
+	cQ := make([]bool, len(c.Latches))
+	pQ := make([]bool, len(c.Latches))
+
+	compareLanes := func(cycle int, sampled bool) {
+		for _, tl := range tiles {
+			for k := 0; k < tl.ps.Lanes(); k++ {
+				lane := tl.lo + k
+				if sampled {
+					if cPow[lane] != pPow[lane] {
+						t.Fatalf("cycle %d lane %d: power %g, packed %g", cycle, lane, cPow[lane], pPow[lane])
+					}
+					if cTog[lane] != pTog[lane] {
+						t.Fatalf("cycle %d lane %d: toggle %g, packed %g", cycle, lane, cTog[lane], pTog[lane])
+					}
+				}
+				cs.ExtractLane(lane, cVals, cPins, cQ)
+				tl.ps.ExtractLane(k, pVals, pPins, pQ)
+				for i := range cQ {
+					if cQ[i] != pQ[i] {
+						t.Fatalf("cycle %d lane %d: latch %d mismatch", cycle, lane, i)
+					}
+				}
+				for i := range cPins {
+					if cPins[i] != pPins[i] {
+						t.Fatalf("cycle %d lane %d: input %d mismatch", cycle, lane, i)
+					}
+				}
+				for i := range cVals {
+					if cVals[i] != pVals[i] {
+						t.Fatalf("cycle %d lane %d: node %s mismatch", cycle, lane, c.Nodes[i].Name)
+					}
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(rngSeed))
+	for cycle := 0; cycle < cycles; cycle++ {
+		sampled := true
+		switch rng.Intn(5) {
+		case 0, 1:
+			sampled = false
+			cs.StepHidden()
+			for _, tl := range tiles {
+				tl.ps.StepHidden()
+			}
+		case 2:
+			// Zero-delay word-level sampling (StepSampled). The toggle
+			// comparison reuses the power slot: under this flavour the
+			// toggle sum IS the power.
+			cs.StepSampled(weights, cPow)
+			copy(cTog, cPow)
+			for _, tl := range tiles {
+				tl.ps.StepSampled(weights, pPow[tl.lo:tl.lo+tl.ps.Lanes()])
+			}
+			copy(pTog, pPow)
+		case 3:
+			// General-delay per-lane engine sampling (StepSampledWith).
+			cs.StepSampledWith(csEngine, weights, cPow)
+			copy(cTog, cPow)
+			for _, tl := range tiles {
+				tl.ps.StepSampledWith(tileEngine, weights, pPow[tl.lo:tl.lo+tl.ps.Lanes()])
+			}
+			copy(pTog, pPow)
+		default:
+			// Engine power plus toggle covariate (StepSampledBoth).
+			cs.StepSampledBoth(csEngine, weights, cPow, cTog)
+			for _, tl := range tiles {
+				lo, hi := tl.lo, tl.lo+tl.ps.Lanes()
+				tl.ps.StepSampledBoth(tileEngine, weights, pPow[lo:hi], pTog[lo:hi])
+			}
+		}
+		compareLanes(cycle, sampled)
+	}
+	ch, csamp := cs.CycleCounts()
+	var ph, psamp uint64
+	for _, tl := range tiles {
+		h, s := tl.ps.CycleCounts()
+		ph += h
+		psamp += s
+	}
+	if ch != ph || csamp != psamp {
+		t.Fatalf("cycle counters (%d, %d), packed (%d, %d)", ch, csamp, ph, psamp)
+	}
+}
+
+// TestCompiledMatchesPackedBench89 runs the differential battery over
+// every bench89 circuit at full word width: compiled and interpreted
+// sessions must agree bit-for-bit on all 64 lanes under both power
+// modes.
+func TestCompiledMatchesPackedBench89(t *testing.T) {
+	for _, name := range bench89.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c := bench89.MustGet(name)
+			cycles := 24
+			if c.NumNodes() > 500 {
+				cycles = 10
+			}
+			diffCompiledPacked(t, c, MaxLanes, cycles, bench89SeedBase(name), 101)
+		})
+	}
+}
+
+// bench89SeedBase derives a stable per-circuit seed base.
+func bench89SeedBase(name string) int64 {
+	var h int64 = 1
+	for _, r := range name {
+		h = h*131 + int64(r)
+	}
+	return h&0xffff + 3
+}
+
+// TestCompiledMultiWordLanes checks the widened packing: 65, 256 and
+// 512 lanes exercise 2- and 8-word rows, including a partial final
+// word, against 64-lane packed tiles.
+func TestCompiledMultiWordLanes(t *testing.T) {
+	c := bench89.MustGet("s298")
+	for _, lanes := range []int{1, 63, 65, 256, CompiledMaxLanes} {
+		diffCompiledPacked(t, c, lanes, 10, int64(900+lanes), int64(lanes))
+	}
+}
+
+// TestCompiledMatchesPackedBenchgen runs the battery over exactly the
+// randomized netlists cmd/benchgen emits (-family random:<seed>):
+// generate, serialize to .bench text, reparse, and diff the reparsed
+// circuit — so the compiled backend is checked against the interpreter
+// on freshly parsed external netlists, not only on in-memory generator
+// output.
+func TestCompiledMatchesPackedBenchgen(t *testing.T) {
+	for seed := uint32(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("random%d", seed), func(t *testing.T) {
+			t.Parallel()
+			gen, err := bench89.Generate(bench89.RandomSignature(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := netlist.WriteBench(&buf, gen); err != nil {
+				t.Fatal(err)
+			}
+			c, err := netlist.ParseBenchString(gen.Name, buf.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lanes := 32 + int(seed)*29 // spans sub-word and multi-word widths
+			diffCompiledPacked(t, c, lanes, 16, int64(seed)*977+5, int64(seed)+55)
+		})
+	}
+}
+
+// TestPropertyCompiledMatchesPacked is the central compiler property
+// over seeded random netlists: any generated circuit, any mixed
+// hidden/sampled trajectory, every lane bit-identical to the
+// interpreter.
+func TestPropertyCompiledMatchesPacked(t *testing.T) {
+	check := func(seed uint32) bool {
+		sig := randomSignature(seed)
+		c, err := bench89.Generate(sig)
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		lanes := 1 + int(seed%uint32(2*MaxLanes+5))
+		diffCompiledPacked(t, c, lanes, 14, int64(seed)*3000+17, int64(seed))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

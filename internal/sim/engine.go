@@ -45,6 +45,10 @@ const (
 	EngineEventDriven     = "event-driven"
 	EngineZeroDelay       = "zero-delay"
 	EnginePackedZeroDelay = "packed-zero-delay"
+	// EngineCompiledZeroDelay is reported when sampled cycles are
+	// observed word-parallel by the compiled backend
+	// (CompiledSession.StepSampled).
+	EngineCompiledZeroDelay = "compiled-zero-delay"
 )
 
 // ZeroDelayToggle is the zero-delay power engine: one levelized settle

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// FuzzCompile feeds arbitrary ISCAS89 ".bench" text through the parser
+// and, whenever a circuit results, through the compiler and one
+// hidden-plus-sampled trajectory, asserting the compiled session agrees
+// with the interpreted packed session on every lane and that nothing
+// panics on degenerate shapes — constant cones, buffer chains, latches
+// fed by latches, unused inputs.
+func FuzzCompile(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = AND(a, a)\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = NOT(q)\nz = OR(a, q)\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nc0 = CONST0()\nb = BUF(c0)\nq = DFF(b)\nz = XOR(a, q)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(q2)\nq2 = DFF(q1)\nz = NAND(a, XNORg)\nXNORg = XNOR(b, q1)\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nc1 = CONST1()\nz = XOR(a, c1)\nq = DFF(z)\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := netlist.ParseBenchString("fuzz", text)
+		if err != nil {
+			t.Skip()
+		}
+		// Compile must handle anything the parser accepts.
+		u := compile.Compile(c)
+		if u.Full == nil || u.Step == nil {
+			t.Fatal("Compile returned nil program")
+		}
+		const lanes = 3
+		srcs := func() []vectors.Source {
+			out := make([]vectors.Source, lanes)
+			for k := range out {
+				out[k] = vectors.NewIID(len(c.Inputs), 0.5, int64(100+k))
+			}
+			return out
+		}
+		cs := NewCompiledSession(c, srcs())
+		ps := NewPackedSession(c, srcs())
+		weights := make([]float64, c.NumNodes())
+		for i := range weights {
+			weights[i] = 1 + float64(i%3)
+		}
+		cPow := make([]float64, lanes)
+		pPow := make([]float64, lanes)
+		cVals := make([]bool, c.NumNodes())
+		pVals := make([]bool, c.NumNodes())
+		for cycle := 0; cycle < 4; cycle++ {
+			cs.StepHidden()
+			ps.StepHidden()
+		}
+		cs.StepSampled(weights, cPow)
+		ps.StepSampled(weights, pPow)
+		for k := 0; k < lanes; k++ {
+			if cPow[k] != pPow[k] {
+				t.Fatalf("lane %d: compiled power %g, packed %g", k, cPow[k], pPow[k])
+			}
+			cs.ExtractLane(k, cVals, nil, nil)
+			ps.ExtractLane(k, pVals, nil, nil)
+			for i := range cVals {
+				if cVals[i] != pVals[i] {
+					t.Fatalf("lane %d: node %s mismatch", k, c.Nodes[i].Name)
+				}
+			}
+		}
+	})
+}

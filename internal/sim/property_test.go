@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -13,21 +12,10 @@ import (
 )
 
 // randomSignature derives a small well-formed circuit signature from
-// quick-check randomness.
+// quick-check randomness (the shared seeded derivation benchgen's
+// "random" family also uses).
 func randomSignature(seed uint32) bench89.Signature {
-	rng := rand.New(rand.NewSource(int64(seed)))
-	pi := 3 + rng.Intn(8)
-	po := 1 + rng.Intn(6)
-	ff := 1 + rng.Intn(16)
-	// Minimum: 1 + 2*ff (counter worst case) + ff (free) + po, padded.
-	gates := 1 + 3*ff + po + rng.Intn(120)
-	return bench89.Signature{
-		Name:    fmt.Sprintf("rnd%d", seed),
-		Inputs:  pi,
-		Outputs: po,
-		Latches: ff,
-		Gates:   gates,
-	}
+	return bench89.RandomSignature(seed)
 }
 
 // TestPropertyEventDrivenMatchesZeroDelay is the central simulator

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_6.json: estimation duty-cycle throughput of the
+# compiled word-level backend vs the packed interpreter on the
+# regression trio (s298/s832/s1494). Optional first argument overrides
+# the number of timed duty-cycle sweeps (default 8).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sweeps="${1:-8}"
+go run ./cmd/dipe-experiments -compiled -compiled-sweeps "$sweeps" -compiled-json BENCH_6.json
