@@ -10,6 +10,7 @@
 //	benchgen -out . -family shift:32          # 32-stage shift register
 //	benchgen -out . -family pipeline:8:4      # 8 bits wide, 4 stages
 //	benchgen -out . -family random:42         # seeded random netlist
+//	benchgen -out . -family random:7:100000   # ~100k-gate scaled netlist
 package main
 
 import (
@@ -79,6 +80,19 @@ func buildFamily(spec string) (*netlist.Circuit, error) {
 		}
 		if seed < 0 {
 			return nil, fmt.Errorf("random seed %d must be >= 0", seed)
+		}
+		// An optional third argument scales the circuit to a gate target:
+		// random:7:100000 is a deterministic ~100k-gate netlist sized for
+		// the cache-blocking benchmarks.
+		if len(parts) > 2 {
+			gates, err := atoi(2, 0)
+			if err != nil {
+				return nil, err
+			}
+			if gates < 1 {
+				return nil, fmt.Errorf("random gate count %d must be >= 1", gates)
+			}
+			return bench89.Generate(bench89.ScaledSignature(uint32(seed), gates))
 		}
 		return bench89.Generate(bench89.RandomSignature(uint32(seed)))
 	}

@@ -9,6 +9,7 @@
 //	dipe-experiments -modes                        # general- vs zero-delay power modes
 //	dipe-experiments -sampled -sampled-json BENCH_2.json   # sampled-phase throughput
 //	dipe-experiments -compiled -compiled-json BENCH_6.json # compiled-vs-packed duty cycle
+//	dipe-experiments -large -large-json BENCH_7.json       # cache blocking at s38417+ scale
 //	dipe-experiments -table1 -circuits s27,s298    # subset
 //	dipe-experiments -all -small                   # everything, small circuits
 //
@@ -64,6 +65,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		compSw   = fs.Int("compiled-sweeps", 8, "timed duty-cycle sweeps per circuit for -compiled")
 		compLn   = fs.Int("compiled-lanes", 512, "compiled session width for -compiled")
 		compJ    = fs.String("compiled-json", "", "write the -compiled report as JSON to this file (BENCH_6.json)")
+		largeB   = fs.Bool("large", false, "run the large-circuit cache-blocking benchmark (unblocked vs blocked vs level-parallel)")
+		largeSw  = fs.Int("large-sweeps", 3, "timed duty-cycle sweeps per configuration for -large")
+		largeGt  = fs.Int("large-gates", 100_000, "synthetic scaled-circuit gate count for -large (0 = named circuits only)")
+		largeWk  = fs.String("large-workers", "2", "comma-separated level-parallel worker counts for -large (empty = none)")
+		largeLn  = fs.Int("large-lanes", 512, "compiled session width for -large")
+		largeJ   = fs.String("large-json", "", "write the -large report as JSON to this file (BENCH_7.json)")
 		clusterB = fs.Bool("cluster", false, "run the distributed scaling benchmark (coordinator + in-process workers)")
 		clusterW = fs.String("cluster-workers", "1,2", "comma-separated worker counts for -cluster")
 		clusterN = fs.Int("cluster-samples", 8192, "sample budget per -cluster run")
@@ -106,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Circuits = bench89.SmallNames(700)
 	}
 
-	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*compiled && !*modes && !*clusterB && !*vrB && !*hetB {
+	if !*table1 && !*table2 && !*fig3 && *ablation == "" && !*all && !*packed && !*sampled && !*compiled && !*largeB && !*modes && !*clusterB && !*vrB && !*hetB {
 		fs.Usage()
 		return fmt.Errorf("no campaign selected")
 	}
@@ -236,6 +243,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", *compJ)
+		}
+	}
+
+	if *largeB {
+		lcfg := experiments.DefaultLargeBenchConfig()
+		lcfg.Sweeps = *largeSw
+		lcfg.ScaledGates = *largeGt
+		lcfg.Lanes = *largeLn
+		lcfg.Seed = cfg.BaseSeed
+		if *circuits != "" {
+			lcfg.Circuits = cfg.Circuits
+		}
+		lcfg.WorkerCounts = lcfg.WorkerCounts[:0]
+		if s := strings.TrimSpace(*largeWk); s != "" {
+			for _, e := range strings.Split(s, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(e))
+				if err != nil || n < 1 {
+					return fmt.Errorf("bad -large-workers entry %q", e)
+				}
+				lcfg.WorkerCounts = append(lcfg.WorkerCounts, n)
+			}
+		}
+		if !*quiet {
+			lcfg.Log = func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) }
+		}
+		rows, err := experiments.LargeBench(lcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderLargeBench(rows))
+		if *largeJ != "" {
+			if err := os.WriteFile(*largeJ, []byte(experiments.LargeBenchJSON(rows)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *largeJ)
 		}
 	}
 

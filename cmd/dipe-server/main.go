@@ -40,6 +40,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,6 +75,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		leaseT      = fs.Duration("lease-timeout", 0, "cluster per-block lease deadline (0 = default 15s)")
 		workerWait  = fs.Duration("worker-wait", 0, "grace a cluster job waits for a live worker before failing (0 = fail fast, or 45s when -state-dir is set so resumed jobs outlast fleet re-registration)")
 		stateDir    = fs.String("state-dir", "", "durable job-store directory; jobs interrupted by a crash or restart resume on the next start (empty = in-memory only)")
+		debugPprof  = fs.Bool("debug-pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,7 +132,22 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *debugPprof {
+		// The profiling endpoints are opt-in and live on a private mux so
+		// the default import side effects on http.DefaultServeMux are
+		// never exposed by accident.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(out, "dipe-server pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(out, "dipe-server listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/delay"
@@ -85,13 +86,15 @@ func main() {
 		test        = flag.String("test", "runs", "randomness test: runs | updown | vonneumann")
 		powerMode   = flag.String("power-mode", "general-delay", "sampled-cycle observation: general-delay (glitches included) | zero-delay (functional toggles, bit-parallel)")
 		variance    = flag.String("variance", "none", "variance reduction: none | antithetic | control-variate (implies -replications; fewer sampled cycles to the same confidence interval)")
-		backendName = flag.String("backend", "packed", "lane-parallel backend for -replications: packed | compiled (observation-equivalent; compiled replays word-level bytecode)")
+		backendName = flag.String("backend", "compiled", "lane-parallel backend for -replications: compiled (word-level bytecode, default) | packed (reference interpreter; observation-equivalent)")
 		inputProb   = flag.Float64("p", 0.5, "primary-input signal probability")
 		inputRho    = flag.Float64("rho", 0, "primary-input lag-1 autocorrelation (0 = i.i.d.)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		fixed       = flag.Int("interval", -1, "fixed independence interval (skip selection; -1 = dynamic)")
 		reps        = flag.Int("replications", 0, "parallel replications (bit-packed, 64 per word; 0 = serial estimator)")
 		workers     = flag.Int("workers", 0, "goroutine pool for -replications (0 = GOMAXPROCS)")
+		sessWorkers = flag.Int("session-workers", 0, "level-parallel workers inside each compiled session (0 = serial; result-invariant)")
+		cacheBudget = flag.Int("cache-budget", 0, "compiled-backend cache-blocking budget in bytes (0 = default ~L2/2, <0 = disable blocking; result-invariant)")
 		ztrace      = flag.Int("ztrace", -1, "print z statistic for trial intervals 0..N and exit")
 		ztraceLen   = flag.Int("ztrace-len", 10000, "sequence length for -ztrace")
 		refCycles   = flag.Int("ref", 0, "run an N-cycle consecutive reference instead of DIPE")
@@ -100,19 +103,58 @@ func main() {
 		maxBudget   = flag.Int("max", 0, "search for peak single-cycle power with an N-cycle budget")
 		vcdPath     = flag.String("vcd", "", "dump sampled-cycle waveforms to a VCD file")
 		vcdCycles   = flag.Int("vcd-cycles", 64, "number of cycles to dump with -vcd")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
-		*criterion, *test, *powerMode, *variance, *backendName, *inputProb, *inputRho, *seed, *fixed, *reps, *workers, *ztrace, *ztraceLen,
-		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles); err != nil {
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dipe:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dipe:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
+	err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
+		*criterion, *test, *powerMode, *variance, *backendName, *inputProb, *inputRho, *seed, *fixed, *reps, *workers,
+		*sessWorkers, *cacheBudget, *ztrace, *ztraceLen,
+		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles)
+
+	// os.Exit below skips defers, so the profiles are finalized inline
+	// on both the success and the error path.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "dipe:", merr)
+		} else {
+			runtime.GC()
+			if merr := pprof.WriteHeapProfile(f); merr != nil {
+				fmt.Fprintln(os.Stderr, "dipe:", merr)
+			}
+			f.Close()
+		}
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dipe:", err)
 		os.Exit(1)
 	}
 }
 
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
-	criterion, test, powerMode, variance, backendName string, inputProb, inputRho float64, seed int64, fixed, reps, workers, ztrace, ztraceLen,
+	criterion, test, powerMode, variance, backendName string, inputProb, inputRho float64, seed int64, fixed, reps, workers,
+	sessWorkers, cacheBudget, ztrace, ztraceLen int,
 	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int) error {
 
 	var (
@@ -182,6 +224,8 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 		return err
 	}
 	opts.Backend = backend
+	opts.SessionWorkers = sessWorkers
+	opts.CacheBudget = cacheBudget
 	if vrMode != dipe.VarianceNone && reps == 0 {
 		// The transforms are defined over the replication space; default
 		// to one full packed word like the parallel estimator does.

@@ -21,6 +21,8 @@ type runArgs struct {
 	inputProb, inputRho  float64
 	seed                 int64
 	fixed, reps, workers int
+	sessWorkers          int
+	cacheBudget          int
 	ztrace, ztraceLen    int
 	refCycles            int
 	verbose              bool
@@ -41,7 +43,7 @@ func defaults() runArgs {
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
 		a.criterion, a.test, a.powerMode, a.variance, a.backend, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
-		a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
+		a.sessWorkers, a.cacheBudget, a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
 }
 
 func TestRunEstimate(t *testing.T) {
@@ -222,6 +224,24 @@ func TestRunCompiledBackend(t *testing.T) {
 	a.backend = "bogus"
 	if err := a.run(); err == nil {
 		t.Fatal("bogus backend accepted")
+	}
+}
+
+func TestRunSessionTuning(t *testing.T) {
+	// The blocking budget and level-parallel worker knobs are
+	// result-invariant; the run just has to succeed end to end.
+	a := defaults()
+	a.circuit = "s27"
+	a.powerMode = "zero-delay"
+	a.reps = 8
+	a.cacheBudget = 4 << 10
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	a.cacheBudget = 0
+	a.sessWorkers = 2
+	if err := a.run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -73,6 +73,18 @@ var signatures = []Signature{
 	{"s15850", 77, 150, 534, 9772},
 }
 
+// extended lists the large ISCAS'89 circuits beyond the paper's tables,
+// with their widely published sizes. They exist to exercise the memory
+// wall: s38417-class register files outgrow L2 and are the target of the
+// compiled backend's cache blocking.
+var extended = []Signature{
+	{"s953", 16, 23, 29, 395},
+	{"s13207", 62, 152, 638, 7951},
+	{"s35932", 35, 320, 1728, 16065},
+	{"s38417", 28, 106, 1636, 22179},
+	{"s38584", 38, 304, 1426, 19253},
+}
+
 // Names returns the benchmark names in the paper's table order.
 func Names() []string {
 	out := make([]string, len(signatures))
@@ -80,6 +92,22 @@ func Names() []string {
 		out[i] = s.Name
 	}
 	return out
+}
+
+// ExtendedNames returns the large ISCAS'89 circuits outside the paper's
+// tables (s953 and the s13207..s38584 class), in size order.
+func ExtendedNames() []string {
+	out := make([]string, len(extended))
+	for i, s := range extended {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// AllNames returns the paper's table circuits followed by the extended
+// large-circuit suite.
+func AllNames() []string {
+	return append(Names(), ExtendedNames()...)
 }
 
 // SmallNames returns the subset of benchmarks with fewer than the given
@@ -95,9 +123,15 @@ func SmallNames(maxGates int) []string {
 	return out
 }
 
-// Lookup returns the signature for a benchmark name.
+// Lookup returns the signature for a benchmark name, searching the
+// paper's table and the extended large-circuit suite.
 func Lookup(name string) (Signature, bool) {
 	for _, s := range signatures {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range extended {
 		if s.Name == name {
 			return s, true
 		}
@@ -122,7 +156,7 @@ func Get(name string) (*netlist.Circuit, error) {
 	}
 	sig, ok := Lookup(name)
 	if !ok {
-		known := append([]string{"s27"}, Names()...)
+		known := append([]string{"s27"}, AllNames()...)
 		sort.Strings(known)
 		return nil, fmt.Errorf("bench89: unknown circuit %q (known: %v)", name, known)
 	}
@@ -161,6 +195,36 @@ func RandomSignature(seed uint32) Signature {
 	gates := 1 + 3*ff + po + rng.Intn(120)
 	return Signature{
 		Name:    fmt.Sprintf("rnd%d", seed),
+		Inputs:  pi,
+		Outputs: po,
+		Latches: ff,
+		Gates:   gates,
+	}
+}
+
+// ScaledSignature derives a well-formed synthetic signature of roughly
+// the given gate count. Unlike RandomSignature it targets large
+// circuits: the latch fraction is fixed at 1/4 (s38417-class circuits
+// are latch-heavy, and latch+input rows are the floor of the compiled
+// Step register file), so the generated circuit's working set genuinely
+// outgrows L2 at 100k gates and the memory wall is reproducible. The
+// same (seed, gates) pair always yields the same signature and, via
+// Generate, the same circuit.
+func ScaledSignature(seed uint32, gates int) Signature {
+	if gates < 64 {
+		gates = 64
+	}
+	ff := gates / 4
+	pi := 32 + gates/256
+	if pi > 512 {
+		pi = 512
+	}
+	po := 8 + gates/512
+	if po > 256 {
+		po = 256
+	}
+	return Signature{
+		Name:    fmt.Sprintf("big%dx%d", seed, gates),
 		Inputs:  pi,
 		Outputs: po,
 		Latches: ff,

@@ -132,3 +132,87 @@ func TestGeneratedHasCombinationalVariety(t *testing.T) {
 		}
 	}
 }
+
+// TestExtendedSignaturesExact is TestSignaturesExact for the extended
+// large-circuit set: every generated circuit must hit its published
+// PI/PO/DFF/gate counts exactly, and the extended names must be
+// reachable through AllNames and Lookup but stay out of Names (the
+// paper's default campaign set).
+func TestExtendedSignaturesExact(t *testing.T) {
+	if len(ExtendedNames()) == 0 {
+		t.Fatal("no extended circuits")
+	}
+	base := make(map[string]bool)
+	for _, n := range Names() {
+		base[n] = true
+	}
+	all := make(map[string]bool)
+	for _, n := range AllNames() {
+		all[n] = true
+	}
+	for _, name := range ExtendedNames() {
+		if base[name] {
+			t.Errorf("%s: extended circuit leaked into Names()", name)
+		}
+		if !all[name] {
+			t.Errorf("%s: extended circuit missing from AllNames()", name)
+		}
+		sig, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%s) failed", name)
+		}
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		st := c.ComputeStats()
+		if st.Inputs != sig.Inputs || st.Outputs != sig.Outputs ||
+			st.Latches != sig.Latches || st.Gates != sig.Gates {
+			t.Errorf("%s: generated %d/%d/%d/%d, want %d/%d/%d/%d",
+				name, st.Inputs, st.Outputs, st.Latches, st.Gates,
+				sig.Inputs, sig.Outputs, sig.Latches, sig.Gates)
+		}
+	}
+}
+
+// TestScaledSignatureGenerates checks the synthetic large-circuit
+// family behind benchgen's random:seed:gates spec: deterministic
+// generation at the requested gate count, a latch-heavy shape (the
+// Step program's register file must genuinely scale with the circuit),
+// and distinct netlists across seeds.
+func TestScaledSignatureGenerates(t *testing.T) {
+	sig := ScaledSignature(3, 20000)
+	if sig.Gates != 20000 {
+		t.Fatalf("gates %d, want 20000", sig.Gates)
+	}
+	if sig.Latches < sig.Gates/8 {
+		t.Fatalf("latches %d too few for gates %d: scaled circuits must be latch-heavy", sig.Latches, sig.Gates)
+	}
+	c, err := Generate(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ComputeStats()
+	if st.Gates != sig.Gates || st.Latches != sig.Latches || st.Inputs != sig.Inputs || st.Outputs != sig.Outputs {
+		t.Fatalf("generated %d/%d/%d/%d, want %d/%d/%d/%d",
+			st.Inputs, st.Outputs, st.Latches, st.Gates,
+			sig.Inputs, sig.Outputs, sig.Latches, sig.Gates)
+	}
+	c2, err := Generate(ScaledSignature(3, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.BenchString(c) != netlist.BenchString(c2) {
+		t.Fatal("scaled generation is not deterministic")
+	}
+	other, err := Generate(ScaledSignature(4, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.BenchString(other) == netlist.BenchString(c) {
+		t.Fatal("different seeds generated identical netlists")
+	}
+	if _, err := Generate(ScaledSignature(1, 10)); err != nil {
+		t.Fatalf("tiny gate count not clamped: %v", err)
+	}
+}

@@ -467,14 +467,22 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 	}
 	// LeaseSplit ranges per live worker: over-partitioning is what gives
 	// fast workers a tail of leases to steal from slow ones. The range
-	// *boundaries* come from core.SplitRange — the one partition rule
-	// shared with the in-process shard layout — and the merge order is
-	// unchanged, so the range count never shows in the merged result.
+	// *boundaries* come from core.SplitRangeAligned — the one partition
+	// rule shared with the in-process shard layout, rounded to the
+	// backend's session width so leases pack whole compiled word rows —
+	// and the merge order is unchanged, so neither the range count nor
+	// the alignment shows in the merged result. Jobs too small for
+	// full-width leases halve the alignment until every lease keeps at
+	// least one aligned block, preserving the stealable tail.
 	k := len(alive) * c.leaseSplit
 	if k > reps {
 		k = reps
 	}
-	bounds := core.SplitRange(0, reps, k)
+	align := sim.MaxLanesFor(opts.Backend)
+	for align > 1 && reps < k*align {
+		align >>= 1
+	}
+	bounds := core.SplitRangeAligned(0, reps, k, align)
 	ranges := make([]*repRange, k)
 	lanes := make([]int, k)
 	blocks := make([][]float64, k)

@@ -35,7 +35,38 @@ func Compile(c *netlist.Circuit) *Unit {
 	}
 	r := c.CSR()
 	cv := constEval(r)
-	return &Unit{Full: compileFull(r, cv), Step: compileStep(r, cv)}
+	ord := levelOrder(r)
+	return &Unit{Full: compileFull(r, cv, ord), Step: compileStep(r, cv, ord)}
+}
+
+// levelOrder returns r.Order stably re-sorted by logic level (a counting
+// sort). The CSR order is a valid topological order but interleaves
+// levels; emitting in level-contiguous order instead makes each program's
+// instructions a sequence of level runs, which is what the blocked
+// executor's per-level waves require. The re-sort is itself topological —
+// every fanin sits at a strictly lower level — and settled values are
+// independent of which valid order is used, so compiled results are
+// unchanged.
+func levelOrder(r *netlist.CSR) []int32 {
+	maxL := int32(0)
+	for _, id := range r.Order {
+		if r.Level[id] > maxL {
+			maxL = r.Level[id]
+		}
+	}
+	cnt := make([]int32, maxL+2)
+	for _, id := range r.Order {
+		cnt[r.Level[id]+1]++
+	}
+	for i := 1; i < len(cnt); i++ {
+		cnt[i] += cnt[i-1]
+	}
+	out := make([]int32, len(r.Order))
+	for _, id := range r.Order {
+		out[cnt[r.Level[id]]] = id
+		cnt[r.Level[id]]++
+	}
+	return out
 }
 
 // constVal is the three-point constant lattice of a signal.
@@ -208,11 +239,11 @@ func (p *Program) emit(dst int32, base logic.Kind, inv bool, ops []int32) {
 }
 
 // compileFull builds the observation-exact program: one register row
-// per node (row i == node i), every varying gate emitted in levelized
-// order, constant cones hoisted into init rows, identity operands
-// elided with the gate's polarity adjusted. Node values after Exec are
-// bit-identical to the interpreted sweep's.
-func compileFull(r *netlist.CSR, cv []constVal) *Program {
+// per node (row i == node i), every varying gate emitted in
+// level-contiguous order, constant cones hoisted into init rows,
+// identity operands elided with the gate's polarity adjusted. Node
+// values after Exec are bit-identical to the interpreted sweep's.
+func compileFull(r *netlist.CSR, cv []constVal, ord []int32) *Program {
 	p := &Program{
 		Slots: r.NumNodes(),
 		In:    append([]int32(nil), r.Inputs...),
@@ -227,7 +258,7 @@ func compileFull(r *netlist.CSR, cv []constVal) *Program {
 			p.Const1 = append(p.Const1, int32(id))
 		}
 	}
-	for _, id := range r.Order {
+	for _, id := range ord {
 		k := r.Kind[id]
 		if !k.IsCombinational() || cv[id] != varying {
 			continue
@@ -236,6 +267,7 @@ func compileFull(r *netlist.CSR, cv []constVal) *Program {
 		base, inv := shape(k)
 		if base == logic.Buf {
 			p.emit(id, base, inv, fi)
+			p.levels = append(p.levels, r.Level[id])
 			continue
 		}
 		ops := make([]int32, 0, len(fi))
@@ -252,6 +284,7 @@ func compileFull(r *netlist.CSR, cv []constVal) *Program {
 			}
 		}
 		p.emit(id, base, inv, ops)
+		p.levels = append(p.levels, r.Level[id])
 	}
 	return p
 }
@@ -262,7 +295,7 @@ func compileFull(r *netlist.CSR, cv []constVal) *Program {
 // recycled temporaries. Gates outside the latch-D cone are never
 // compiled; BUF chains collapse to aliases; single-fanout same-base
 // chains fuse into n-ary ops.
-func compileStep(r *netlist.CSR, cv []constVal) *Program {
+func compileStep(r *netlist.CSR, cv []constVal, ord []int32) *Program {
 	n := r.NumNodes()
 	nIn, nL := len(r.Inputs), len(r.Latches)
 	p := &Program{Slots: nIn + nL}
@@ -352,7 +385,7 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 	// node after BUF collapse and constant elision. Chain fusion moves a
 	// child's operands into its parent, so counts are stable under it.
 	uses := make([]int32, n)
-	for _, id := range r.Order {
+	for _, id := range ord {
 		if !isGate(id) {
 			continue
 		}
@@ -389,8 +422,8 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 		}
 		return !inv || base == logic.Xor
 	}
-	for i := len(r.Order) - 1; i >= 0; i-- {
-		id := r.Order[i]
+	for i := len(ord) - 1; i >= 0; i-- {
+		id := ord[i]
 		if !isGate(id) || r.Kind[id] == logic.Not {
 			continue
 		}
@@ -434,15 +467,18 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 		return ops, inv
 	}
 
-	// Virtual emission: destinations and operands are node ids.
+	// Virtual emission: destinations and operands are node ids. The walk
+	// over the level-sorted order makes vcode (and so the final program)
+	// level-contiguous; lvl records each instruction's logic level.
 	type vinst struct {
 		base logic.Kind
 		inv  bool
 		dst  int32
+		lvl  int32
 		ops  []int32
 	}
 	var vcode []vinst
-	for _, id := range r.Order {
+	for _, id := range ord {
 		if !isGate(id) || absorbed[id] {
 			continue
 		}
@@ -454,7 +490,7 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 		} else {
 			ops, inv = collect(base, id, inv, make([]int32, 0, 4))
 		}
-		vcode = append(vcode, vinst{base: base, inv: inv, dst: id, ops: ops})
+		vcode = append(vcode, vinst{base: base, inv: inv, dst: id, lvl: r.Level[id], ops: ops})
 	}
 
 	// Constant rows, allocated only if something still references them
@@ -478,7 +514,11 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 	// are fixed; temporaries are recycled once their last consumer has
 	// executed. An instruction acquires its destination before releasing
 	// its operands, so a destination row never aliases its own operand
-	// rows (the n-ary forms accumulate in place).
+	// rows (the n-ary forms accumulate in place). A slot freed during
+	// level L enters the free list only at the L→L+1 boundary: within one
+	// level no instruction may overwrite a row a same-level neighbor
+	// still reads, which is what lets the blocked executor run one
+	// level's instructions in any order (or in parallel).
 	remaining := make([]int32, n)
 	for _, vi := range vcode {
 		for _, o := range vi.ops {
@@ -494,7 +534,7 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 			row[id] = l
 		}
 	}
-	var free []int32
+	var free, pendingFree []int32
 	acquire := func() int32 {
 		if k := len(free); k > 0 {
 			s := free[k-1]
@@ -505,7 +545,13 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 		p.Slots++
 		return s
 	}
+	curLevel := int32(-1)
 	for _, vi := range vcode {
+		if vi.lvl != curLevel {
+			free = append(free, pendingFree...)
+			pendingFree = pendingFree[:0]
+			curLevel = vi.lvl
+		}
 		ops := make([]int32, len(vi.ops))
 		for j, o := range vi.ops {
 			if row[o] < 0 {
@@ -517,10 +563,11 @@ func compileStep(r *netlist.CSR, cv []constVal) *Program {
 		for _, o := range vi.ops {
 			remaining[o]--
 			if remaining[o] == 0 && !pinned[o] && leaf[o] < 0 {
-				free = append(free, row[o])
+				pendingFree = append(pendingFree, row[o])
 			}
 		}
 		p.emit(row[vi.dst], vi.base, vi.inv, ops)
+		p.levels = append(p.levels, vi.lvl)
 	}
 
 	// D rows: the row of each latch's (collapsed) D driver — a leaf, a

@@ -49,6 +49,24 @@ type inst struct {
 	n    int32 // n-ary: operand count
 }
 
+// forOperands calls f for each operand row of the instruction, in
+// operand order. args is the owning program's (or segment's) table.
+func (in *inst) forOperands(args []int32, f func(int32)) {
+	if in.n > 0 {
+		for _, s := range args[in.off : in.off+in.n] {
+			f(s)
+		}
+		return
+	}
+	switch in.op {
+	case opCopy, opNot:
+		f(in.a)
+	default:
+		f(in.a)
+		f(in.b)
+	}
+}
+
 // Program is a straight-line word-level program over a register file of
 // Slots rows. The caller picks the row width W (words per row) at
 // execution time; all state arrays are laid out row-major, so row s is
@@ -70,7 +88,17 @@ type Program struct {
 	Args []int32
 
 	code []inst
+	// levels[i] is the logic level of code[i]'s destination node. The
+	// compiler emits in level-contiguous order, so levels is
+	// nondecreasing; the blocked executor uses the level runs as its
+	// parallel waves. Instructions of one level are write/read-disjoint
+	// from each other (operands come from strictly lower levels, and the
+	// Step allocator recycles slots only across level boundaries).
+	levels []int32
 }
+
+// NumInsts returns the instruction count.
+func (p *Program) NumInsts() int { return len(p.code) }
 
 // Stats summarizes a compiled program for reports and tests.
 type Stats struct {
@@ -119,13 +147,20 @@ func (p *Program) InitConsts(vals []uint64, w int) {
 // that signal in lane k*64+j, and lanes never mix — every op is a pure
 // per-word bitwise function.
 func (p *Program) Exec(vals []uint64, w int) {
+	execCode(p.code, p.Args, vals, w)
+}
+
+// execCode runs one instruction sequence over a register file of w-word
+// rows. Factored out of Program.Exec so the blocked executor can run
+// segment code (with segment-local args tables) through the same
+// dispatch loop.
+func execCode(code []inst, args []int32, vals []uint64, w int) {
 	if w == 1 {
-		p.exec1(vals)
+		execCode1(code, args, vals)
 		return
 	}
-	args := p.Args
-	for i := range p.code {
-		in := &p.code[i]
+	for i := range code {
+		in := &code[i]
 		dst := vals[int(in.dst)*w : (int(in.dst)+1)*w]
 		switch in.op {
 		case opCopy:
@@ -207,13 +242,12 @@ func (p *Program) Exec(vals []uint64, w int) {
 	}
 }
 
-// exec1 is the single-word specialization: with one word per row the
-// per-op slicing and inner loops collapse to direct indexing, which
+// execCode1 is the single-word specialization: with one word per row
+// the per-op slicing and inner loops collapse to direct indexing, which
 // keeps the compiled backend competitive at 64 lanes and below.
-func (p *Program) exec1(vals []uint64) {
-	args := p.Args
-	for i := range p.code {
-		in := &p.code[i]
+func execCode1(code []inst, args []int32, vals []uint64) {
+	for i := range code {
+		in := &code[i]
 		switch in.op {
 		case opCopy:
 			vals[in.dst] = vals[in.a]

@@ -79,6 +79,7 @@ func TestCompiledBackendGoldenParallel(t *testing.T) {
 			opts.Variance.Mode = tc.variance
 			opts.Replications = tc.reps
 			opts.Workers = 2
+			opts.Backend = sim.BackendPacked
 			packed, err := EstimateParallel(tb, factory, 33, opts)
 			if err != nil {
 				t.Fatal(err)
@@ -115,6 +116,7 @@ func TestCompiledBackendAllZeroUpgradeEngine(t *testing.T) {
 	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
 	opts := DefaultOptions()
 	opts.Replications = 16
+	opts.Backend = sim.BackendPacked
 	packed, err := EstimateParallel(tb, factory, 5, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -176,5 +178,53 @@ func TestCompiledBackendGoldenStreamed(t *testing.T) {
 				t.Fatalf("block %d sample %d: compiled %v, packed %v", i, j, got[i][j], ref[i][j])
 			}
 		}
+	}
+}
+
+// TestBlockedGoldenS38417 is the large-circuit golden test of the
+// cache-blocked and level-parallel executors at estimator level: the
+// full EstimateParallel flow on s38417 must produce bit-identical
+// results whether the compiled programs run as one linear pass
+// (CacheBudget -1), cache-blocked segments (a deliberately tiny budget
+// that forces many segments even at w=1), or level waves across
+// goroutines (SessionWorkers 3). A fixed interval and a loose accuracy
+// spec keep the run test-sized; the contract is exact equality, not
+// statistics.
+func TestBlockedGoldenS38417(t *testing.T) {
+	c := bench89.MustGet("s38417")
+	tb := DefaultTestbench(c)
+	factory := vectors.IIDFactory(len(c.Inputs), 0.5)
+	base := func() Options {
+		opts := DefaultOptions()
+		opts.Mode = power.ModeZeroDelay
+		opts.Replications = 64
+		opts.Workers = 2
+		opts.MaxSamples = 1024 // cap the run; unconverged is fine for identity
+		opts.Spec.RelErr = 0.5
+		return opts
+	}
+	run := func(label string, mutate func(*Options)) Result {
+		opts := base()
+		mutate(&opts)
+		res, err := EstimateParallelWithInterval(tb, factory, 7, opts, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return res
+	}
+	ref := run("unblocked", func(o *Options) { o.CacheBudget = -1 })
+	blocked := run("blocked", func(o *Options) { o.CacheBudget = 32 << 10 })
+	parallel := run("parallel", func(o *Options) { o.SessionWorkers = 3 })
+	if blocked.Power != ref.Power || blocked.HalfWidth != ref.HalfWidth || blocked.SampleSize != ref.SampleSize {
+		t.Errorf("blocked: (%v, %v, %d) != unblocked (%v, %v, %d)",
+			blocked.Power, blocked.HalfWidth, blocked.SampleSize, ref.Power, ref.HalfWidth, ref.SampleSize)
+	}
+	if parallel.Power != ref.Power || parallel.HalfWidth != ref.HalfWidth || parallel.SampleSize != ref.SampleSize {
+		t.Errorf("parallel: (%v, %v, %d) != unblocked (%v, %v, %d)",
+			parallel.Power, parallel.HalfWidth, parallel.SampleSize, ref.Power, ref.HalfWidth, ref.SampleSize)
+	}
+	if blocked.HiddenCycles != ref.HiddenCycles || parallel.HiddenCycles != ref.HiddenCycles {
+		t.Errorf("hidden cycles diverge: unblocked %d, blocked %d, parallel %d",
+			ref.HiddenCycles, blocked.HiddenCycles, parallel.HiddenCycles)
 	}
 }

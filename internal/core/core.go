@@ -72,13 +72,27 @@ type Options struct {
 	// the engine of the session they are handed (Testbench.NewSessionMode).
 	Mode power.PowerMode
 	// Backend selects the lane-parallel simulation backend of the
-	// parallel estimators: the interpreted packed sweep (the zero-value
-	// default) or the compiled word-level engine (sim.BackendCompiled),
-	// which compiles the circuit once at first use and replays it. The
-	// backends are observation-equivalent — per-lane samples are
-	// bit-identical — so this switch changes throughput, never results.
-	// Ignored by the serial estimators (they are scalar).
+	// parallel estimators: the compiled word-level engine
+	// (sim.BackendCompiled, the zero-value default), which compiles the
+	// circuit once at first use and replays it, or the interpreted
+	// packed sweep (sim.BackendPacked). The backends are
+	// observation-equivalent — per-lane samples are bit-identical — so
+	// this switch changes throughput, never results. Ignored by the
+	// serial estimators (they are scalar).
 	Backend sim.Backend
+	// SessionWorkers > 1 runs each compiled session's per-level
+	// instruction waves across this many goroutines, so one big-circuit
+	// replication block can use several cores on top of the
+	// replication-level pool. Result-invariant (deterministic
+	// segment→worker mapping, disjoint writes per wave); ignored by the
+	// packed backend. 0 or 1 keeps sessions single-threaded.
+	SessionWorkers int
+	// CacheBudget bounds the compiled backend's cache-blocked execution
+	// scratch working set in bytes. 0 selects the default
+	// (compile.DefaultBudgetBytes, ~L2/2); negative disables blocking.
+	// Result-invariant; sessions whose register files already fit run
+	// unblocked either way.
+	CacheBudget int
 	// Variance selects a variance-reduction transform for the sampling
 	// phase (see internal/vr): antithetic replication pairing, or a
 	// control-variate correction by the same-cycle zero-delay toggle
@@ -159,6 +173,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative Workers %d", o.Workers)
+	}
+	if o.SessionWorkers < 0 {
+		return fmt.Errorf("core: negative SessionWorkers %d", o.SessionWorkers)
 	}
 	if err := o.Mode.Validate(); err != nil {
 		return err

@@ -213,6 +213,35 @@ func SplitRange(lo, hi, k int) [][2]int {
 	return out
 }
 
+// SplitRangeAligned partitions [lo, hi) into k contiguous ascending
+// sub-ranges whose boundaries are multiples of align relative to lo,
+// with the final range absorbing the remainder. Alignment matters to
+// the cluster's lease sizing: a lease that is a whole number of
+// compiled-session widths (512 lanes) packs its replications into full
+// word rows instead of leaving partial words at every lease boundary.
+// The ranges still cover [lo, hi) exactly in ascending order — the
+// merge rule is unchanged, so alignment can never change a result, only
+// how the work is cut. align <= 1 (or a span smaller than k*align,
+// which would force empty ranges) degrades gracefully toward
+// SplitRange's unaligned cuts.
+func SplitRangeAligned(lo, hi, k, align int) [][2]int {
+	if align <= 1 {
+		return SplitRange(lo, hi, k)
+	}
+	units := (hi - lo) / align
+	out := make([][2]int, 0, k)
+	next := lo
+	for i, b := range SplitRange(0, units, k) {
+		width := (b[1] - b[0]) * align
+		if i == k-1 {
+			width = hi - next
+		}
+		out = append(out, [2]int{next, next + width})
+		next += width
+	}
+	return out
+}
+
 // ReplicationBlock is one round-block emitted by StreamReplications:
 // Rounds rounds of samples from a contiguous replication range, round-
 // major with replications ascending within a round.

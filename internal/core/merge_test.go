@@ -135,3 +135,49 @@ func TestStreamReplicationsSkipFastForward(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitRangeAligned checks the aligned partition rule: exact
+// coverage of [lo, hi) in ascending order, all interior boundaries at
+// multiples of align (relative to lo), the remainder absorbed by the
+// last range, and graceful degradation to SplitRange when the span is
+// too small to align or align <= 1.
+func TestSplitRangeAligned(t *testing.T) {
+	cases := []struct {
+		lo, hi, k, align int
+	}{
+		{0, 4096, 4, 512}, // exact multiple: equal aligned quarters
+		{0, 4100, 4, 512}, // remainder rides on the last range
+		{0, 1536, 4, 512}, // fewer aligned units than ranges
+		{0, 100, 3, 512},  // span smaller than one unit
+		{0, 100, 3, 1},    // align disabled
+		{7, 4103, 4, 512}, // non-zero lo: alignment is relative to lo
+		{0, 513, 2, 512},  // one unit plus remainder
+		{0, 64, 64, 8},    // many ranges, few units
+	}
+	for _, tc := range cases {
+		got := SplitRangeAligned(tc.lo, tc.hi, tc.k, tc.align)
+		if len(got) != tc.k {
+			t.Fatalf("SplitRangeAligned(%d,%d,%d,%d): %d ranges, want %d", tc.lo, tc.hi, tc.k, tc.align, len(got), tc.k)
+		}
+		next := tc.lo
+		for i, b := range got {
+			if b[0] != next || b[1] < b[0] {
+				t.Fatalf("SplitRangeAligned(%d,%d,%d,%d): range %d = %v breaks coverage at %d", tc.lo, tc.hi, tc.k, tc.align, i, b, next)
+			}
+			if tc.align > 1 && i < tc.k-1 && (b[1]-tc.lo)%tc.align != 0 && b[1] != tc.hi {
+				t.Fatalf("SplitRangeAligned(%d,%d,%d,%d): interior boundary %d not aligned", tc.lo, tc.hi, tc.k, tc.align, b[1])
+			}
+			next = b[1]
+		}
+		if next != tc.hi {
+			t.Fatalf("SplitRangeAligned(%d,%d,%d,%d): covers up to %d, want %d", tc.lo, tc.hi, tc.k, tc.align, next, tc.hi)
+		}
+	}
+	// align <= 1 must be SplitRange exactly.
+	a, b := SplitRangeAligned(3, 77, 5, 1), SplitRange(3, 77, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("align=1: range %d = %v, SplitRange %v", i, a[i], b[i])
+		}
+	}
+}

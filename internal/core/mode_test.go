@@ -127,7 +127,7 @@ func TestZeroDelayParallelMatchesZeroTableGeneral(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if za.Engine != sim.EnginePackedZeroDelay || za.DelayModel != "zero" {
+	if za.Engine != sim.EngineCompiledZeroDelay || za.DelayModel != "zero" {
 		t.Fatalf("zero-delay mode recorded engine %q delay %q", za.Engine, za.DelayModel)
 	}
 
@@ -138,8 +138,8 @@ func TestZeroDelayParallelMatchesZeroTableGeneral(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if zb.Engine != sim.EnginePackedZeroDelay {
-		t.Fatalf("all-zero table was not upgraded to the packed engine (engine %q)", zb.Engine)
+	if zb.Engine != sim.EngineCompiledZeroDelay {
+		t.Fatalf("all-zero table was not upgraded to the word-parallel engine (engine %q)", zb.Engine)
 	}
 	if za.Interval != zb.Interval || za.SampleSize != zb.SampleSize {
 		t.Fatalf("zero-delay mode (II=%d n=%d) vs zero-table general (II=%d n=%d)",

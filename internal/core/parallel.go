@@ -52,7 +52,10 @@ func newShards(tb *Testbench, src vectors.Factory, baseSeed int64, opts Options,
 			}
 		}
 		sh := &shard{
-			ps:    sim.NewLaneSession(backend, tb.Circuit, srcs),
+			ps: sim.NewLaneSessionConfig(backend, tb.Circuit, srcs, sim.SessionConfig{
+				CacheBudget: opts.CacheBudget,
+				Workers:     opts.SessionWorkers,
+			}),
 			lanes: lanes,
 		}
 		if !packedSampled {

@@ -263,9 +263,9 @@ func TestVROptionValidation(t *testing.T) {
 	}
 }
 
-// TestAntitheticZeroDelayMode: pairing composes with the packed
+// TestAntitheticZeroDelayMode: pairing composes with the word-parallel
 // zero-delay sampled phase (no covariate involved), stays deterministic
-// and records the packed engine.
+// and records the default (compiled) engine.
 func TestAntitheticZeroDelayMode(t *testing.T) {
 	c := bench89.MustGet("s298")
 	tb := DefaultTestbench(c)
@@ -283,8 +283,8 @@ func TestAntitheticZeroDelayMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameEstimate(t, b, a, "zero-delay antithetic repeat")
-	if a.Engine != "packed-zero-delay" {
-		t.Errorf("engine %q, want packed-zero-delay", a.Engine)
+	if a.Engine != "compiled-zero-delay" {
+		t.Errorf("engine %q, want compiled-zero-delay", a.Engine)
 	}
 }
 

@@ -48,7 +48,8 @@ func HashSource(src CircuitSource) string {
 // cacheKeySpec is the canonical form of everything a Result depends on.
 // Zero-valued request fields are expanded to their defaults before
 // hashing, so requests that differ only in how they spell a default
-// share a key. Options.Workers is deliberately absent.
+// share a key. Options.Workers, SessionWorkers and CacheBudget are
+// deliberately absent: they tune throughput, never results.
 type cacheKeySpec struct {
 	Hash string `json:"hash"`
 	// Input model, normalized ("" kind means "iid", 0 probability means

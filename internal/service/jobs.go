@@ -100,12 +100,21 @@ type OptionsSpec struct {
 	// at submit time.
 	PowerMode string `json:"powerMode,omitempty"`
 	// Backend selects the lane-parallel simulation backend: "" or
-	// "packed" (the interpreted word-parallel sweep) or "compiled" (the
-	// word-level bytecode engine, compiled once per circuit). The
-	// backends are observation-equivalent — results are bit-identical —
-	// so this is a throughput knob. Unknown values fail Validate at
-	// submit time.
+	// "compiled" (the word-level bytecode engine, compiled once per
+	// circuit — the default, gated ≥2x faster in CI) or "packed" (the
+	// interpreted word-parallel sweep, the escape hatch). The backends
+	// are observation-equivalent — results are bit-identical — so this
+	// is a throughput knob. Unknown values fail Validate at submit time.
 	Backend string `json:"backend,omitempty"`
+	// SessionWorkers > 1 runs each compiled session's per-level
+	// instruction waves across this many goroutines (level parallelism
+	// for big-circuit replications). Result-invariant; ignored by the
+	// packed backend.
+	SessionWorkers int `json:"sessionWorkers,omitempty"`
+	// CacheBudget bounds the compiled backend's cache-blocked execution
+	// scratch in bytes (0 = default ~L2/2, negative disables blocking).
+	// Result-invariant.
+	CacheBudget int `json:"cacheBudget,omitempty"`
 	// Variance selects a variance-reduction transform for the sampling
 	// phase: "" or "none" (plain), "antithetic" (mirrored replication
 	// pairs) or "control-variate" (zero-delay toggle covariate; needs
@@ -142,6 +151,8 @@ func (o OptionsSpec) Options() core.Options {
 	}
 	opts.Mode = power.PowerMode(o.PowerMode)
 	opts.Backend = sim.Backend(o.Backend)
+	opts.SessionWorkers = o.SessionWorkers
+	opts.CacheBudget = o.CacheBudget
 	opts.Variance.Mode = vr.Mode(o.Variance).Canonical()
 	return opts
 }

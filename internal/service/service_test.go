@@ -490,8 +490,9 @@ func TestQueueFull(t *testing.T) {
 	}
 }
 
-// TestPowerModeJob: a zero-delay job runs on the packed engine and the
-// result records it; an unknown mode is rejected at submit time.
+// TestPowerModeJob: a zero-delay job runs on the default word-parallel
+// (compiled) engine and the result records it; an unknown mode is
+// rejected at submit time.
 func TestPowerModeJob(t *testing.T) {
 	_, ts := newTestService(t, Config{Workers: 1})
 
@@ -508,7 +509,7 @@ func TestPowerModeJob(t *testing.T) {
 	if done.State != StateDone || done.Result == nil {
 		t.Fatalf("job did not finish: %+v", done)
 	}
-	if done.Result.Engine != "packed-zero-delay" || done.Result.DelayModel != "zero" {
+	if done.Result.Engine != "compiled-zero-delay" || done.Result.DelayModel != "zero" {
 		t.Fatalf("result records engine %q delay %q", done.Result.Engine, done.Result.DelayModel)
 	}
 

@@ -9,7 +9,9 @@ import (
 
 // Backend names a lane-parallel simulation backend for the sampling
 // phase: the interpreted packed sweep or the compiled word-level
-// program. The empty string means the default (packed).
+// program. The empty string means the default (compiled, since BENCH_6
+// gates its ≥2x duty-cycle advantage in CI; "packed" remains the
+// escape hatch).
 type Backend string
 
 const (
@@ -25,7 +27,7 @@ const (
 // Canonical maps the empty backend to the default.
 func (b Backend) Canonical() Backend {
 	if b == "" {
-		return BackendPacked
+		return BackendCompiled
 	}
 	return b
 }
@@ -43,7 +45,7 @@ func (b Backend) Validate() error {
 func (b Backend) String() string { return string(b.Canonical()) }
 
 // ParseBackend resolves a user-supplied backend string ("packed",
-// "compiled"; empty means packed).
+// "compiled"; empty means compiled).
 func ParseBackend(s string) (Backend, error) {
 	b := Backend(s)
 	if err := b.Validate(); err != nil {
@@ -96,13 +98,37 @@ type LaneSession interface {
 	ExtractLane(k int, vals, pins, q []bool)
 }
 
+// SessionConfig carries backend tuning options through the estimation
+// layer. Every field is result-invariant: it changes how fast a session
+// runs, never what it observes. The packed backend ignores it.
+type SessionConfig struct {
+	// CacheBudget bounds the compiled backend's blocked-execution
+	// scratch working set in bytes (0 = default, <0 = disable blocking).
+	CacheBudget int
+	// Workers > 1 runs the compiled programs' per-level instruction
+	// waves across this many goroutines inside one session.
+	Workers int
+	// MaxSegInsts caps instructions per blocked segment (test hook).
+	MaxSegInsts int
+}
+
 // NewLaneSession builds a session of the given backend over the
-// per-lane sources. The packed backend accepts up to MaxLanes sources,
-// the compiled backend up to CompiledMaxLanes; lane k of either is
-// bit-identical to a scalar Session seeded from srcs[k].
+// per-lane sources with the default config. The packed backend accepts
+// up to MaxLanes sources, the compiled backend up to CompiledMaxLanes;
+// lane k of either is bit-identical to a scalar Session seeded from
+// srcs[k].
 func NewLaneSession(b Backend, c *netlist.Circuit, srcs []vectors.Source) LaneSession {
+	return NewLaneSessionConfig(b, c, srcs, SessionConfig{})
+}
+
+// NewLaneSessionConfig is NewLaneSession with backend tuning options.
+func NewLaneSessionConfig(b Backend, c *netlist.Circuit, srcs []vectors.Source, cfg SessionConfig) LaneSession {
 	if b.Canonical() == BackendCompiled {
-		return NewCompiledSession(c, srcs)
+		return NewCompiledSessionConfig(c, srcs, CompiledConfig{
+			CacheBudget: cfg.CacheBudget,
+			Workers:     cfg.Workers,
+			MaxSegInsts: cfg.MaxSegInsts,
+		})
 	}
 	return NewPackedSession(c, srcs)
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/compile"
 	"repro/internal/netlist"
@@ -47,6 +48,14 @@ type CompiledSession struct {
 	step    []uint64 // Step register file
 	fresh   bool     // full holds the settled values of the current (pins, q)
 
+	// Blocked execution (nil runs the plain linear programs): the serial
+	// cache-blocked forms share one scratch file; the level-parallel
+	// forms run direct segments across goroutines. Either way per-lane
+	// results are bit-identical to the unblocked programs.
+	bFull   *compile.Blocked
+	bStep   *compile.Blocked
+	scratch []uint64
+
 	pins  []uint64 // one row per input
 	q     []uint64 // one row per latch
 	nextQ []uint64
@@ -64,14 +73,51 @@ type CompiledSession struct {
 	// same accounting as PackedSession and the scalar Session.
 	HiddenCycles  uint64
 	SampledCycles uint64
+
+	// ExecSeconds accumulates register-file execution time when the
+	// session was built with CompiledConfig.Instrument.
+	instrument  bool
+	ExecSeconds float64
+}
+
+// CompiledConfig tunes how a compiled session executes its programs.
+// The zero value selects the defaults; every setting is
+// result-invariant (per-lane observations stay bit-identical).
+type CompiledConfig struct {
+	// CacheBudget bounds the blocked executor's scratch working set in
+	// bytes. 0 selects compile.DefaultBudgetBytes; a negative value
+	// disables blocked execution entirely (the plain linear programs). A
+	// register file already within the budget still gets the blocked
+	// form — one direct segment running batched wave dispatch.
+	CacheBudget int
+	// Workers > 1 executes each program's per-level instruction waves
+	// across this many goroutines inside one session step (level
+	// parallelism for big-circuit replications). Takes precedence over
+	// cache blocking.
+	Workers int
+	// MaxSegInsts caps instructions per segment and forces blocking even
+	// for cache-resident files — a test hook for the differential
+	// battery's budget sweep (0 = off).
+	MaxSegInsts int
+	// Instrument accumulates wall time spent executing register-file
+	// passes in ExecSeconds (two clock reads per pass) — benchmark
+	// support for separating engine throughput from the bit-frozen
+	// stimulus and observation layers.
+	Instrument bool
 }
 
 // NewCompiledSession builds a compiled session over 1..CompiledMaxLanes
-// per-lane sources, compiling the circuit on first use (the Unit is
-// cached on the circuit). Every lane starts in the all-zero latch state
-// with an all-zero input pattern, settled — the same reset state as the
-// packed and scalar sessions.
+// per-lane sources with the default execution config.
 func NewCompiledSession(c *netlist.Circuit, srcs []vectors.Source) *CompiledSession {
+	return NewCompiledSessionConfig(c, srcs, CompiledConfig{})
+}
+
+// NewCompiledSessionConfig builds a compiled session over
+// 1..CompiledMaxLanes per-lane sources, compiling the circuit on first
+// use (the Unit is cached on the circuit). Every lane starts in the
+// all-zero latch state with an all-zero input pattern, settled — the
+// same reset state as the packed and scalar sessions.
+func NewCompiledSessionConfig(c *netlist.Circuit, srcs []vectors.Source, cfg CompiledConfig) *CompiledSession {
 	if len(srcs) == 0 || len(srcs) > CompiledMaxLanes {
 		panic(fmt.Sprintf("sim: NewCompiledSession needs 1..%d sources, got %d", CompiledMaxLanes, len(srcs)))
 	}
@@ -111,14 +157,94 @@ func NewCompiledSession(c *netlist.Circuit, srcs []vectors.Source) *CompiledSess
 		spins:   make([]bool, len(c.Inputs)),
 		sq:      make([]bool, len(c.Latches)),
 	}
+	s.instrument = cfg.Instrument
+	s.bFull = blockProgram(u.Full, w, cfg, true)
+	s.bStep = blockProgram(u.Step, w, cfg, false)
+	scratch := 0
+	if s.bFull != nil && s.bFull.ScratchSlots > scratch {
+		scratch = s.bFull.ScratchSlots
+	}
+	if s.bStep != nil && s.bStep.ScratchSlots > scratch {
+		scratch = s.bStep.ScratchSlots
+	}
+	if scratch > 0 {
+		s.scratch = make([]uint64, scratch*w)
+	}
 	// Constant rows are written once per register file; Exec never
 	// touches them, and the full/oldFull swap exchanges two files that
-	// both carry them.
+	// both carry them. (Blocked segments load constant rows from the
+	// global file like any other upward-exposed read.)
 	u.Full.InitConsts(s.full, w)
 	u.Full.InitConsts(s.oldFull, w)
 	u.Step.InitConsts(s.step, w)
 	s.settleFull()
 	return s
+}
+
+// blockProgram picks a program's blocked form under the config: the
+// level-parallel partition when Workers asks for one, the serial
+// cache-blocked partition otherwise (a register file within the budget
+// still gets the blocked form — a single direct segment whose
+// wave-sorted code runs through the batched dispatcher), or nil with
+// CacheBudget < 0 to run the plain linear program.
+func blockProgram(p *compile.Program, w int, cfg CompiledConfig, observeAll bool) *compile.Blocked {
+	if p.NumInsts() == 0 {
+		return nil
+	}
+	if cfg.Workers > 1 {
+		return compile.Block(p, compile.BlockOptions{Workers: cfg.Workers})
+	}
+	if cfg.CacheBudget < 0 {
+		return nil
+	}
+	budget := cfg.CacheBudget
+	if budget == 0 {
+		budget = compile.DefaultBudgetBytes
+	}
+	return compile.Block(p, compile.BlockOptions{
+		BudgetBytes: budget,
+		W:           w,
+		MaxSegInsts: cfg.MaxSegInsts,
+		ObserveAll:  observeAll,
+	})
+}
+
+// BlockedStats reports the session's blocked execution forms for
+// reports and tests; blocked is false when both programs run plain.
+func (s *CompiledSession) BlockedStats() (step, full compile.BlockedStats, blocked bool) {
+	if s.bStep != nil {
+		step = s.bStep.Stats()
+	}
+	if s.bFull != nil {
+		full = s.bFull.Stats()
+	}
+	return step, full, s.bStep != nil || s.bFull != nil
+}
+
+// FileBytes reports the Step and Full register-file sizes in bytes at
+// this session's width — the per-cycle working sets cache blocking
+// targets.
+func (s *CompiledSession) FileBytes() (step, full int) {
+	return len(s.step) * 8, len(s.full) * 8
+}
+
+// execProgram runs one program through its configured execution form.
+func (s *CompiledSession) execProgram(p *compile.Program, b *compile.Blocked, vals []uint64) {
+	var t0 time.Time
+	if s.instrument {
+		t0 = time.Now()
+	}
+	switch {
+	case b == nil:
+		p.Exec(vals, s.w)
+	case b.Workers > 1:
+		b.ExecParallel(vals, s.w)
+	default:
+		b.Exec(vals, s.scratch, s.w)
+	}
+	if s.instrument {
+		s.ExecSeconds += time.Since(t0).Seconds()
+	}
 }
 
 // Circuit returns the simulated circuit.
@@ -152,7 +278,7 @@ func (s *CompiledSession) settleFull() {
 	p := s.unit.Full
 	copyRows(s.full, p.In, s.pins, s.w)
 	copyRows(s.full, p.Q, s.q, s.w)
-	p.Exec(s.full, s.w)
+	s.execProgram(p, s.bFull, s.full)
 	s.fresh = true
 }
 
@@ -211,7 +337,7 @@ func (s *CompiledSession) advanceHidden() {
 	p := s.unit.Step
 	copyRows(s.step, p.In, s.pins, s.w)
 	copyRows(s.step, p.Q, s.q, s.w)
-	p.Exec(s.step, s.w)
+	s.execProgram(p, s.bStep, s.step)
 	for i, d := range p.D {
 		copy(s.nextQ[i*s.w:(i+1)*s.w], s.step[int(d)*s.w:(int(d)+1)*s.w])
 	}

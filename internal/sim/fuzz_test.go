@@ -13,14 +13,18 @@ import (
 // hidden-plus-sampled trajectory, asserting the compiled session agrees
 // with the interpreted packed session on every lane and that nothing
 // panics on degenerate shapes — constant cones, buffer chains, latches
-// fed by latches, unused inputs.
+// fed by latches, unused inputs. The budget byte steers the blocked /
+// level-parallel configuration, so segmentation and spill analysis are
+// fuzzed on the same degenerate shapes: 0 = plain, 1 = one instruction
+// per segment, 2 = blocking disabled, 3 = two workers, otherwise a tiny
+// byte-scaled cache budget.
 func FuzzCompile(f *testing.F) {
-	f.Add("INPUT(a)\nOUTPUT(z)\nz = AND(a, a)\n")
-	f.Add("INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = NOT(q)\nz = OR(a, q)\n")
-	f.Add("INPUT(a)\nOUTPUT(z)\nc0 = CONST0()\nb = BUF(c0)\nq = DFF(b)\nz = XOR(a, q)\n")
-	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(q2)\nq2 = DFF(q1)\nz = NAND(a, XNORg)\nXNORg = XNOR(b, q1)\n")
-	f.Add("INPUT(a)\nOUTPUT(z)\nc1 = CONST1()\nz = XOR(a, c1)\nq = DFF(z)\n")
-	f.Fuzz(func(t *testing.T, text string) {
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = AND(a, a)\n", byte(0))
+	f.Add("INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = NOT(q)\nz = OR(a, q)\n", byte(1))
+	f.Add("INPUT(a)\nOUTPUT(z)\nc0 = CONST0()\nb = BUF(c0)\nq = DFF(b)\nz = XOR(a, q)\n", byte(2))
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(q2)\nq2 = DFF(q1)\nz = NAND(a, XNORg)\nXNORg = XNOR(b, q1)\n", byte(3))
+	f.Add("INPUT(a)\nOUTPUT(z)\nc1 = CONST1()\nz = XOR(a, c1)\nq = DFF(z)\n", byte(64))
+	f.Fuzz(func(t *testing.T, text string, budget byte) {
 		c, err := netlist.ParseBenchString("fuzz", text)
 		if err != nil {
 			t.Skip()
@@ -30,6 +34,18 @@ func FuzzCompile(f *testing.F) {
 		if u.Full == nil || u.Step == nil {
 			t.Fatal("Compile returned nil program")
 		}
+		var cfg CompiledConfig
+		switch budget {
+		case 0: // plain default
+		case 1:
+			cfg = CompiledConfig{CacheBudget: 256, MaxSegInsts: 1}
+		case 2:
+			cfg = CompiledConfig{CacheBudget: -1}
+		case 3:
+			cfg = CompiledConfig{Workers: 2}
+		default:
+			cfg = CompiledConfig{CacheBudget: int(budget) * 16}
+		}
 		const lanes = 3
 		srcs := func() []vectors.Source {
 			out := make([]vectors.Source, lanes)
@@ -38,7 +54,7 @@ func FuzzCompile(f *testing.F) {
 			}
 			return out
 		}
-		cs := NewCompiledSession(c, srcs())
+		cs := NewCompiledSessionConfig(c, srcs(), cfg)
 		ps := NewPackedSession(c, srcs())
 		weights := make([]float64, c.NumNodes())
 		for i := range weights {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_7.json: estimation duty-cycle throughput of the
+# cache-blocked and level-parallel compiled executors vs the linear
+# one-pass executor on s38417 and a ~100k-gate synthetic circuit.
+# Optional first argument overrides the number of timed duty-cycle
+# sweeps (default 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sweeps="${1:-3}"
+go run ./cmd/dipe-experiments -large -large-sweeps "$sweeps" -large-json BENCH_7.json
