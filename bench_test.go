@@ -17,6 +17,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/experiments"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/randtest"
 	"repro/internal/sim"
 	"repro/internal/stopping"
@@ -447,6 +448,38 @@ func BenchmarkStateSampling(b *testing.B) {
 			stg, pi, p, dipe.DefaultSpec(), dipe.OrderStatisticsCriterion, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompiledObsOverhead measures the compiled s1494 duty cycle
+// (3 hidden + 1 sampled step, 64 lanes) with the observability sink
+// disabled — a nil atomic pointer, one branch per register-file pass —
+// and enabled with live registry counters. The compiled-bench CI job
+// gates the enabled/disabled ratio at 1% so instrumentation can never
+// creep onto the simulation critical path.
+func BenchmarkCompiledObsOverhead(b *testing.B) {
+	c := bench89.MustGet("s1494")
+	tb := dipe.NewTestbench(c)
+	for _, mode := range []struct {
+		name string
+		reg  *obs.Registry
+	}{{"disabled", nil}, {"enabled", obs.NewRegistry()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sim.RegisterCompiledMetrics(mode.reg)
+			defer sim.RegisterCompiledMetrics(nil)
+			srcs := make([]vectors.Source, sim.MaxLanes)
+			for k := range srcs {
+				srcs[k] = vectors.NewIID(len(c.Inputs), 0.5, int64(k+1))
+			}
+			s := sim.NewCompiledSession(c, srcs)
+			powers := make([]float64, sim.MaxLanes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepHiddenN(3)
+				s.StepSampled(tb.Weights(), powers)
+			}
+			b.ReportMetric(float64(b.N*sim.MaxLanes*4)/b.Elapsed().Seconds(), "cycles/sec")
+		})
 	}
 }
 

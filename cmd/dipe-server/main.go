@@ -30,6 +30,8 @@
 //	curl -s localhost:8415/v1/jobs/job-000001/wait
 //	curl -s -X POST localhost:8415/v1/batch -d '{"jobs":[{"circuit":"s298","seed":1},{"circuit":"s832","seed":2}]}'
 //	curl -s localhost:8415/v1/stats
+//	curl -s localhost:8415/v1/jobs/job-000001/trace
+//	curl -s localhost:8415/metrics       # Prometheus text exposition
 package main
 
 import (
@@ -48,7 +50,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -76,10 +80,19 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		workerWait  = fs.Duration("worker-wait", 0, "grace a cluster job waits for a live worker before failing (0 = fail fast, or 45s when -state-dir is set so resumed jobs outlast fleet re-registration)")
 		stateDir    = fs.String("state-dir", "", "durable job-store directory; jobs interrupted by a crash or restart resume on the next start (empty = in-memory only)")
 		debugPprof  = fs.Bool("debug-pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default; enable only on trusted networks)")
+		logLevel    = fs.String("log-level", "info", "structured log threshold: debug | info | warn | error")
+		logFormat   = fs.String("log-format", "logfmt", "structured log encoding: logfmt | json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// One process-wide registry backs /metrics; every subsystem
+	// (service jobs, local estimator, cluster coordinator, compiled
+	// backend) registers its instruments on it.
+	reg := obs.NewRegistry()
+	sim.RegisterCompiledMetrics(reg)
+	log := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), obs.ParseFormat(*logFormat))
 
 	var store *service.JobStore
 	if *stateDir != "" {
@@ -110,6 +123,8 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 			Heartbeat:    *heartbeat,
 			LeaseTimeout: *leaseT,
 			WorkerWait:   *workerWait,
+			Obs:          reg,
+			Log:          log,
 		})
 		if err != nil {
 			return err
@@ -125,6 +140,8 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		QueueSize:  *queue,
 		Dispatcher: dispatcher,
 		Store:      store,
+		Obs:        reg,
+		Log:        log,
 	})
 	defer svc.Close()
 
@@ -132,22 +149,24 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
-	handler := svc.Handler()
+	// /metrics lives outside the service mux: the registry belongs to
+	// the process (compiled-backend and cluster metrics register on it
+	// too), not to the service.
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
 	if *debugPprof {
-		// The profiling endpoints are opt-in and live on a private mux so
+		// The profiling endpoints are opt-in on the same private mux so
 		// the default import side effects on http.DefaultServeMux are
 		// never exposed by accident.
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
 		fmt.Fprintln(out, "dipe-server pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(out, "dipe-server listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()

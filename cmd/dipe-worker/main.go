@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -54,12 +56,20 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		circuits  = fs.Int("circuits", 0, "installed-circuit table capacity (0 = default)")
 		register  = fs.String("register", "", "coordinator base URL to self-register with (empty = none)")
 		advertise = fs.String("advertise", "", "base URL the coordinator should reach this worker at (default http://127.0.0.1:<port>)")
+		logLevel  = fs.String("log-level", "info", "structured log threshold: debug | info | warn | error")
+		logFormat = fs.String("log-format", "logfmt", "structured log encoding: logfmt | json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	wk := cluster.NewWorker(cluster.WorkerConfig{CircuitCap: *circuits})
+	// The worker mounts reg.Handler() at /metrics itself; the compiled
+	// backend's wave/instruction counters register on the same registry
+	// so sampling throughput is scrapable per node.
+	reg := obs.NewRegistry()
+	sim.RegisterCompiledMetrics(reg)
+	log := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), obs.ParseFormat(*logFormat))
+	wk := cluster.NewWorker(cluster.WorkerConfig{CircuitCap: *circuits, Obs: reg, Log: log})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -105,6 +106,7 @@ func main() {
 		vcdCycles   = flag.Int("vcd-cycles", 64, "number of cycles to dump with -vcd")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		progJSON    = flag.Bool("progress-json", false, "stream one JSON convergence record per merge round to stderr (requires -replications)")
 	)
 	flag.Parse()
 
@@ -125,7 +127,7 @@ func main() {
 	err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
 		*criterion, *test, *powerMode, *variance, *backendName, *inputProb, *inputRho, *seed, *fixed, *reps, *workers,
 		*sessWorkers, *cacheBudget, *ztrace, *ztraceLen,
-		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles)
+		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles, *progJSON)
 
 	// os.Exit below skips defers, so the profiles are finalized inline
 	// on both the success and the error path.
@@ -152,10 +154,21 @@ func main() {
 	}
 }
 
+// progressRecord is the -progress-json line format: one object per
+// merge round on stderr, stable lowerCamel keys for downstream tooling.
+type progressRecord struct {
+	Samples   int     `json:"samples"`
+	Power     float64 `json:"power"`
+	HalfWidth float64 `json:"halfWidth"`
+	Interval  int     `json:"interval"`
+	Rounds    int     `json:"rounds"`
+	Elapsed   float64 `json:"elapsed"`
+}
+
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
 	criterion, test, powerMode, variance, backendName string, inputProb, inputRho float64, seed int64, fixed, reps, workers,
 	sessWorkers, cacheBudget, ztrace, ztraceLen int,
-	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int) error {
+	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int, progJSON bool) error {
 
 	var (
 		c   *dipe.Circuit
@@ -295,6 +308,18 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 
 	opts.Replications = reps
 	opts.Workers = workers
+	if progJSON {
+		if reps == 0 {
+			return fmt.Errorf("-progress-json needs the parallel estimator (set -replications)")
+		}
+		enc := json.NewEncoder(os.Stderr)
+		opts.Progress = func(p dipe.Progress) {
+			enc.Encode(progressRecord{
+				Samples: p.Samples, Power: p.Power, HalfWidth: p.HalfWidth,
+				Interval: p.Interval, Rounds: p.Rounds, Elapsed: p.Elapsed,
+			})
+		}
+	}
 
 	var res dipe.Result
 	switch {

@@ -29,6 +29,7 @@ type runArgs struct {
 	topN, maxBudget      int
 	vcdPath              string
 	vcdCycles            int
+	progJSON             bool
 }
 
 func defaults() runArgs {
@@ -43,7 +44,7 @@ func defaults() runArgs {
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
 		a.criterion, a.test, a.powerMode, a.variance, a.backend, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
-		a.sessWorkers, a.cacheBudget, a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles)
+		a.sessWorkers, a.cacheBudget, a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles, a.progJSON)
 }
 
 func TestRunEstimate(t *testing.T) {

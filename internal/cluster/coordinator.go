@@ -10,12 +10,14 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/delay"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/vr"
@@ -58,6 +60,14 @@ type CoordinatorConfig struct {
 	// dedicated client with no overall timeout — streams are long-lived
 	// and cancelled by context).
 	Client *http.Client
+	// Obs, when non-nil, is the registry the coordinator's metrics
+	// (dipe_cluster_*) register on. When nil an internal registry backs
+	// the same counters, so /v1/cluster/workers reads real instrument
+	// cells either way — only the scrape endpoint is absent.
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured worker-liveness and lease
+	// lifecycle events. A nil logger discards them.
+	Log *obs.Logger
 
 	// tick and probed are test seams (settable from same-package tests
 	// only): a non-nil tick replaces the heartbeat ticker with an
@@ -70,18 +80,23 @@ type CoordinatorConfig struct {
 }
 
 // workerState is one registered worker, guarded by the coordinator's
-// mutex.
+// mutex. The degradation counters are registry instruments (labeled by
+// worker URL), so the JSON status view and the /metrics scrape read the
+// same cells; see clusterMetrics.
 type workerState struct {
-	url      string
-	alive    bool
-	lastSeen time.Time
-	failures uint64
-	// Degradation counters (see service.WorkerStatus for semantics).
-	activeLeases  int
-	retries       uint64
-	reassignments uint64
-	leaseExpiries uint64
-	lastErr       string
+	url          string
+	alive        bool
+	lastSeen     time.Time
+	activeLeases int
+	lastErr      string
+	// Registry-backed counters (see service.WorkerStatus for semantics).
+	failures      *obs.Counter
+	retries       *obs.Counter
+	reassignments *obs.Counter
+	leaseExpiries *obs.Counter
+	grants        *obs.Counter
+	steals        *obs.Counter
+	blockLat      *obs.Histogram
 }
 
 // Coordinator shards estimation jobs across dipe-worker processes. It
@@ -115,6 +130,10 @@ type Coordinator struct {
 	workerWait   time.Duration
 	hbTick       <-chan time.Time // injected heartbeat clock (tests)
 	hbProbed     chan<- struct{}  // per-round completion notification (tests)
+
+	met     *clusterMetrics
+	coreMet *core.Metrics // convergence telemetry of the merge loop
+	log     *obs.Logger
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -150,8 +169,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{} // streams must not carry an overall timeout
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry() // internal: counters stay real, just unscraped
+	}
 	c := &Coordinator{
 		workers:      make(map[string]*workerState),
+		met:          newClusterMetrics(reg),
+		coreMet:      core.NewCoreMetrics(reg),
+		log:          cfg.Log.With("component", "cluster"),
 		client:       client,
 		hb:           cfg.Heartbeat,
 		hbTimeout:    cfg.HeartbeatTimeout,
@@ -163,6 +189,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		hbProbed:     cfg.probed,
 		stop:         make(chan struct{}),
 	}
+	reg.GaugeFunc("dipe_cluster_workers_alive",
+		"Workers currently passing heartbeats.",
+		func() float64 { return float64(len(c.aliveWorkers())) })
 	for _, u := range cfg.Workers {
 		if err := c.AddWorker(u); err != nil {
 			return nil, err
@@ -221,12 +250,28 @@ func (c *Coordinator) AddWorker(rawURL string) error {
 	norm := u.String()
 	c.mu.Lock()
 	if _, ok := c.workers[norm]; !ok {
-		c.workers[norm] = &workerState{url: norm}
+		c.workers[norm] = c.newWorkerState(norm)
 		c.order = append(c.order, norm)
+		c.log.Info("worker registered", "worker", norm)
 	}
 	c.mu.Unlock()
 	c.probe(norm)
 	return nil
+}
+
+// newWorkerState resolves the worker's labeled instrument cells; one
+// resolution at registration, atomic increments thereafter.
+func (c *Coordinator) newWorkerState(url string) *workerState {
+	return &workerState{
+		url:           url,
+		failures:      c.met.failures.With(url),
+		retries:       c.met.retries.With(url),
+		reassignments: c.met.reassigns.With(url),
+		leaseExpiries: c.met.expiries.With(url),
+		grants:        c.met.grants.With(url),
+		steals:        c.met.steals.With(url),
+		blockLat:      c.met.blockLat.With(url),
+	}
 }
 
 // Workers implements service.WorkerRegistrar.
@@ -240,11 +285,13 @@ func (c *Coordinator) Workers() []service.WorkerStatus {
 			URL:           w.url,
 			Alive:         w.alive,
 			LastSeen:      w.lastSeen,
-			Failures:      w.failures,
+			Failures:      w.failures.Value(),
 			ActiveLeases:  w.activeLeases,
-			Retries:       w.retries,
-			Reassignments: w.reassignments,
-			LeaseExpiries: w.leaseExpiries,
+			Retries:       w.retries.Value(),
+			Reassignments: w.reassignments.Value(),
+			LeaseExpiries: w.leaseExpiries.Value(),
+			LeaseGrants:   w.grants.Value(),
+			LeaseSteals:   w.steals.Value(),
 			LastError:     w.lastErr,
 		})
 	}
@@ -324,7 +371,13 @@ func (c *Coordinator) setAlive(workerURL string, alive, failed bool) {
 		w.lastSeen = time.Now()
 	}
 	if failed && wasAlive {
-		w.failures++
+		w.failures.Inc()
+	}
+	switch {
+	case alive && !wasAlive:
+		c.log.Info("worker up", "worker", workerURL)
+	case !alive && wasAlive:
+		c.log.Warn("worker down", "worker", workerURL)
 	}
 }
 
@@ -335,11 +388,12 @@ func (c *Coordinator) markFailed(workerURL string, err error) {
 	defer c.mu.Unlock()
 	if w := c.workers[workerURL]; w != nil {
 		w.alive = false
-		w.failures++
-		w.retries++
+		w.failures.Inc()
+		w.retries.Inc()
 		if err != nil {
 			w.lastErr = err.Error()
 		}
+		c.log.Warn("worker stream failed", "worker", workerURL, "err", err)
 	}
 }
 
@@ -385,6 +439,7 @@ func (c *Coordinator) EstimateResumable(ctx context.Context, tb *core.Testbench,
 		return core.Result{}, err
 	}
 	opts.Progress = progress
+	opts.Metrics = c.coreMet
 	start := time.Now()
 
 	var rp core.ResumePoint
@@ -487,6 +542,13 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 	lanes := make([]int, k)
 	blocks := make([][]float64, k)
 
+	tr := obs.TraceFrom(ctx)
+	tr.Event("shard",
+		"ranges", strconv.Itoa(k),
+		"workers", strconv.Itoa(len(alive)),
+		"replications", strconv.Itoa(reps),
+		"interval", strconv.Itoa(interval))
+
 	js := newJobScheduler(c)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel() // stops every worker stream once stopping is decided
@@ -564,6 +626,10 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 		if err := m.MergeBlock(blocks, lanes, n); err != nil {
 			return result(false), err
 		}
+		tr.Event("merge-round",
+			"rounds", strconv.Itoa(m.MergedRounds()),
+			"samples", strconv.Itoa(m.N()),
+			"halfWidth", strconv.FormatFloat(m.HalfWidth(), 'g', 6, 64))
 		if opts.Progress != nil {
 			opts.Progress(m.Progress(interval))
 		}
@@ -663,6 +729,14 @@ func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, h
 		return err
 	}
 
+	c.mu.Lock()
+	var blockLat *obs.Histogram // nil-safe when the worker was dropped
+	if w := c.workers[worker]; w != nil {
+		blockLat = w.blockLat
+	}
+	c.mu.Unlock()
+	lastBlock := time.Now()
+
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 16<<20)
 	if !sc.Scan() {
@@ -688,6 +762,7 @@ func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, h
 		if len(blk.Samples) != want {
 			return fmt.Errorf("cluster: worker %s: block %d carries %d samples, want %d", worker, blk.Index, len(blk.Samples), want)
 		}
+		blockLat.Observe(time.Since(lastBlock).Seconds())
 		// Block in hand: suspend the delivery deadline while the merge
 		// loop applies backpressure — waiting on the coordinator's own
 		// queue is not the worker's fault.
@@ -702,6 +777,10 @@ func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, h
 			return nil
 		}
 		l.arm()
+		// Restart the latency clock only once we are waiting on the worker
+		// again — like the lease, the histogram must not charge the worker
+		// for merge-loop backpressure.
+		lastBlock = time.Now()
 	}
 	if err := scanErr(sc); err != nil {
 		return fmt.Errorf("cluster: worker %s: stream broke at block %d: %w", worker, *delivered, err)

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/vr"
 )
@@ -101,11 +103,13 @@ func newJobScheduler(c *Coordinator) *jobScheduler {
 // range last ("" on first acquisition): it is deprioritized after a
 // failure or expiry but remains eligible when it is the only live
 // worker. delivered>0 with a changed owner counts as a reassignment on
-// the inheriting worker.
-func (s *jobScheduler) acquire(ctx context.Context, rangeIdx int, prev string, delivered int) (string, error) {
+// the inheriting worker; expired marks a reacquisition right after a
+// lease expiry, so a changed owner additionally counts as a steal on
+// the thief.
+func (s *jobScheduler) acquire(ctx context.Context, rangeIdx int, prev string, delivered int, expired bool) (string, error) {
 	bo := newRetryBackoff(50*time.Millisecond, s.c.hb)
 	for {
-		if w, ok := s.tryAcquire(rangeIdx, prev, delivered); ok {
+		if w, ok := s.tryAcquire(rangeIdx, prev, delivered, expired); ok {
 			return w, nil
 		}
 		if err := bo.sleep(ctx); err != nil {
@@ -118,7 +122,7 @@ func (s *jobScheduler) acquire(ctx context.Context, rangeIdx int, prev string, d
 // leases, registration order) and charges the lease to it. The previous
 // owner carries a large penalty addend so it wins only as the sole live
 // worker.
-func (s *jobScheduler) tryAcquire(rangeIdx int, prev string, delivered int) (string, bool) {
+func (s *jobScheduler) tryAcquire(rangeIdx int, prev string, delivered int, expired bool) (string, bool) {
 	const prevOwnerPenalty = 1 << 20
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -145,8 +149,12 @@ func (s *jobScheduler) tryAcquire(rangeIdx int, prev string, delivered int) (str
 	}
 	w := c.workers[best]
 	w.activeLeases++
+	w.grants.Inc()
 	if delivered > 0 && prev != "" && best != prev {
-		w.reassignments++
+		w.reassignments.Inc()
+	}
+	if expired && prev != "" && best != prev {
+		w.steals.Inc()
 	}
 	return best, true
 }
@@ -174,11 +182,12 @@ func (s *jobScheduler) expire(worker string, rangeIdx int) {
 	s.mu.Unlock()
 	s.c.mu.Lock()
 	if w := s.c.workers[worker]; w != nil {
-		w.leaseExpiries++
-		w.retries++
+		w.leaseExpiries.Inc()
+		w.retries.Inc()
 		w.lastErr = fmt.Sprintf("lease expired on range %d", rangeIdx)
 	}
 	s.c.mu.Unlock()
+	s.c.log.Warn("lease expired", "worker", worker, "range", rangeIdx)
 }
 
 // shouldReclaim reports whether expiring worker's lease can help:
@@ -259,11 +268,19 @@ func (c *Coordinator) runLeasedRange(ctx context.Context, js *jobScheduler, hash
 	attempts := 0
 	uploaded := make(map[string]bool)
 	prev := ""
+	expired := false
+	tr := obs.TraceFrom(ctx)
 	bo := newRetryBackoff(50*time.Millisecond, c.hb)
 	for {
-		worker, err := js.acquire(ctx, rg.idx, prev, delivered)
+		worker, err := js.acquire(ctx, rg.idx, prev, delivered, expired)
 		if err != nil {
 			return // job context ended while waiting for a live worker
+		}
+		if expired && worker != prev {
+			tr.Event("steal", "range", strconv.Itoa(rg.idx), "worker", worker, "from", prev)
+		} else {
+			tr.Event("lease", "range", strconv.Itoa(rg.idx), "worker", worker,
+				"skipBlocks", strconv.Itoa(delivered))
 		}
 		serr := func() error {
 			for {
@@ -302,10 +319,13 @@ func (c *Coordinator) runLeasedRange(ctx context.Context, js *jobScheduler, hash
 			}
 			return
 		}
-		if errors.Is(serr, errLeaseExpired) {
+		expired = errors.Is(serr, errLeaseExpired)
+		if expired {
 			// Reclaimed, not broken: penalize the pair and reassign
 			// immediately — the whole point is that someone faster is free.
 			js.expire(worker, rg.idx)
+			tr.Event("lease-expired", "range", strconv.Itoa(rg.idx), "worker", worker,
+				"delivered", strconv.Itoa(delivered))
 		} else {
 			c.markFailed(worker, serr)
 			if bo.sleep(ctx) != nil {

@@ -1,0 +1,40 @@
+package cluster
+
+import "repro/internal/obs"
+
+// clusterMetrics is the coordinator's registry-backed telemetry: one
+// labeled family per degradation counter, keyed by worker base URL, so
+// every cell that /v1/cluster/workers reports is also a /metrics series
+// — the JSON view and the scrape cannot drift because they read the
+// same counters. The coordinator always has one (an internal registry
+// backs it when CoordinatorConfig.Obs is nil), so workerState holds
+// real instrument handles unconditionally.
+type clusterMetrics struct {
+	grants    *obs.CounterVec
+	expiries  *obs.CounterVec
+	steals    *obs.CounterVec
+	reassigns *obs.CounterVec
+	failures  *obs.CounterVec
+	retries   *obs.CounterVec
+	blockLat  *obs.HistogramVec
+}
+
+func newClusterMetrics(r *obs.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		grants: r.CounterVec("dipe_cluster_lease_grants_total",
+			"Replication-range leases granted, by worker.", "worker"),
+		expiries: r.CounterVec("dipe_cluster_lease_expiries_total",
+			"Leases reclaimed after a missed block deadline, by worker.", "worker"),
+		steals: r.CounterVec("dipe_cluster_lease_steals_total",
+			"Expired leases taken over by a different worker, by thief.", "worker"),
+		reassigns: r.CounterVec("dipe_cluster_reassignments_total",
+			"Mid-range lease handovers inherited, by worker.", "worker"),
+		failures: r.CounterVec("dipe_cluster_worker_failures_total",
+			"Stream and heartbeat failures, by worker.", "worker"),
+		retries: r.CounterVec("dipe_cluster_worker_retries_total",
+			"Failed stream attempts (errors and expiries), by worker.", "worker"),
+		blockLat: r.HistogramVec("dipe_cluster_stream_block_seconds",
+			"Inter-block delivery latency of /v1/run streams, by worker.",
+			nil, "worker"),
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bench89"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -24,6 +25,12 @@ type WorkerConfig struct {
 	// (default DefaultCircuitCap); beyond it the oldest is evicted and
 	// will simply be re-propagated on its next miss.
 	CircuitCap int
+	// Obs, when non-nil, registers the worker's serving metrics
+	// (dipe_worker_*) and mounts the registry's scrape endpoint on the
+	// worker mux at GET /metrics.
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured request-lifecycle events.
+	Log *obs.Logger
 }
 
 // Worker is the stateless sampling slave of the cluster: it holds no
@@ -39,7 +46,9 @@ type Worker struct {
 
 	streams atomic.Int64 // currently running /v1/run streams
 	served  atomic.Int64 // total /v1/run streams accepted
+	blocks  atomic.Int64 // total sample blocks emitted across streams
 
+	log *obs.Logger
 	mux *http.ServeMux
 }
 
@@ -51,12 +60,30 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	w := &Worker{
 		tbs: make(map[string]*core.Testbench),
 		cap: cfg.CircuitCap,
+		log: cfg.Log.With("component", "worker"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", w.handleHealth)
 	mux.HandleFunc("GET /readyz", w.handleHealth)
 	mux.HandleFunc("POST /v1/circuits", w.handleInstall)
 	mux.HandleFunc("POST /v1/run", w.handleRun)
+	if cfg.Obs != nil {
+		// Serving state is already tracked in atomics for /healthz; the
+		// registry reads the same cells at scrape time.
+		cfg.Obs.CounterFunc("dipe_worker_streams_served_total",
+			"Sample streams (/v1/run) accepted since start.",
+			func() uint64 { return uint64(w.served.Load()) })
+		cfg.Obs.CounterFunc("dipe_worker_blocks_emitted_total",
+			"Sample blocks written to stream clients.",
+			func() uint64 { return uint64(w.blocks.Load()) })
+		cfg.Obs.GaugeFunc("dipe_worker_streams_active",
+			"Sample streams running right now.",
+			func() float64 { return float64(w.streams.Load()) })
+		cfg.Obs.GaugeFunc("dipe_worker_circuits_installed",
+			"Frozen circuits in the content-addressed table.",
+			func() float64 { return float64(w.Circuits()) })
+		mux.Handle("GET /metrics", cfg.Obs.Handler())
+	}
 	w.mux = mux
 	return w
 }
@@ -103,6 +130,7 @@ func (w *Worker) handleInstall(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.install(req.Hash, tb)
+	w.log.Info("circuit installed", "hash", req.Hash[:min(12, len(req.Hash))], "gates", tb.Circuit.NumGates())
 	writeJSON(rw, http.StatusCreated, InstallResponse{
 		Hash:  req.Hash,
 		Gates: tb.Circuit.NumGates(),
@@ -191,6 +219,10 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	w.streams.Add(1)
 	w.served.Add(1)
 	defer w.streams.Add(-1)
+	w.log.Debug("stream start",
+		"hash", req.Hash[:min(12, len(req.Hash))],
+		"reps", fmt.Sprintf("[%d,%d)", req.RepLo, req.RepHi),
+		"skipBlocks", req.SkipBlocks)
 
 	flusher, _ := rw.(http.Flusher)
 	flush := func() {
@@ -220,6 +252,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 			if err := enc.Encode(StreamBlock{Index: b.Index, Samples: b.Samples}); err != nil {
 				return err
 			}
+			w.blocks.Add(1)
 			flush()
 			return nil
 		})

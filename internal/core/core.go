@@ -107,6 +107,12 @@ type Options struct {
 	// dipe-server job manager) use it to surface live job status. It does
 	// not affect the estimate.
 	Progress func(Progress)
+	// Metrics, if non-nil, receives convergence telemetry (rounds,
+	// samples, half-width, samples/s) from the Merger after every merged
+	// block — both the in-process sampling tail and the cluster
+	// coordinator's merge loop flow through it. Like Progress it never
+	// affects the estimate; nil costs one branch per block.
+	Metrics *Metrics
 }
 
 // Progress is a point-in-time snapshot of a running estimation,
@@ -121,6 +127,11 @@ type Progress struct {
 	HalfWidth float64
 	// Interval is the independence interval in use.
 	Interval int
+	// Rounds is the number of replication rounds merged so far.
+	Rounds int
+	// Elapsed is the wall-clock seconds since the sampling phase
+	// started (this process's share of it, under a resumed job).
+	Elapsed float64
 }
 
 // DefaultOptions returns the paper's experimental configuration.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/stopping"
@@ -53,6 +54,9 @@ type Merger struct {
 	perRound int       // criterion samples per merged round
 	round    []float64 // scratch: one assembled round (pairing only)
 	pairs    []float64 // scratch: one round's pair means
+
+	met   *Metrics  // convergence telemetry sink (nil = off)
+	start time.Time // sampling-phase start, for samples/s
 }
 
 // NewMerger builds the pooled stopping state for an EstimateParallel-
@@ -79,6 +83,11 @@ func NewMerger(opts Options) (*Merger, error) {
 		maxSamples: opts.MaxSamples,
 		pairing:    opts.Variance.Mode.Canonical() == vr.ModeAntithetic,
 		perRound:   reps,
+		met:        opts.Metrics,
+		start:      time.Now(),
+	}
+	if m.met != nil {
+		m.met.Runs.Inc()
 	}
 	if m.pairing {
 		m.perRound = reps / 2
@@ -166,6 +175,17 @@ func (m *Merger) MergeBlock(ranges [][]float64, lanes []int, n int) error {
 		}
 	}
 	m.merged += n
+	if m.met != nil {
+		// One telemetry update per merged block: the convergence
+		// trajectory of the sequential stopping rule, live.
+		m.met.Rounds.Add(uint64(n))
+		m.met.Samples.Add(uint64(n * m.perRound))
+		m.met.Mean.Set(m.crit.Estimate())
+		m.met.HalfWidth.Set(m.crit.HalfWidth())
+		if elapsed := time.Since(m.start).Seconds(); elapsed > 0 {
+			m.met.Rate.Set(float64(m.crit.N()) / elapsed)
+		}
+	}
 	return nil
 }
 
@@ -193,6 +213,8 @@ func (m *Merger) Progress(interval int) Progress {
 		Power:     m.crit.Estimate(),
 		HalfWidth: m.crit.HalfWidth(),
 		Interval:  interval,
+		Rounds:    m.merged,
+		Elapsed:   time.Since(m.start).Seconds(),
 	}
 }
 

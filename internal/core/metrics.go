@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/obs"
+
+// Metrics is the convergence telemetry of the sampling/stopping phase:
+// the live trajectory of the paper's sequential stopping rule, updated
+// by the Merger after every merged block. One Metrics is shared by all
+// runs in a process (the registry aggregates across jobs); the gauges
+// track the most recently merged block, which is what a scrape wants —
+// "where is the estimate right now".
+//
+// A nil *Metrics (the default, e.g. CLI runs without -progress-json
+// consumers) is skipped with a single branch per merged block.
+type Metrics struct {
+	// Runs counts sampling phases started.
+	Runs *obs.Counter
+	// Rounds counts merged rounds (one round = one sample from every
+	// replication) across all runs.
+	Rounds *obs.Counter
+	// Samples counts criterion samples consumed across all runs.
+	Samples *obs.Counter
+	// Mean is the current pooled point estimate (watts).
+	Mean *obs.Gauge
+	// HalfWidth is the current pooled confidence half-width (watts).
+	HalfWidth *obs.Gauge
+	// Rate is the current criterion-samples-per-second throughput.
+	Rate *obs.Gauge
+}
+
+// NewCoreMetrics registers the convergence metrics on r (nil r gives a
+// nil Metrics, which disables the instrumentation).
+func NewCoreMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:      r.Counter("dipe_core_runs_total", "Sampling phases started."),
+		Rounds:    r.Counter("dipe_core_rounds_total", "Replication rounds merged into the stopping criterion."),
+		Samples:   r.Counter("dipe_core_samples_total", "Samples consumed by the stopping criterion."),
+		Mean:      r.Gauge("dipe_core_mean_power_watts", "Current pooled power estimate of the most recent merge."),
+		HalfWidth: r.Gauge("dipe_core_half_width", "Current confidence half-width of the most recent merge."),
+		Rate:      r.Gauge("dipe_core_samples_per_second", "Criterion samples per second of the running estimation."),
+	}
+}

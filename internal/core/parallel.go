@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/delay"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vectors"
 	"repro/internal/vr"
@@ -178,6 +180,12 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 	if err != nil {
 		return Result{}, err
 	}
+	tr := obs.TraceFrom(ctx)
+	tr.Event("shard",
+		"shards", strconv.Itoa(len(shards)),
+		"workers", strconv.Itoa(workers),
+		"replications", strconv.Itoa(reps),
+		"interval", strconv.Itoa(interval))
 
 	// Warm every replication up from reset in parallel.
 	runShards(shards, workers, func(sh *shard) {
@@ -269,6 +277,10 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		if err := m.MergeBlock(shardPowers, shardLanes, n); err != nil {
 			return result(false), err
 		}
+		tr.Event("merge-round",
+			"rounds", strconv.Itoa(m.MergedRounds()),
+			"samples", strconv.Itoa(m.N()),
+			"halfWidth", strconv.FormatFloat(m.HalfWidth(), 'g', 6, 64))
 		if opts.Progress != nil {
 			opts.Progress(m.Progress(interval))
 		}

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vectors"
 	"repro/internal/vr"
 )
@@ -64,27 +66,32 @@ func PreparePlanCtx(ctx context.Context, tb *Testbench, src vectors.Factory, bas
 		rp  ResumePoint
 		sel *IntervalSelection
 	)
+	tr := obs.TraceFrom(ctx)
 	if fixed != nil {
 		if *fixed < 0 {
 			return ResumePoint{}, fmt.Errorf("core: negative interval %d", *fixed)
 		}
 		rp.Interval = *fixed
 	} else {
+		endSel := tr.Begin("select-interval")
 		sel0 := tb.NewSessionMode(src(baseSeed), opts.Mode)
 		sel0.StepHiddenN(opts.WarmupCycles)
 		s, err := SelectIntervalCtx(ctx, sel0, opts)
 		if err != nil {
 			return ResumePoint{}, err
 		}
+		endSel()
 		sel = &s
 		rp.Interval, rp.Capped, rp.Trials = s.Interval, s.Capped, s.Trials
 		rp.Hidden += sel0.HiddenCycles
 		rp.Sampled += sel0.SampledCycles
 	}
+	endPlan := tr.Begin("plan-resolve", "interval", strconv.Itoa(rp.Interval))
 	plan, seedSeq, cal, err := ResolvePlan(ctx, tb, src, baseSeed, opts, rp.Interval, sel)
 	if err != nil {
 		return ResumePoint{}, err
 	}
+	endPlan()
 	rp.Plan, rp.SeedSeq = plan, seedSeq
 	rp.Hidden += cal.Hidden
 	rp.Sampled += cal.Sampled

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Records below the logger's level are
+// dropped before formatting.
+type Level int32
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a level name to its Level (defaulting to info).
+func ParseLevel(s string) Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Format selects the record encoding.
+type Format int
+
+// Supported encodings.
+const (
+	FormatLogfmt Format = iota
+	FormatJSON
+)
+
+// ParseFormat maps a format name to its Format (defaulting to logfmt).
+func ParseFormat(s string) Format {
+	if strings.EqualFold(s, "json") {
+		return FormatJSON
+	}
+	return FormatLogfmt
+}
+
+// Logger writes leveled structured records. Records are one line each,
+// serialized under a mutex shared by all derived (With) loggers so
+// concurrent components never interleave output. A nil *Logger
+// discards everything — components take a logger without guarding.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	format Format
+	base   []any // alternating key, value
+	now    func() time.Time
+}
+
+// NewLogger returns a logger writing records at or above level to w.
+func NewLogger(w io.Writer, level Level, format Format) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, format: format, now: time.Now}
+}
+
+// With returns a logger that attaches the given key/value pairs to
+// every record (in addition to the receiver's own base fields).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := *l
+	nl.base = append(append([]any(nil), l.base...), kv...)
+	return &nl
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < l.level {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	fields := make([]any, 0, len(l.base)+len(kv))
+	fields = append(fields, l.base...)
+	fields = append(fields, kv...)
+	var line []byte
+	if l.format == FormatJSON {
+		line = jsonLine(ts, level, msg, fields)
+	} else {
+		line = logfmtLine(ts, level, msg, fields)
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+func fieldValue(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case error:
+		return t.Error()
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+func jsonLine(ts string, level Level, msg string, fields []any) []byte {
+	rec := make(map[string]any, 3+len(fields)/2)
+	rec["ts"] = ts
+	rec["level"] = level.String()
+	rec["msg"] = msg
+	for i := 0; i+1 < len(fields); i += 2 {
+		key := fieldValue(fields[i])
+		switch v := fields[i+1].(type) {
+		case string, bool, int, int64, uint64, float64, json.Marshaler:
+			rec[key] = v
+		default:
+			rec[key] = fieldValue(v)
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		line, _ = json.Marshal(map[string]any{"ts": ts, "level": level.String(), "msg": msg})
+	}
+	return append(line, '\n')
+}
+
+func logfmtLine(ts string, level Level, msg string, fields []any) []byte {
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(ts)
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(logfmtValue(msg))
+	for i := 0; i+1 < len(fields); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fieldValue(fields[i]))
+		b.WriteByte('=')
+		b.WriteString(logfmtValue(fieldValue(fields[i+1])))
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+func logfmtValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

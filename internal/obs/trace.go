@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one recorded step of a job's lifecycle. Times are
+// milliseconds relative to the trace start (monotonic clock); EndMS is
+// nil for instantaneous events.
+type Span struct {
+	Name  string   `json:"name"`
+	T     float64  `json:"tMs"`
+	EndMS *float64 `json:"endMs,omitempty"`
+	Attrs []string `json:"attrs,omitempty"` // alternating key, value
+}
+
+// maxSpans bounds a trace; a long sampling tail emits one merge-round
+// span per merged block, and a runaway job must not grow memory
+// without bound. Overflow increments Dropped instead of appending.
+const maxSpans = 4096
+
+// Trace is an append-only ordered span list for one job. All methods
+// are safe for concurrent use and nil-receiver safe, so untraced runs
+// (CLI, tests) pay a single branch per span site.
+type Trace struct {
+	mu      sync.Mutex
+	base    time.Time
+	offset  float64 // added to new span times after Import
+	spans   []Span
+	dropped int
+}
+
+// NewTrace starts an empty trace anchored at the current time.
+func NewTrace() *Trace {
+	return &Trace{base: time.Now()}
+}
+
+func (t *Trace) nowMS() float64 {
+	return t.offset + float64(time.Since(t.base))/float64(time.Millisecond)
+}
+
+func (t *Trace) append(s Span) {
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Event records an instantaneous span.
+func (t *Trace) Event(name string, attrs ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.append(Span{Name: name, T: t.nowMS(), Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Begin records a span that is still open and returns a closure that
+// stamps its end time. The span is appended immediately so ordering
+// follows start times even when spans nest or overlap.
+func (t *Trace) Begin(name string, attrs ...string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.mu.Lock()
+	idx := -1
+	if len(t.spans) < maxSpans {
+		idx = len(t.spans)
+	}
+	t.append(Span{Name: name, T: t.nowMS(), Attrs: attrs})
+	t.mu.Unlock()
+	return func() {
+		if idx < 0 {
+			return
+		}
+		t.mu.Lock()
+		end := t.nowMS()
+		t.spans[idx].EndMS = &end
+		t.mu.Unlock()
+	}
+}
+
+// Import splices spans recorded before a restart (from the job
+// journal) ahead of everything recorded afterwards: the imported spans
+// keep their timestamps and subsequent spans are offset past the
+// latest imported time, so the combined list stays monotonically
+// ordered across the resume boundary.
+func (t *Trace) Import(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	latest := t.offset
+	for _, s := range spans {
+		if s.T > latest {
+			latest = s.T
+		}
+		if s.EndMS != nil && *s.EndMS > latest {
+			latest = *s.EndMS
+		}
+	}
+	t.offset = latest
+	t.base = time.Now()
+	t.spans = append(append([]Span(nil), spans...), t.spans...)
+}
+
+// Spans returns a copy of the recorded spans in order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped returns how many spans were discarded after the trace filled.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches a trace to a context so lower layers (core
+// estimator, cluster coordinator) can record spans without new
+// parameters.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil (and nil is safe to
+// record into).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

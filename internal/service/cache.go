@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -139,20 +140,22 @@ type CacheStats struct {
 // resultCache is a bounded FIFO map of finished results keyed by
 // resultKey. FIFO (not LRU) keeps eviction trivial; the cache exists to
 // absorb repeated submissions, which arrive close together in practice.
+// Hit/miss counts live in registry counters (the manager always hands
+// in real handles) so /v1/stats and /metrics read the same cells.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
 	results map[string]ResultView
 	order   []string
-	hits    uint64
-	misses  uint64
+	hits    *obs.Counter
+	misses  *obs.Counter
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, hits, misses *obs.Counter) *resultCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &resultCache{cap: capacity, results: make(map[string]ResultView)}
+	return &resultCache{cap: capacity, results: make(map[string]ResultView), hits: hits, misses: misses}
 }
 
 // get returns a copy of the cached result, marked Cached, and counts
@@ -162,18 +165,21 @@ func (c *resultCache) get(key string) (*ResultView, bool) {
 	defer c.mu.Unlock()
 	rv, ok := c.results[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	rv.Cached = true
 	return &rv, true
 }
 
 // put stores a copy of a finished result (its Cached flag cleared — the
-// flag marks served copies, not the original run).
+// flag marks served copies, not the original run — and its trace
+// summary dropped: the trace belongs to the job that ran, and a served
+// copy gets its own).
 func (c *resultCache) put(key string, rv ResultView) {
 	rv.Cached = false
+	rv.Trace = nil
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.results[key]; !ok {
@@ -190,5 +196,5 @@ func (c *resultCache) put(key string, rv ResultView) {
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.results)}
+	return CacheStats{Hits: c.hits.Value(), Misses: c.misses.Value(), Entries: len(c.results)}
 }

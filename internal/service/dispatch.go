@@ -91,13 +91,21 @@ type WorkerStatus struct {
 	// LeaseExpiries counts leases reclaimed from the worker because a
 	// block missed its delivery deadline.
 	LeaseExpiries uint64 `json:"leaseExpiries,omitempty"`
+	// LeaseGrants counts replication-range leases granted to the worker.
+	LeaseGrants uint64 `json:"leaseGrants,omitempty"`
+	// LeaseSteals counts expired leases the worker took over from
+	// another worker (the work-stealing path; counted on the thief).
+	LeaseSteals uint64 `json:"leaseSteals,omitempty"`
 	// LastError is the most recent failure attributed to the worker.
 	LastError string `json:"lastError,omitempty"`
 }
 
 // localDispatcher runs jobs in-process over the goroutine-parallel
-// estimator — the single-node default.
-type localDispatcher struct{}
+// estimator — the single-node default. met, when non-nil, feeds the
+// estimator's per-round convergence telemetry (dipe_core_*).
+type localDispatcher struct {
+	met *core.Metrics
+}
 
 // NewLocalDispatcher returns the in-process dispatcher.
 func NewLocalDispatcher() Dispatcher { return localDispatcher{} }
@@ -106,26 +114,28 @@ func (localDispatcher) Name() string { return "local" }
 
 func (localDispatcher) Ready() error { return nil }
 
-func (localDispatcher) Estimate(ctx context.Context, tb *core.Testbench, req JobRequest, progress func(core.Progress)) (core.Result, error) {
+func (d localDispatcher) Estimate(ctx context.Context, tb *core.Testbench, req JobRequest, progress func(core.Progress)) (core.Result, error) {
 	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
 	if err != nil {
 		return core.Result{}, err
 	}
 	opts := req.Options.Options()
 	opts.Progress = progress
+	opts.Metrics = d.met
 	if req.Interval != nil {
 		return core.EstimateParallelWithIntervalCtx(ctx, tb, factory, req.Seed, opts, *req.Interval)
 	}
 	return core.EstimateParallelCtx(ctx, tb, factory, req.Seed, opts)
 }
 
-func (localDispatcher) EstimateResumable(ctx context.Context, tb *core.Testbench, req JobRequest, ckpt *Checkpoint, save func(Checkpoint), progress func(core.Progress)) (core.Result, error) {
+func (d localDispatcher) EstimateResumable(ctx context.Context, tb *core.Testbench, req JobRequest, ckpt *Checkpoint, save func(Checkpoint), progress func(core.Progress)) (core.Result, error) {
 	factory, err := req.Source.Factory(len(tb.Circuit.Inputs))
 	if err != nil {
 		return core.Result{}, err
 	}
 	opts := req.Options.Options()
 	opts.Progress = progress
+	opts.Metrics = d.met
 	var rp core.ResumePoint
 	if ckpt != nil {
 		rp = ckpt.ResumePoint()

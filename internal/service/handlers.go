@@ -79,6 +79,7 @@ type errorResponse struct {
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        poll one job
 //	GET    /v1/jobs/{id}/wait   block until the job finishes (?timeout=30s)
+//	GET    /v1/jobs/{id}/trace  ordered lifecycle span list (submit → stop)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	POST   /v1/batch            submit a list of jobs
 //	GET    /v1/stats            registry + pool statistics
@@ -98,6 +99,7 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWaitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -228,6 +230,18 @@ func (s *Service) handleWaitJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, view)
 	}
+}
+
+// handleJobTrace reports the job's recorded lifecycle spans in order:
+// submit, run, select-interval, plan-resolve, shard, lease/steal,
+// merge-round, stop — with millisecond offsets from submission.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.Jobs.Trace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/vectors"
@@ -225,6 +226,20 @@ type ResultView struct {
 	// fresh run; by determinism the two are bit-identical (ElapsedMS
 	// reports the original run's cost).
 	Cached bool `json:"cached,omitempty"`
+	// Trace summarizes the job's lifecycle trace; the ordered span list
+	// is at GET /v1/jobs/{id}/trace.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary condenses a job's lifecycle trace into its result view.
+type TraceSummary struct {
+	// Spans is the recorded span count (submit through stop).
+	Spans int `json:"spans"`
+	// Dropped counts spans discarded after the trace cap.
+	Dropped int `json:"dropped,omitempty"`
+	// LastMS is the timestamp of the final span, milliseconds since
+	// submission (monotonic across restarts for resumed jobs).
+	LastMS float64 `json:"lastMs"`
 }
 
 func viewResult(res core.Result) *ResultView {
@@ -302,6 +317,10 @@ type job struct {
 	// progSamples is the sample count at the last journaled progress
 	// record (throttle state).
 	progSamples int
+	// trace is the job's lifecycle span list (submit → … → stop),
+	// threaded into the dispatcher through the job context. For a
+	// resumed job the journaled pre-restart spans are imported first.
+	trace *obs.Trace
 }
 
 // PoolStats is a snapshot of the job pool.
@@ -340,6 +359,9 @@ type Manager struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	met *serviceMetrics
+	log *obs.Logger
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // submission order, for List
@@ -360,6 +382,14 @@ type Manager struct {
 // journaled job is re-enqueued and resumed from its checkpoint. The
 // manager owns the store from here and closes it on Close.
 func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int, store *JobStore) *Manager {
+	return NewManagerObs(reg, dispatch, workers, queueCap, store, nil, nil)
+}
+
+// NewManagerObs is NewManager with observability attached: job-lifecycle
+// metrics register on obsReg (an internal registry backs the same cells
+// when nil, so /v1/stats counters are always real) and structured
+// lifecycle events go to log (nil discards).
+func NewManagerObs(reg *Registry, dispatch Dispatcher, workers, queueCap int, store *JobStore, obsReg *obs.Registry, log *obs.Logger) *Manager {
 	if dispatch == nil {
 		dispatch = NewLocalDispatcher()
 	}
@@ -378,18 +408,25 @@ func NewManager(reg *Registry, dispatch Dispatcher, workers, queueCap int, store
 			queueCap = len(restored)
 		}
 	}
+	if obsReg == nil {
+		obsReg = obs.NewRegistry() // internal: counters stay real, just unscraped
+	}
+	met := newServiceMetrics(obsReg)
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		reg:      reg,
 		dispatch: dispatch,
 		workers:  workers,
 		store:    store,
-		cache:    newResultCache(0),
+		cache:    newResultCache(0, met.cacheHits, met.cacheMisses),
+		met:      met,
+		log:      log.With("component", "jobs"),
 		ctx:      ctx,
 		stop:     stop,
 		queue:    make(chan *job, queueCap),
 		jobs:     make(map[string]*job),
 	}
+	m.registerStateGauges(obsReg)
 	m.restore(restored)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -414,7 +451,11 @@ func (m *Manager) restore(restored []RestoredJob) {
 			err:      r.Error,
 			ckpt:     r.Checkpoint,
 			done:     make(chan struct{}),
+			trace:    obs.NewTrace(),
 		}
+		// Spans journaled before the restart splice in ahead of anything
+		// the resumed run records, keeping one monotonic lifecycle.
+		j.trace.Import(r.Spans)
 		if src, err := m.reg.Source(r.Req.Circuit); err == nil {
 			j.cacheKey = resultKey(src, r.Req)
 		}
@@ -425,7 +466,9 @@ func (m *Manager) restore(restored []RestoredJob) {
 			}
 		} else {
 			j.state = StateQueued
+			j.trace.Event("restore")
 			m.queue <- j // capacity >= len(restored) by construction
+			m.log.Info("job resumed from journal", "job", j.id, "circuit", j.req.Circuit)
 		}
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
@@ -464,7 +507,9 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 		state:    StateQueued,
 		done:     make(chan struct{}),
 		cacheKey: cacheKey,
+		trace:    obs.NewTrace(),
 	}
+	j.trace.Event("submit", "circuit", req.Circuit)
 	if cacheKey != "" {
 		if rv, ok := m.cache.get(cacheKey); ok {
 			m.seq++
@@ -473,6 +518,8 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 			if m.store != nil {
 				m.store.submit(j.id, req)
 			}
+			j.trace.Event("cache-hit")
+			m.met.submitted.Inc()
 			m.finishLocked(j, StateDone, rv, "")
 			return j.id, nil
 		}
@@ -488,7 +535,39 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 	if m.store != nil {
 		m.store.submit(j.id, req)
 	}
+	m.met.submitted.Inc()
+	m.log.Info("job submitted", "job", j.id, "circuit", req.Circuit)
 	return j.id, nil
+}
+
+// Trace returns the job's recorded lifecycle spans.
+func (m *Manager) Trace(id string) (JobTrace, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	var state JobState
+	if ok {
+		state = j.state
+	}
+	m.mu.Unlock()
+	if !ok {
+		return JobTrace{}, false
+	}
+	return JobTrace{
+		ID:      id,
+		State:   state,
+		Spans:   j.trace.Spans(),
+		Dropped: j.trace.Dropped(),
+	}, true
+}
+
+// JobTrace is the JSON rendering of a job's lifecycle trace: the
+// ordered span list from submit to stop, with per-span millisecond
+// offsets from submission (monotonic across restarts for resumed jobs).
+type JobTrace struct {
+	ID      string     `json:"id"`
+	State   JobState   `json:"state"`
+	Spans   []obs.Span `json:"spans"`
+	Dropped int        `json:"dropped,omitempty"`
 }
 
 // Get returns a snapshot of the job, if it exists.
@@ -636,6 +715,9 @@ func (m *Manager) run(j *job) {
 	j.state = StateRunning
 	j.cancel = cancel
 	m.mu.Unlock()
+	j.trace.Event("run")
+	m.log.Debug("job running", "job", j.id, "circuit", j.req.Circuit)
+	ctx = obs.ContextWithTrace(ctx, j.trace)
 
 	tb, err := m.reg.Testbench(j.req.Circuit)
 	if err != nil {
@@ -669,7 +751,9 @@ func (m *Manager) run(j *job) {
 			j.ckpt = &c
 			m.mu.Unlock()
 			if m.store != nil {
-				m.store.checkpoint(j.id, c)
+				// The spans so far ride along so a restart resumes the
+				// lifecycle trace, not just the sampling phase.
+				m.store.checkpoint(j.id, c, j.trace.Spans())
 			}
 		}
 		res, err = rd.EstimateResumable(ctx, tb, j.req, ckpt, save, progress)
@@ -703,12 +787,28 @@ func (m *Manager) finishLocked(j *job, state JobState, res *ResultView, msg stri
 	if j.state.Terminal() {
 		return
 	}
+	j.trace.Event("stop", "state", string(state))
+	if res != nil {
+		if spans := j.trace.Spans(); len(spans) > 0 {
+			res.Trace = &TraceSummary{
+				Spans:   len(spans),
+				Dropped: j.trace.Dropped(),
+				LastMS:  spans[len(spans)-1].T,
+			}
+		}
+	}
 	j.state = state
 	j.result = res
 	j.err = msg
 	close(j.done)
 	if state == StateDone && res != nil && !res.Cached && j.cacheKey != "" {
 		m.cache.put(j.cacheKey, *res)
+	}
+	m.met.finished.With(string(state)).Inc()
+	if msg != "" {
+		m.log.Info("job finished", "job", j.id, "state", string(state), "err", msg)
+	} else {
+		m.log.Info("job finished", "job", j.id, "state", string(state))
 	}
 	if m.store != nil {
 		if state == StateCancelled && m.closed && !j.userCancel {

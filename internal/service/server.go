@@ -4,6 +4,9 @@ import (
 	"errors"
 	"net/http"
 	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config sizes the service. The zero value means defaults everywhere,
@@ -29,6 +32,13 @@ type Config struct {
 	// with OpenJobStore; the service owns it from here (closed on
 	// Close).
 	Store *JobStore
+	// Obs, when non-nil, is the metrics registry the service's and the
+	// local estimator's instruments register on; the caller typically
+	// also mounts Obs.Handler() at /metrics. Nil disables nothing
+	// visible — an internal registry keeps /v1/stats counters real.
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured job-lifecycle events.
+	Log *obs.Logger
 }
 
 // DefaultConfig returns the default sizing.
@@ -49,13 +59,15 @@ type Service struct {
 func New(cfg Config) *Service {
 	dispatch := cfg.Dispatcher
 	if dispatch == nil {
-		dispatch = NewLocalDispatcher()
+		// The local estimator's convergence telemetry registers here; a
+		// cluster dispatcher wires its own (CoordinatorConfig.Obs).
+		dispatch = localDispatcher{met: core.NewCoreMetrics(cfg.Obs)}
 	}
 	s := &Service{Registry: NewRegistry(cfg.CacheSize), dispatch: dispatch}
 	if ra, ok := dispatch.(RegistryAware); ok {
 		ra.SetRegistry(s.Registry)
 	}
-	s.Jobs = NewManager(s.Registry, dispatch, cfg.Workers, cfg.QueueSize, cfg.Store)
+	s.Jobs = NewManagerObs(s.Registry, dispatch, cfg.Workers, cfg.QueueSize, cfg.Store, cfg.Obs, cfg.Log)
 	s.mux = s.routes()
 	return s
 }

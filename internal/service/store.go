@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vr"
 )
 
@@ -82,8 +83,11 @@ type storeRecord struct {
 	ID   string `json:"id"`
 	// Req accompanies "submit".
 	Req *JobRequest `json:"req,omitempty"`
-	// Checkpoint accompanies "checkpoint".
+	// Checkpoint accompanies "checkpoint"; Spans carries the job's
+	// lifecycle trace up to the checkpoint, so a restarted server can
+	// splice the pre-restart spans ahead of the resumed run's.
 	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	Spans      []obs.Span  `json:"spans,omitempty"`
 	// Progress accompanies "progress" (throttled merged-round snapshots).
 	Progress *ProgressView `json:"progress,omitempty"`
 	// State, Result and Error accompany "state" (terminal states only).
@@ -99,6 +103,8 @@ type RestoredJob struct {
 	// Checkpoint is the frozen pre-sampling outcome, if the job got that
 	// far before the interruption.
 	Checkpoint *Checkpoint
+	// Spans is the lifecycle trace journaled with the checkpoint.
+	Spans []obs.Span
 	// Progress is the last journaled merged-round snapshot; surfaced as
 	// the restored job's progress until the resumed run overtakes it.
 	Progress *ProgressView
@@ -201,6 +207,7 @@ func replayJournal(path string) ([]RestoredJob, error) {
 		case "checkpoint":
 			if j := jobs[rec.ID]; j != nil && rec.Checkpoint != nil {
 				j.Checkpoint = rec.Checkpoint
+				j.Spans = rec.Spans
 			}
 		case "progress":
 			if j := jobs[rec.ID]; j != nil && rec.Progress != nil {
@@ -250,8 +257,8 @@ func (s *JobStore) submit(id string, req JobRequest) {
 	s.append(storeRecord{Kind: "submit", ID: id, Req: &req}, true)
 }
 
-func (s *JobStore) checkpoint(id string, c Checkpoint) {
-	s.append(storeRecord{Kind: "checkpoint", ID: id, Checkpoint: &c}, true)
+func (s *JobStore) checkpoint(id string, c Checkpoint, spans []obs.Span) {
+	s.append(storeRecord{Kind: "checkpoint", ID: id, Checkpoint: &c, Spans: spans}, true)
 }
 
 func (s *JobStore) progress(id string, p ProgressView) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // stallDispatcher is the local dispatcher with a crash stand-in: the
@@ -59,6 +60,7 @@ func sameResultView(t *testing.T, got, want *ResultView, label string) {
 	g, w := *got, *want
 	g.ElapsedMS, w.ElapsedMS = 0, 0
 	g.Cached, w.Cached = false, false
+	g.Trace, w.Trace = nil, nil // lifecycle timings, not covered by determinism
 	if g != w {
 		t.Errorf("%s: result mismatch\n got %+v\nwant %+v", label, g, w)
 	}
@@ -151,6 +153,91 @@ func TestServerRestartResumesInterruptedJob(t *testing.T) {
 		t.Errorf("re-submit after restart was not served from the cache: %+v", v2.Result)
 	}
 	sameResultView(t, v2.Result, want, "cached after restart")
+}
+
+// TestResumedJobTraceSplicesPreRestartSpans: a job resumed from the
+// journal keeps its pre-restart lifecycle — the spans journaled with
+// the checkpoint are spliced ahead of the "restore" marker, and the
+// whole list stays monotonic in time through "stop".
+func TestResumedJobTraceSplicesPreRestartSpans(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(0)
+	req := JobRequest{
+		Circuit: "s298",
+		Seed:    71,
+		Options: OptionsSpec{
+			RelErr: 0.02, Confidence: 0.95,
+			Replications: 16, Workers: 1, PowerMode: "zero-delay",
+		},
+	}
+
+	store1, err := OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newStallDispatcher()
+	m1 := NewManager(reg, d, 1, 0, store1)
+	id, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started sampling")
+	}
+	m1.Close()
+
+	store2, err := OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(reg, nil, 1, 0, store2)
+	defer m2.Close()
+	if v, err := m2.Wait(context.Background(), id); err != nil || v.State != StateDone {
+		t.Fatalf("resumed job: state %v err %v", v.State, err)
+	}
+
+	tr, ok := m2.Trace(id)
+	if !ok {
+		t.Fatalf("no trace for resumed job %s", id)
+	}
+	idx := map[string]int{}
+	for i, sp := range tr.Spans {
+		if _, seen := idx[sp.Name]; !seen {
+			idx[sp.Name] = i
+		}
+		if i > 0 && sp.T < tr.Spans[i-1].T {
+			t.Errorf("span %d (%s) at %.3fms precedes span %d (%s) at %.3fms",
+				i, sp.Name, sp.T, i-1, tr.Spans[i-1].Name, tr.Spans[i-1].T)
+		}
+	}
+	// The pre-restart lifecycle (submit, run, plan freeze) must precede
+	// the restore marker; the post-restart run and stop must follow it.
+	restore, ok := idx["restore"]
+	if !ok {
+		t.Fatalf("no restore span in %v", names(tr.Spans))
+	}
+	for _, pre := range []string{"submit", "plan-resolve"} {
+		if i, ok := idx[pre]; !ok || i >= restore {
+			t.Errorf("span %q at %d not before restore at %d (spans %v)", pre, i, restore, names(tr.Spans))
+		}
+	}
+	stop, ok := idx["stop"]
+	if !ok || stop <= restore {
+		t.Errorf("stop span at %d not after restore at %d (spans %v)", stop, restore, names(tr.Spans))
+	}
+	if tr.Spans[stop].Attrs[1] != string(StateDone) {
+		t.Errorf("stop span state attr %v, want done", tr.Spans[stop].Attrs)
+	}
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
 }
 
 // TestJournalTruncatedTailTolerated: a crash can cut the final journal

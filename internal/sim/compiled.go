@@ -75,9 +75,19 @@ type CompiledSession struct {
 	SampledCycles uint64
 
 	// ExecSeconds accumulates register-file execution time when the
-	// session was built with CompiledConfig.Instrument.
-	instrument  bool
-	ExecSeconds float64
+	// session was built with CompiledConfig.Instrument; the companion
+	// counters below accumulate the static cost of every executed pass
+	// (instructions, dispatch waves, scratch spill rows, lane-steps) —
+	// the same numbers the process-wide registry metrics export.
+	instrument   bool
+	ExecSeconds  float64
+	Instructions uint64
+	Waves        uint64
+	SpillRows    uint64
+	Execs        uint64
+
+	costFull execCost // static per-pass cost of the Full form
+	costStep execCost // static per-pass cost of the Step form
 }
 
 // CompiledConfig tunes how a compiled session executes its programs.
@@ -160,6 +170,8 @@ func NewCompiledSessionConfig(c *netlist.Circuit, srcs []vectors.Source, cfg Com
 	s.instrument = cfg.Instrument
 	s.bFull = blockProgram(u.Full, w, cfg, true)
 	s.bStep = blockProgram(u.Step, w, cfg, false)
+	s.costFull = programCost(u.Full, s.bFull)
+	s.costStep = programCost(u.Step, s.bStep)
 	scratch := 0
 	if s.bFull != nil && s.bFull.ScratchSlots > scratch {
 		scratch = s.bFull.ScratchSlots
@@ -228,8 +240,28 @@ func (s *CompiledSession) FileBytes() (step, full int) {
 	return len(s.step) * 8, len(s.full) * 8
 }
 
+// programCost freezes a program form's per-pass execution cost: the
+// plain linear form is one wave with no spills; a blocked form
+// dispatches its wave count and copies its boundary rows every pass.
+func programCost(p *compile.Program, b *compile.Blocked) execCost {
+	c := execCost{insts: uint64(p.NumInsts()), waves: 1}
+	if p.NumInsts() == 0 {
+		c.waves = 0
+	}
+	if b != nil {
+		st := b.Stats()
+		c.waves = uint64(st.Waves)
+		c.spills = uint64(st.LoadRows + st.StoreRows)
+	}
+	return c
+}
+
 // execProgram runs one program through its configured execution form.
-func (s *CompiledSession) execProgram(p *compile.Program, b *compile.Blocked, vals []uint64) {
+// The telemetry updates are per pass, never per instruction: with no
+// registry installed and Instrument off they cost one atomic pointer
+// load and two branches, which is what keeps disabled observability
+// under 1% of the duty cycle.
+func (s *CompiledSession) execProgram(p *compile.Program, b *compile.Blocked, cost *execCost, vals []uint64) {
 	var t0 time.Time
 	if s.instrument {
 		t0 = time.Now()
@@ -244,6 +276,17 @@ func (s *CompiledSession) execProgram(p *compile.Program, b *compile.Blocked, va
 	}
 	if s.instrument {
 		s.ExecSeconds += time.Since(t0).Seconds()
+		s.Execs++
+		s.Instructions += cost.insts
+		s.Waves += cost.waves
+		s.SpillRows += cost.spills
+	}
+	if m := compiledMet.Load(); m != nil {
+		m.Execs.Inc()
+		m.Insts.Add(cost.insts)
+		m.Waves.Add(cost.waves)
+		m.SpillRows.Add(cost.spills)
+		m.LaneSteps.Add(uint64(s.lanes))
 	}
 }
 
@@ -278,7 +321,7 @@ func (s *CompiledSession) settleFull() {
 	p := s.unit.Full
 	copyRows(s.full, p.In, s.pins, s.w)
 	copyRows(s.full, p.Q, s.q, s.w)
-	s.execProgram(p, s.bFull, s.full)
+	s.execProgram(p, s.bFull, &s.costFull, s.full)
 	s.fresh = true
 }
 
@@ -337,7 +380,7 @@ func (s *CompiledSession) advanceHidden() {
 	p := s.unit.Step
 	copyRows(s.step, p.In, s.pins, s.w)
 	copyRows(s.step, p.Q, s.q, s.w)
-	s.execProgram(p, s.bStep, s.step)
+	s.execProgram(p, s.bStep, &s.costStep, s.step)
 	for i, d := range p.D {
 		copy(s.nextQ[i*s.w:(i+1)*s.w], s.step[int(d)*s.w:(int(d)+1)*s.w])
 	}

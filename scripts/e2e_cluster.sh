@@ -6,9 +6,15 @@
 #
 # With --chaos the script instead runs the fault-tolerance gate on real
 # processes: a worker is SIGKILLed mid-batch (jobs must still finish), a
-# replacement worker heals the fleet, and the server is SIGTERMed mid-job
+# replacement worker heals the fleet, the server is SIGTERMed mid-job
 # and restarted on the same -state-dir — the journaled job must resume
-# and finish with a result bit-identical to a clean local-mode run.
+# and finish with a result bit-identical to a clean local-mode run —
+# and finally a worker is SIGSTOPped mid-job so its lease expires and
+# the observability counters must show the steal.
+#
+# Both modes also scrape /metrics on the server and every worker and
+# assert the exposition parses as Prometheus text with the expected
+# families nonzero.
 #
 # CI runs both modes as end-to-end gates; they need only go, curl and
 # python3.
@@ -54,7 +60,30 @@ go build -o "$BIN/dipe-worker" ./cmd/dipe-worker
 
 STATE="$LOGS/state"
 SERVER_FLAGS=(-cluster -heartbeat 500ms)
-[ "$CHAOS" = 1 ] && SERVER_FLAGS+=(-state-dir "$STATE")
+# Chaos mode adds a short lease deadline so the SIGSTOP segment below
+# expires a stalled worker's lease within the test budget.
+[ "$CHAOS" = 1 ] && SERVER_FLAGS+=(-state-dir "$STATE" -lease-timeout 2s)
+
+# prom_check NAME...: the exposition on stdin must parse as Prometheus
+# text (every line a comment or name{labels} value) and each NAME given
+# as an argument must sum to > 0 across its label sets.
+prom_check='
+import re, sys
+fam = {}
+for ln in sys.stdin.read().splitlines():
+    if not ln.strip():
+        continue
+    if ln.startswith("#"):
+        assert ln.split()[1] in ("HELP", "TYPE"), f"bad comment: {ln!r}"
+        continue
+    m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)({[^}]*})? (-?[0-9.eE+-]+|NaN)$", ln)
+    assert m, f"unparseable exposition line: {ln!r}"
+    fam[m.group(1)] = fam.get(m.group(1), 0.0) + float(m.group(3))
+assert fam, "empty exposition"
+for want in sys.argv[1:]:
+    assert fam.get(want, 0) > 0, f"{want} = {fam.get(want)} (want > 0); have {sorted(fam)}"
+print(f"  {len(fam)} series ok" + (": " + ", ".join(sys.argv[1:]) if len(sys.argv) > 1 else ""))
+'
 
 echo "== start coordinator (cluster mode, no workers yet)"
 "$BIN/dipe-server" -addr "127.0.0.1:0" "${SERVER_FLAGS[@]}" \
@@ -80,9 +109,10 @@ echo "== start two workers with self-registration"
 W1_PID=$!
 PIDS+=($W1_PID)
 "$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w2.log" 2>&1 &
-PIDS+=($!)
-bound_addr "$LOGS/w1.log" >/dev/null || { echo "worker 1 never reported its address"; exit 1; }
-bound_addr "$LOGS/w2.log" >/dev/null || { echo "worker 2 never reported its address"; exit 1; }
+W2_PID=$!
+PIDS+=($W2_PID)
+W1_ADDR=$(bound_addr "$LOGS/w1.log") || { echo "worker 1 never reported its address"; exit 1; }
+W2_ADDR=$(bound_addr "$LOGS/w2.log") || { echo "worker 2 never reported its address"; exit 1; }
 
 echo "== wait for readiness"
 for i in $(seq 1 50); do
@@ -139,6 +169,19 @@ assert st["dispatcher"] == "cluster", st["dispatcher"]
 assert st["pool"]["done"] >= 5, st["pool"]
 '
 
+echo "== /metrics scrapes cleanly on the coordinator"
+curl -sf "$BASE/metrics" | python3 -c "$prom_check" \
+  dipe_core_rounds_total dipe_core_half_width \
+  dipe_cluster_lease_grants_total dipe_cluster_workers_alive \
+  dipe_service_jobs_submitted_total dipe_service_jobs_done
+
+echo "== /metrics scrapes cleanly on both workers"
+for waddr in "$W1_ADDR" "$W2_ADDR"; do
+  curl -sf "http://$waddr/metrics" | python3 -c "$prom_check" \
+    dipe_compile_waves_total dipe_worker_streams_served_total \
+    dipe_worker_blocks_emitted_total
+done
+
 echo "e2e cluster: OK"
 exit 0
 fi
@@ -183,7 +226,9 @@ done
 
 echo "== replacement worker heals the fleet"
 "$BIN/dipe-worker" -addr "127.0.0.1:0" -register "$BASE" >"$LOGS/w3.log" 2>&1 &
-PIDS+=($!)
+W3_PID=$!
+PIDS+=($W3_PID)
+W3_ADDR=$(bound_addr "$LOGS/w3.log") || { echo "worker 3 never reported its address"; exit 1; }
 for i in $(seq 1 50); do
   alive=$(curl -s "$BASE/v1/cluster/workers" | python3 -c '
 import json, sys
@@ -247,5 +292,63 @@ for k in ("power", "sampleSize", "interval", "hiddenCycles", "sampledCycles", "h
     assert got[k] == ref[k], "resumed %s=%r, clean run %r" % (k, got[k], ref[k])
 print("resumed == clean: P=%.6g n=%d" % (ref["power"], ref["sampleSize"]))
 ' "$RESUMED_RESULT"
+
+echo "== chaos 3: SIGSTOP a lease holder; the lease must expire and be stolen"
+# The restarted coordinator's worker table refills on the fleet's 15s
+# re-announce cadence; the steal needs a thief, so wait for two workers.
+for i in $(seq 1 150); do
+  alive=$(curl -s "$BASE/v1/cluster/workers" | python3 -c '
+import json, sys
+print(sum(1 for w in json.load(sys.stdin)["workers"] if w["alive"]))')
+  [ "$alive" -ge 2 ] && break
+  sleep 0.2
+done
+[ "$alive" -ge 2 ] || { echo "fleet never re-registered 2 workers"; exit 1; }
+
+# Unreachably tight accuracy again: the job must outlive the stall.
+stall_req='{"circuit":"s1494","seed":21,"interval":4,"options":{"relErr":0.0001,"confidence":0.9999,"replications":128,"workers":2,"maxSamples":262144}}'
+curl -sf -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' -d "$stall_req" >/dev/null
+
+echo "== find the lease holder"
+holder=""
+for i in $(seq 1 100); do
+  holder=$(curl -s "$BASE/v1/cluster/workers" | python3 -c '
+import json, sys
+ws = json.load(sys.stdin)["workers"]
+held = [w["url"] for w in ws if w["alive"] and w.get("activeLeases", 0) > 0]
+print(held[0] if held else "")')
+  [ -n "$holder" ] && break
+  sleep 0.2
+done
+[ -n "$holder" ] || { echo "no worker ever held a lease"; exit 1; }
+case "$holder" in
+  *"$W2_ADDR"*) STALL_PID=$W2_PID ;;
+  *"$W3_ADDR"*) STALL_PID=$W3_PID ;;
+  *) echo "lease holder $holder is not a known worker"; exit 1 ;;
+esac
+
+kill -STOP "$STALL_PID"
+echo "== wait for the steal counters (lease timeout 2s)"
+sum_steals='
+import re, sys
+total = 0.0
+for ln in sys.stdin:
+    m = re.match(r"^dipe_cluster_lease_steals_total(?:\{[^}]*\})? ([0-9.eE+-]+)", ln)
+    if m: total += float(m.group(1))
+print(int(total))
+'
+stolen=0
+for i in $(seq 1 120); do
+  stolen=$(curl -s "$BASE/metrics" | python3 -c "$sum_steals")
+  [ "$stolen" -ge 1 ] && break
+  sleep 0.5
+done
+kill -CONT "$STALL_PID" 2>/dev/null || true
+[ "$stolen" -ge 1 ] || { echo "stalled worker's lease was never stolen"; exit 1; }
+
+echo "== expiry and steal counters visible on /metrics"
+curl -sf "$BASE/metrics" | python3 -c "$prom_check" \
+  dipe_cluster_lease_expiries_total dipe_cluster_lease_steals_total \
+  dipe_cluster_reassignments_total dipe_core_rounds_total
 
 echo "e2e cluster chaos: OK"
