@@ -483,6 +483,39 @@ func BenchmarkCompiledObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkBreakdownOverhead measures the compiled s1494 duty cycle (3
+// hidden + 1 sampled step, 64 lanes) with per-node toggle counting
+// disabled — a nil accumulator, zero work — and enabled. Counting adds
+// one popcount-and-add per node word per sampled step; the CI gate
+// holds the enabled/disabled ratio at 5% so breakdown runs stay within
+// noise of scalar-only estimation.
+func BenchmarkBreakdownOverhead(b *testing.B) {
+	c := bench89.MustGet("s1494")
+	tb := dipe.NewTestbench(c)
+	for _, mode := range []struct {
+		name     string
+		counting bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srcs := make([]vectors.Source, sim.MaxLanes)
+			for k := range srcs {
+				srcs[k] = vectors.NewIID(len(c.Inputs), 0.5, int64(k+1))
+			}
+			s := sim.NewCompiledSession(c, srcs)
+			if mode.counting {
+				s.AccumulateToggles(make([]uint64, c.NumNodes()))
+			}
+			powers := make([]float64, sim.MaxLanes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepHiddenN(3)
+				s.StepSampled(tb.Weights(), powers)
+			}
+			b.ReportMetric(float64(b.N*sim.MaxLanes*4)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
 func benchName(prefix string, n int) string {
 	switch {
 	case n >= 1000 && n%1000 == 0:

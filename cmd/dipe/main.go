@@ -59,7 +59,7 @@ func reportTopConsumers(c *dipe.Circuit, tb *dipe.Testbench, src dipe.Source, n 
 	const cycles = 20_000
 	s := tb.NewSession(src)
 	s.StepHiddenN(256)
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	for i := 0; i < cycles; i++ {
 		s.StepSampled(counts)
 	}
@@ -96,6 +96,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutine pool for -replications (0 = GOMAXPROCS)")
 		sessWorkers = flag.Int("session-workers", 0, "level-parallel workers inside each compiled session (0 = serial; result-invariant)")
 		cacheBudget = flag.Int("cache-budget", 0, "compiled-backend cache-blocking budget in bytes (0 = default ~L2/2, <0 = disable blocking; result-invariant)")
+		breakdown   = flag.Bool("breakdown", false, "report ranked per-node dynamic+leakage power (implies -replications; the dynamic column sums to the estimate in plain mode)")
+		brkTop      = flag.Int("breakdown-top", 20, "rows to print with -breakdown (0 = all)")
 		ztrace      = flag.Int("ztrace", -1, "print z statistic for trial intervals 0..N and exit")
 		ztraceLen   = flag.Int("ztrace-len", 10000, "sequence length for -ztrace")
 		refCycles   = flag.Int("ref", 0, "run an N-cycle consecutive reference instead of DIPE")
@@ -126,7 +128,7 @@ func main() {
 
 	err := run(*circuitName, *benchPath, *blifPath, *alpha, *seqLen, *relErr, *confidence,
 		*criterion, *test, *powerMode, *variance, *backendName, *inputProb, *inputRho, *seed, *fixed, *reps, *workers,
-		*sessWorkers, *cacheBudget, *ztrace, *ztraceLen,
+		*sessWorkers, *cacheBudget, *breakdown, *brkTop, *ztrace, *ztraceLen,
 		*refCycles, *verbose, *topN, *maxBudget, *vcdPath, *vcdCycles, *progJSON)
 
 	// os.Exit below skips defers, so the profiles are finalized inline
@@ -167,7 +169,7 @@ type progressRecord struct {
 
 func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, relErr, confidence float64,
 	criterion, test, powerMode, variance, backendName string, inputProb, inputRho float64, seed int64, fixed, reps, workers,
-	sessWorkers, cacheBudget, ztrace, ztraceLen int,
+	sessWorkers, cacheBudget int, breakdown bool, brkTop, ztrace, ztraceLen int,
 	refCycles int, verbose bool, topN, maxBudget int, vcdPath string, vcdCycles int, progJSON bool) error {
 
 	var (
@@ -242,6 +244,12 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	if vrMode != dipe.VarianceNone && reps == 0 {
 		// The transforms are defined over the replication space; default
 		// to one full packed word like the parallel estimator does.
+		reps = 64
+	}
+	opts.Breakdown = breakdown
+	if breakdown && reps == 0 {
+		// Attribution needs the parallel estimator (it holds the power
+		// model); default to one full packed word.
 		reps = 64
 	}
 
@@ -389,5 +397,36 @@ func run(circuitName, benchPath, blifPath string, alpha float64, seqLen int, rel
 	if !res.Converged {
 		fmt.Println("WARNING: sample cap reached before convergence")
 	}
+	if res.Breakdown != nil {
+		printBreakdown(res.Breakdown, brkTop)
+	}
 	return nil
+}
+
+// printBreakdown renders the ranked per-node attribution. The dynamic
+// column sums (over every node, including the unranked inputs) to the
+// scalar estimate in plain estimation mode.
+func printBreakdown(rep *dipe.BreakdownReport, top int) {
+	fmt.Printf("power breakdown   : dynamic %s + leakage %s over %d observations\n",
+		dipe.FormatWatts(rep.Dynamic), dipe.FormatWatts(rep.Leakage), rep.Observations)
+	rows := rep.TopRows(top)
+	fmt.Printf("%-4s %-16s %-6s %12s %14s %14s %8s\n",
+		"#", "node", "class", "toggles", "dynamic", "leakage", "share")
+	for i, r := range rows {
+		fmt.Printf("%-4d %-16s %-6s %12d %14s %14s %7.2f%%\n",
+			i+1, r.Name, r.Class, r.Toggles,
+			dipe.FormatWatts(r.Dynamic), dipe.FormatWatts(r.Leakage), 100*r.Share)
+	}
+	if n := len(rep.Rows) - len(rows); n > 0 {
+		fmt.Printf("     ... %d more nodes\n", n)
+	}
+	if len(rep.Modules) > 0 {
+		fmt.Printf("%-21s %-6s %12s %14s %14s %8s\n",
+			"module", "nodes", "toggles", "dynamic", "leakage", "share")
+		for _, m := range rep.Modules {
+			fmt.Printf("%-21s %-6d %12d %14s %14s %7.2f%%\n",
+				m.Module, m.Nodes, m.Toggles,
+				dipe.FormatWatts(m.Dynamic), dipe.FormatWatts(m.Leakage), 100*m.Share)
+		}
+	}
 }

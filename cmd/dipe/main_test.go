@@ -23,6 +23,8 @@ type runArgs struct {
 	fixed, reps, workers int
 	sessWorkers          int
 	cacheBudget          int
+	breakdown            bool
+	brkTop               int
 	ztrace, ztraceLen    int
 	refCycles            int
 	verbose              bool
@@ -36,7 +38,7 @@ func defaults() runArgs {
 	return runArgs{
 		alpha: 0.20, seqLen: 320, relErr: 0.05, confidence: 0.99,
 		criterion: "order-statistics", test: "runs", powerMode: "general-delay", variance: "none",
-		inputProb: 0.5, seed: 1, fixed: -1, ztrace: -1, ztraceLen: 1000,
+		inputProb: 0.5, seed: 1, fixed: -1, brkTop: 20, ztrace: -1, ztraceLen: 1000,
 		vcdCycles: 8,
 	}
 }
@@ -44,13 +46,23 @@ func defaults() runArgs {
 func (a runArgs) run() error {
 	return run(a.circuit, a.bench, a.blif, a.alpha, a.seqLen, a.relErr, a.confidence,
 		a.criterion, a.test, a.powerMode, a.variance, a.backend, a.inputProb, a.inputRho, a.seed, a.fixed, a.reps, a.workers,
-		a.sessWorkers, a.cacheBudget, a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles, a.progJSON)
+		a.sessWorkers, a.cacheBudget, a.breakdown, a.brkTop, a.ztrace, a.ztraceLen, a.refCycles, a.verbose, a.topN, a.maxBudget, a.vcdPath, a.vcdCycles, a.progJSON)
 }
 
 func TestRunEstimate(t *testing.T) {
 	a := defaults()
 	a.circuit = "s27"
 	a.verbose = true
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBreakdown(t *testing.T) {
+	a := defaults()
+	a.circuit = "s27"
+	a.breakdown = true // reps left 0: -breakdown implies 64 replications
+	a.brkTop = 5
 	if err := a.run(); err != nil {
 		t.Fatal(err)
 	}

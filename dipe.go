@@ -127,6 +127,31 @@ func ParsePowerMode(s string) (PowerMode, error) { return power.ParseMode(s) }
 // PowerModes lists the valid canonical power modes.
 func PowerModes() []PowerMode { return power.Modes() }
 
+// BreakdownReport is the per-node power attribution of an estimation
+// run: ranked per-gate dynamic power from accumulated transition counts
+// plus static leakage, with module-level aggregation for hierarchical
+// names. Enable with Options.Breakdown under EstimateParallel; the
+// report arrives in Result.Breakdown.
+type BreakdownReport = power.BreakdownReport
+
+// BreakdownRow is one node's share of the circuit's power in a
+// BreakdownReport.
+type BreakdownRow = power.BreakdownRow
+
+// ModuleRow aggregates breakdown rows by hierarchical module prefix.
+type ModuleRow = power.ModuleRow
+
+// NodeClass tags what a breakdown row attributes power to ("gate",
+// "latch"; primary inputs and constants are excluded from ranking).
+type NodeClass = power.NodeClass
+
+// LeakModel parameterizes the per-gate static leakage component of the
+// power model (see NewCustomTestbench / power.NewModelLeak).
+type LeakModel = power.LeakModel
+
+// DefaultLeakModel returns the default static-leakage coefficients.
+func DefaultLeakModel() LeakModel { return power.DefaultLeakModel() }
+
 // Backend names a lane-parallel simulation backend for the parallel
 // estimators' sampling phase. The backends are observation-equivalent —
 // per-lane samples are bit-identical — so Options.Backend is purely a

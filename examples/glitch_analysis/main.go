@@ -53,7 +53,7 @@ func main() {
 	tb := dipe.NewTestbench(circuit)
 	s := tb.NewSession(dipe.NewIIDSource(width, 0.5, 8))
 	s.StepHiddenN(512)
-	counts := make([]uint32, circuit.NumNodes())
+	counts := make([]uint64, circuit.NumNodes())
 	for i := 0; i < cycles; i++ {
 		s.StepSampled(counts)
 	}

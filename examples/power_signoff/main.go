@@ -64,7 +64,7 @@ func main() {
 	// 4. Where does the power go?
 	s := tb.NewSession(dipe.NewIIDSource(width, 0.5, 2))
 	s.StepHiddenN(512)
-	counts := make([]uint32, circuit.NumNodes())
+	counts := make([]uint64, circuit.NumNodes())
 	const cycles = 20_000
 	for i := 0; i < cycles; i++ {
 		s.StepSampled(counts)

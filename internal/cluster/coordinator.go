@@ -460,7 +460,7 @@ func (c *Coordinator) EstimateResumable(ctx context.Context, tb *core.Testbench,
 		}
 	}
 
-	res, err := c.sampledPhase(ctx, tb, req, opts, rp.Plan, rp.Interval, rp.SeedSeq)
+	res, err := c.sampledPhase(ctx, tb, req, opts, rp.Plan, rp.Interval, rp.SeedSeq, rp.SeedToggles)
 	res.Trials = rp.Trials
 	res.IntervalCapped = rp.Capped
 	res.HiddenCycles += rp.Hidden
@@ -485,7 +485,7 @@ type repRange struct {
 // sampledPhase is the distributed analogue of parallelTail: it streams
 // sample blocks from one worker per replication range and merges them
 // through core.Merger under the job's sequential stopping rule.
-func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req service.JobRequest, opts core.Options, plan vr.Plan, interval int, seedSeq []float64) (core.Result, error) {
+func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req service.JobRequest, opts core.Options, plan vr.Plan, interval int, seedSeq []float64, seedToggles []uint64) (core.Result, error) {
 	m, err := core.NewMerger(opts)
 	if err != nil {
 		return core.Result{}, err
@@ -494,6 +494,17 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 		m.Seed(seedSeq)
 	}
 	reps, rounds := m.Reps(), m.Rounds()
+	// Per-node attribution state: the merged blocks' count deltas fold
+	// into one accumulator, and the workers are told the merge loop's
+	// round budget so the final (possibly clipped) block's delta covers
+	// exactly the rounds merged here — the bit-identity contract with
+	// the in-process estimator.
+	var counts []uint64
+	budgetRounds := 0
+	if opts.Breakdown {
+		counts = make([]uint64, tb.Circuit.NumNodes())
+		budgetRounds = (opts.MaxSamples - m.N()) / m.PerRound()
+	}
 	// Budget ceiling for orphaned streams: strictly more blocks than the
 	// merge loop can consume before its own MaxSamples cutoff fires
 	// (PerRound, not reps: antithetic pairing halves the criterion
@@ -556,7 +567,7 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 		rg := &repRange{idx: i, lo: b[0], hi: b[1], ch: make(chan rangeMsg, 16)}
 		ranges[i] = rg
 		lanes[i] = b[1] - b[0]
-		go c.runLeasedRange(sctx, js, hash, src, req, opts, plan, interval, rounds, maxBlocks, rg)
+		go c.runLeasedRange(sctx, js, hash, src, req, opts, plan, interval, rounds, maxBlocks, budgetRounds, rg)
 	}
 
 	// Engine naming mirrors core.parallelTail exactly, including the
@@ -581,7 +592,7 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 		if opts.Progress != nil {
 			opts.Progress(m.Progress(interval))
 		}
-		return core.Result{
+		res := core.Result{
 			Power:         m.Estimate(),
 			Interval:      interval,
 			SampleSize:    m.N(),
@@ -596,6 +607,16 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 			CVBeta:        plan.Beta,
 			Converged:     converged,
 		}
+		if opts.Breakdown {
+			// Only merged blocks folded their deltas, so the counts cover
+			// exactly the merged prefix — like the cycle counters, the
+			// report is independent of how far ahead workers streamed.
+			res.Breakdown = core.FinishBreakdown(tb, opts, m, len(seedSeq), seedToggles, counts)
+			if opts.Metrics != nil {
+				opts.Metrics.Power.Observe(res.Breakdown)
+			}
+		}
+		return res
 	}
 
 	for b := 0; !m.Done(); b++ {
@@ -619,8 +640,18 @@ func (c *Coordinator) sampledPhase(ctx context.Context, tb *core.Testbench, req 
 					return result(false), fmt.Errorf("cluster: range [%d,%d): %w", rg.lo, rg.hi, msg.err)
 				case msg.block.Index != b:
 					return result(false), fmt.Errorf("cluster: range [%d,%d) delivered block %d, want %d", rg.lo, rg.hi, msg.block.Index, b)
+				case opts.Breakdown && len(msg.block.Counts) != len(counts):
+					return result(false), fmt.Errorf("cluster: range [%d,%d) block %d carries %d node counts, want %d",
+						rg.lo, rg.hi, b, len(msg.block.Counts), len(counts))
 				}
 				blocks[i] = msg.block.Samples
+				if opts.Breakdown {
+					// Fold the delta as the block is merged; discarded
+					// (post-convergence) blocks never reach this point.
+					for j, d := range msg.block.Counts {
+						counts[j] += d
+					}
+				}
 			}
 		}
 		if err := m.MergeBlock(blocks, lanes, n); err != nil {
@@ -663,7 +694,7 @@ var errPermanent = errors.New("cluster: request rejected")
 // reached); errLeaseExpired means the lease watchdog reclaimed the
 // stream (next block overdue while another worker was free); any error
 // leaves *delivered at the resume point for the next attempt.
-func (c *Coordinator) streamRange(ctx context.Context, js *jobScheduler, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
+func (c *Coordinator) streamRange(ctx context.Context, js *jobScheduler, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks, budgetRounds int, delivered *int, rg *repRange) error {
 	if *delivered >= maxBlocks {
 		return nil
 	}
@@ -673,7 +704,7 @@ func (c *Coordinator) streamRange(ctx context.Context, js *jobScheduler, worker,
 	defer cancel()
 	l := newBlockLease(js, worker, c.leaseTimeout, cancel)
 	defer l.stop()
-	err := c.streamBlocks(sctx, l, worker, hash, req, opts, plan, interval, rounds, maxBlocks, delivered, rg)
+	err := c.streamBlocks(sctx, l, worker, hash, req, opts, plan, interval, rounds, maxBlocks, budgetRounds, delivered, rg)
 	if err != nil && l.expired.Load() && ctx.Err() == nil {
 		return fmt.Errorf("%w: worker %s stalled before block %d", errLeaseExpired, worker, *delivered)
 	}
@@ -682,22 +713,24 @@ func (c *Coordinator) streamRange(ctx context.Context, js *jobScheduler, worker,
 
 // streamBlocks is the body of one stream attempt; ctx is the
 // lease-cancellable stream context.
-func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, delivered *int, rg *repRange) error {
+func (c *Coordinator) streamBlocks(ctx context.Context, l *blockLease, worker, hash string, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks, budgetRounds int, delivered *int, rg *repRange) error {
 	runReq := RunRequest{
-		Hash:       hash,
-		Source:     req.Source,
-		Seed:       req.Seed,
-		Mode:       string(opts.Mode),
-		Backend:    string(opts.Backend),
-		VR:         plan,
-		Warmup:     opts.WarmupCycles,
-		Interval:   interval,
-		RepLo:      rg.lo,
-		RepHi:      rg.hi,
-		Rounds:     rounds,
-		SkipBlocks: *delivered,
-		MaxBlocks:  maxBlocks,
-		Workers:    opts.Workers,
+		Hash:         hash,
+		Source:       req.Source,
+		Seed:         req.Seed,
+		Mode:         string(opts.Mode),
+		Backend:      string(opts.Backend),
+		VR:           plan,
+		Warmup:       opts.WarmupCycles,
+		Interval:     interval,
+		RepLo:        rg.lo,
+		RepHi:        rg.hi,
+		Rounds:       rounds,
+		SkipBlocks:   *delivered,
+		MaxBlocks:    maxBlocks,
+		Workers:      opts.Workers,
+		Breakdown:    opts.Breakdown,
+		BudgetRounds: budgetRounds,
 	}
 	body, err := json.Marshal(runReq)
 	if err != nil {

@@ -262,7 +262,7 @@ func (l *blockLease) stop() { l.timer.Stop() }
 // handover invisible in the merged result. The error budget
 // (maxAttempts) fails the job on a cluster that keeps breaking rather
 // than spinning forever.
-func (c *Coordinator) runLeasedRange(ctx context.Context, js *jobScheduler, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks int, rg *repRange) {
+func (c *Coordinator) runLeasedRange(ctx context.Context, js *jobScheduler, hash string, src service.CircuitSource, req service.JobRequest, opts core.Options, plan vr.Plan, interval, rounds, maxBlocks, budgetRounds int, rg *repRange) {
 	defer close(rg.ch)
 	delivered := 0
 	attempts := 0
@@ -284,7 +284,7 @@ func (c *Coordinator) runLeasedRange(ctx context.Context, js *jobScheduler, hash
 		}
 		serr := func() error {
 			for {
-				err := c.streamRange(ctx, js, worker, hash, req, opts, plan, interval, rounds, maxBlocks, &delivered, rg)
+				err := c.streamRange(ctx, js, worker, hash, req, opts, plan, interval, rounds, maxBlocks, budgetRounds, &delivered, rg)
 				if errors.Is(err, errUnknownCircuit) && !uploaded[worker] {
 					// Propagate the circuit and retry the same worker under
 					// the same lease; an install failure falls through to

@@ -59,6 +59,16 @@ type RunRequest struct {
 	// Workers bounds the worker-process goroutine pool for this range
 	// (0 = GOMAXPROCS of the worker).
 	Workers int `json:"workers,omitempty"`
+	// Breakdown asks the worker to accumulate per-node transition counts
+	// and attach each block's count delta (StreamBlock.Counts). Counting
+	// never changes the samples, so a mixed run (some attempts with the
+	// flag, some without) still merges bit-identical estimates.
+	Breakdown bool `json:"breakdown,omitempty"`
+	// BudgetRounds is the merge side's total round budget under
+	// Breakdown ((MaxSamples - seeded samples) / PerRound; 0 =
+	// unbounded): the final block's count delta is clipped to it exactly
+	// as the coordinator's merger clips the rounds it consumes.
+	BudgetRounds int `json:"budgetRounds,omitempty"`
 }
 
 // Validate rejects requests a worker could not run.
@@ -80,6 +90,8 @@ func (r RunRequest) Validate() error {
 		return fmt.Errorf("cluster: negative maxBlocks %d", r.MaxBlocks)
 	case r.Workers < 0:
 		return fmt.Errorf("cluster: negative workers %d", r.Workers)
+	case r.BudgetRounds < 0:
+		return fmt.Errorf("cluster: negative budgetRounds %d", r.BudgetRounds)
 	}
 	if err := sim.Backend(r.Backend).Validate(); err != nil {
 		return err
@@ -101,6 +113,12 @@ type StreamHeader struct {
 type StreamBlock struct {
 	Index   int       `json:"b"`
 	Samples []float64 `json:"s"`
+	// Counts is the block's per-node transition-count delta (indexed by
+	// NodeID, summed over the range's replications), present only when
+	// the run requested a breakdown. Integers survive JSON exactly below
+	// 2^53 — a bound no single block can reach — so folding the merged
+	// blocks' deltas reproduces the in-process accumulator bit for bit.
+	Counts []uint64 `json:"c,omitempty"`
 }
 
 // InstallRequest propagates a circuit to a worker that missed its hash.

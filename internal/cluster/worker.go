@@ -243,13 +243,14 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	opts.Mode = mode
 	opts.Backend = sim.Backend(req.Backend)
 	opts.Workers = req.Workers
+	opts.Breakdown = req.Breakdown
 	// Errors terminate the stream; the client distinguishes a complete
 	// stream from a truncated one by block count, so nothing more is
 	// needed here. ctx errors are the normal convergence path.
 	_ = core.StreamReplications(r.Context(), tb, factory, req.Seed, opts,
-		req.VR, req.Interval, req.RepLo, req.RepHi, req.Rounds, req.SkipBlocks, req.MaxBlocks,
+		req.VR, req.Interval, req.RepLo, req.RepHi, req.Rounds, req.SkipBlocks, req.MaxBlocks, req.BudgetRounds,
 		func(b core.ReplicationBlock) error {
-			if err := enc.Encode(StreamBlock{Index: b.Index, Samples: b.Samples}); err != nil {
+			if err := enc.Encode(StreamBlock{Index: b.Index, Samples: b.Samples, Counts: b.Toggles}); err != nil {
 				return err
 			}
 			w.blocks.Add(1)

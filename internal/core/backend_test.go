@@ -153,7 +153,7 @@ func TestCompiledBackendGoldenStreamed(t *testing.T) {
 		opts.Workers = workers
 		var blocks [][]float64
 		err := StreamReplications(t.Context(), tb, factory, 21, opts, vr.Plan{},
-			2, 0, 96, 4, 0, 3, func(b ReplicationBlock) error {
+			2, 0, 96, 4, 0, 3, 0, func(b ReplicationBlock) error {
 				s := make([]float64, len(b.Samples))
 				copy(s, b.Samples)
 				blocks = append(blocks, s)

@@ -26,6 +26,9 @@ func EstimateBatchMeans(s *sim.Session, opts Options, batch int) (Result, error)
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := rejectVariance(opts); err != nil {
+		return Result{}, err
+	}
 	if batch < 1 {
 		return Result{}, fmt.Errorf("core: batch size %d must be >= 1", batch)
 	}

@@ -100,6 +100,16 @@ type Options struct {
 	// the parallel estimators only (the transforms are defined over the
 	// replication space); the serial estimators reject a non-plain mode.
 	Variance vr.Spec
+	// Breakdown enables per-node power attribution: the sampled phase
+	// accumulates per-node transition counts alongside the power samples
+	// and the Result carries a ranked dynamic+leakage report
+	// (power.BreakdownReport). Counts are integers merged by addition, so
+	// the report is bit-identical across backends, worker counts and any
+	// partition of the replication space. Honoured by the parallel
+	// estimators only (the serial ones have no power model in scope);
+	// costs one popcount per node word per sampled cycle when on, nothing
+	// when off.
+	Breakdown bool
 	// Progress, if non-nil, is called from the estimator goroutine after
 	// every merged block of samples (roughly every CheckEvery) with a
 	// running snapshot of the estimate. It must be cheap; it is never

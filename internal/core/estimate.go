@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stopping"
 	"repro/internal/vr"
@@ -53,6 +54,10 @@ type Result struct {
 	// CVBeta is the resolved control-variate coefficient (0 outside
 	// control-variate runs).
 	CVBeta float64
+	// Breakdown is the per-node power attribution report (nil unless
+	// Options.Breakdown). Its dynamic column totals the scalar estimate
+	// in the plain estimator mode; see power.BreakdownReport.
+	Breakdown *power.BreakdownReport
 	// Converged is false only if MaxSamples was exhausted first.
 	Converged bool
 }
@@ -211,6 +216,10 @@ func rejectVariance(opts Options) error {
 	if opts.Variance.Mode.Canonical() != vr.ModeNone {
 		return fmt.Errorf("core: variance reduction (%s) requires the parallel estimator (EstimateParallel)",
 			opts.Variance.Mode)
+	}
+	if opts.Breakdown {
+		return fmt.Errorf("core: per-node breakdown requires the parallel estimator (EstimateParallel) — " +
+			"the session-based estimators have no power model in scope to attribute against")
 	}
 	return nil
 }

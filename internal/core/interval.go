@@ -37,6 +37,13 @@ type IntervalSelection struct {
 	// Observing the covariate does not perturb the session trajectory,
 	// so Sequence is bit-identical with and without it.
 	Covariates []float64
+	// Toggles holds the per-node transition counts of the accepted
+	// sequence (indexed by NodeID), collected only under
+	// Options.Breakdown. When the sequence seeds the stopping criterion
+	// (Options.ReuseTestSamples) these counts seed the attribution
+	// accumulator the same way, keeping the breakdown's dynamic total
+	// equal to the estimate. Counting does not perturb the trajectory.
+	Toggles []uint64
 }
 
 // collectSequence gathers n power samples, separated by k hidden
@@ -44,18 +51,24 @@ type IntervalSelection struct {
 // samples and returns early with ctx.Err() when cancelled, so one trial
 // on a large circuit cannot pin a worker past a cancellation request.
 func collectSequence(ctx context.Context, s *sim.Session, k, n int, dst []float64) ([]float64, error) {
-	dst, _, err := collectSequencePairs(ctx, s, k, n, dst, nil)
+	dst, _, err := collectSequencePairs(ctx, s, k, n, dst, nil, nil)
 	return dst, err
 }
 
 // collectSequencePairs is collectSequence with an optional covariate
 // buffer: when cov is non-nil it also records each cycle's zero-delay
 // toggle power (StepSampledPair), leaving the sample values and the
-// session trajectory bit-identical to the plain collection.
-func collectSequencePairs(ctx context.Context, s *sim.Session, k, n int, dst, cov []float64) ([]float64, []float64, error) {
+// session trajectory bit-identical to the plain collection. A non-nil
+// counts buffer (len NumNodes) is zeroed and accumulates the sequence's
+// per-node transition counts, so after an accepted trial it holds
+// exactly the accepted sequence's toggles.
+func collectSequencePairs(ctx context.Context, s *sim.Session, k, n int, dst, cov []float64, counts []uint64) ([]float64, []float64, error) {
 	dst = dst[:0]
 	if cov != nil {
 		cov = cov[:0]
+	}
+	for i := range counts {
+		counts[i] = 0
 	}
 	for i := 0; i < n; i++ {
 		if i%ctxCheckEvery == 0 {
@@ -65,11 +78,11 @@ func collectSequencePairs(ctx context.Context, s *sim.Session, k, n int, dst, co
 		}
 		s.StepHiddenN(k)
 		if cov != nil {
-			x, c := s.StepSampledPair()
+			x, c := s.StepSampledPair(counts)
 			dst = append(dst, x)
 			cov = append(cov, c)
 		} else {
-			dst = append(dst, s.StepSampled(nil))
+			dst = append(dst, s.StepSampled(counts))
 		}
 	}
 	return dst, cov, nil
@@ -107,16 +120,26 @@ func SelectIntervalCtx(ctx context.Context, s *sim.Session, opts Options) (Inter
 	if opts.Variance.Mode.Canonical() == vr.ModeControlVariate {
 		cov = make([]float64, 0, opts.SeqLen)
 	}
+	// Under Options.Breakdown every trial counts per-node transitions;
+	// collectSequencePairs zeroes the buffer per trial, so the accepted
+	// trial leaves exactly its own sequence's counts behind.
+	var counts []uint64
+	if opts.Breakdown {
+		counts = make([]uint64, s.Circuit().NumNodes())
+	}
 	finish := func() IntervalSelection {
 		sel.Sequence = append([]float64(nil), seq...)
 		if cov != nil {
 			sel.Covariates = append([]float64(nil), cov...)
 		}
+		if counts != nil {
+			sel.Toggles = append([]uint64(nil), counts...)
+		}
 		return sel
 	}
 	for k := 0; ; k++ {
 		var err error
-		seq, cov, err = collectSequencePairs(ctx, s, k, opts.SeqLen, seq, cov)
+		seq, cov, err = collectSequencePairs(ctx, s, k, opts.SeqLen, seq, cov, counts)
 		if err != nil {
 			return IntervalSelection{}, err
 		}

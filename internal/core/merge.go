@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stopping"
 	"repro/internal/vectors"
@@ -218,6 +219,27 @@ func (m *Merger) Progress(interval int) Progress {
 	}
 }
 
+// FinishBreakdown builds the per-node attribution report for a sampling
+// phase whose merged samples produced the given transition counts. It
+// folds the phase-1 seed toggles into total in place — exactly when the
+// seed sequence also seeded the criterion (opts.ReuseTestSamples), so
+// counts and samples stay in lockstep — computes the observation
+// denominator (seeded samples plus one sample per replication per
+// merged round), and ranks the report against the testbench's power
+// model. Both the in-process tail and the cluster coordinator finish
+// through here, which is what makes an N-worker breakdown bit-identical
+// to the local one.
+func FinishBreakdown(tb *Testbench, opts Options, m *Merger, seedLen int, seedToggles, total []uint64) *power.BreakdownReport {
+	observed := uint64(m.MergedRounds()) * uint64(m.Reps())
+	if opts.ReuseTestSamples && len(seedToggles) == len(total) {
+		for i, n := range seedToggles {
+			total[i] += n
+		}
+		observed += uint64(seedLen)
+	}
+	return tb.Model.Breakdown(tb.Circuit, total, observed)
+}
+
 // SplitRange partitions [lo, hi) into k contiguous sub-ranges whose
 // sizes differ by at most one, in ascending order. It is THE partition
 // rule of the replication space: parallelTail's goroutine shards,
@@ -275,6 +297,13 @@ type ReplicationBlock struct {
 	Rounds int
 	// Samples holds Rounds*lanes power samples, round-major.
 	Samples []float64
+	// Toggles holds the block's per-node transition-count delta (indexed
+	// by NodeID, summed over the range's replications), emitted only
+	// under Options.Breakdown. The delta covers exactly the rounds of
+	// this block the merge side will consume — the block cadence, clipped
+	// by the budgetRounds schedule — so folding the deltas of the merged
+	// blocks reproduces the in-process accumulator bit for bit.
+	Toggles []uint64
 }
 
 // StreamReplications runs replications [lo, hi) of an EstimateParallel-
@@ -299,9 +328,17 @@ type ReplicationBlock struct {
 // maxBlocks bounds the stream (0 = unbounded); emitting stops early
 // when ctx is cancelled or emit returns an error.
 //
-// opts contributes WarmupCycles, Mode and Workers; the stopping
-// criterion is not consulted — stopping is the merger's job.
-func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, plan vr.Plan, interval, lo, hi, rounds, skip, maxBlocks int, emit func(ReplicationBlock) error) error {
+// Under opts.Breakdown each block additionally carries its per-node
+// transition-count delta. budgetRounds is the merge side's total round
+// budget ((MaxSamples - seeded samples) / PerRound; 0 = unbounded): the
+// merger clips its final block to it, so block b's delta covers
+// min(rounds, budgetRounds - b*rounds) rounds even though the block
+// always carries the full `rounds` rounds of samples. Outside breakdown
+// runs budgetRounds is ignored.
+//
+// opts contributes WarmupCycles, Mode, Workers and Breakdown; the
+// stopping criterion is not consulted — stopping is the merger's job.
+func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, plan vr.Plan, interval, lo, hi, rounds, skip, maxBlocks, budgetRounds int, emit func(ReplicationBlock) error) error {
 	if err := opts.Mode.Validate(); err != nil {
 		return err
 	}
@@ -338,8 +375,22 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 	if err != nil {
 		return err
 	}
+	// Per-node attribution: each shard counts into a private accumulator
+	// and keeps a per-block snapshot (`snap`) taken after the rounds the
+	// merge side will actually consume, so the emitted deltas track the
+	// merger's clipped final block instead of the full block the stream
+	// always carries.
+	var prev []uint64
+	if opts.Breakdown {
+		prev = make([]uint64, tb.Circuit.NumNodes())
+	}
 	for _, sh := range shards {
 		sh.powers = make([]float64, rounds*sh.lanes)
+		if opts.Breakdown {
+			sh.counts = make([]uint64, tb.Circuit.NumNodes())
+			sh.snap = make([]uint64, tb.Circuit.NumNodes())
+			sh.ps.AccumulateToggles(sh.counts)
+		}
 	}
 
 	runShards(shards, workers, func(sh *shard) {
@@ -358,6 +409,18 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// The rounds of this block the merge side will consume: the block
+		// cadence, clipped by the remaining round budget (mirrors
+		// Merger.NextRounds with merged == b*rounds).
+		countRounds := rounds
+		if budgetRounds > 0 {
+			if cr := budgetRounds - b*rounds; cr < countRounds {
+				countRounds = cr
+			}
+			if countRounds < 0 {
+				countRounds = 0
+			}
+		}
 		runShards(shards, workers, func(sh *shard) {
 			for t := 0; t < rounds; t++ {
 				sh.ps.StepHiddenN(interval)
@@ -373,6 +436,9 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 				default:
 					sh.ps.StepSampledWith(sh.engine, weights, block)
 				}
+				if sh.snap != nil && t+1 == countRounds {
+					copy(sh.snap, sh.counts)
+				}
 			}
 		})
 		samples := make([]float64, 0, rounds*n)
@@ -381,7 +447,19 @@ func StreamReplications(ctx context.Context, tb *Testbench, src vectors.Factory,
 				samples = append(samples, sh.powers[t*sh.lanes:(t+1)*sh.lanes]...)
 			}
 		}
-		if err := emit(ReplicationBlock{Index: b, Rounds: rounds, Samples: samples}); err != nil {
+		var toggles []uint64
+		if opts.Breakdown {
+			toggles = make([]uint64, len(prev))
+			for _, sh := range shards {
+				for i, c := range sh.snap {
+					toggles[i] += c
+				}
+			}
+			for i := range toggles {
+				toggles[i], prev[i] = toggles[i]-prev[i], toggles[i]
+			}
+		}
+		if err := emit(ReplicationBlock{Index: b, Rounds: rounds, Samples: samples, Toggles: toggles}); err != nil {
 			return err
 		}
 	}

@@ -54,7 +54,7 @@ func TestMergerStreamedRangesMatchParallel(t *testing.T) {
 	for i, b := range bounds {
 		i, b := i, b
 		err := StreamReplications(context.Background(), tb, factory, seed, opts,
-			vr.Plan{}, interval, b[0], b[1], rounds, 0, maxBlocks, func(blk ReplicationBlock) error {
+			vr.Plan{}, interval, b[0], b[1], rounds, 0, maxBlocks, 0, func(blk ReplicationBlock) error {
 				queues[i] = append(queues[i], blk.Samples)
 				return nil
 			})
@@ -111,7 +111,7 @@ func TestStreamReplicationsSkipFastForward(t *testing.T) {
 	collect := func(skipBlocks int) [][]float64 {
 		var out [][]float64
 		err := StreamReplications(context.Background(), tb, factory, seed, opts,
-			vr.Plan{}, interval, 0, 8, rounds, skipBlocks, total, func(blk ReplicationBlock) error {
+			vr.Plan{}, interval, 0, 8, rounds, skipBlocks, total, 0, func(blk ReplicationBlock) error {
 				s := append([]float64(nil), blk.Samples...)
 				out = append(out, s)
 				return nil

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/power"
+)
 
 // Metrics is the convergence telemetry of the sampling/stopping phase:
 // the live trajectory of the paper's sequential stopping rule, updated
@@ -25,6 +28,9 @@ type Metrics struct {
 	HalfWidth *obs.Gauge
 	// Rate is the current criterion-samples-per-second throughput.
 	Rate *obs.Gauge
+	// Power is the attribution telemetry (dipe_power_*), fed one report
+	// per finished breakdown run. Nil when the registry was nil.
+	Power *power.Metrics
 }
 
 // NewCoreMetrics registers the convergence metrics on r (nil r gives a
@@ -40,5 +46,6 @@ func NewCoreMetrics(r *obs.Registry) *Metrics {
 		Mean:      r.Gauge("dipe_core_mean_power_watts", "Current pooled power estimate of the most recent merge."),
 		HalfWidth: r.Gauge("dipe_core_half_width", "Current confidence half-width of the most recent merge."),
 		Rate:      r.Gauge("dipe_core_samples_per_second", "Criterion samples per second of the running estimation."),
+		Power:     power.NewMetrics(r),
 	}
 }

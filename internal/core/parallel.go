@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/delay"
 	"repro/internal/obs"
+	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/vectors"
 	"repro/internal/vr"
@@ -27,6 +28,8 @@ type shard struct {
 	lanes  int
 	powers []float64 // per-block lane powers, round-major: [round*lanes + lane]
 	cov    []float64 // per-round covariate scratch (control-variate runs only)
+	counts []uint64  // per-node toggle accumulator (breakdown streams only)
+	snap   []uint64  // counts snapshot at the block's merge-consumed round
 }
 
 // newShards builds the canonical shard layout over replications
@@ -147,7 +150,7 @@ func EstimateParallelWithIntervalCtx(ctx context.Context, tb *Testbench, src vec
 // delay.Table.AllZero), though power sums may differ from per-lane
 // event-driven simulation in the last ulp because the summation order
 // changes.
-func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64, plan vr.Plan) (Result, error) {
+func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseSeed int64, opts Options, interval int, seed []float64, seedToggles []uint64, plan vr.Plan) (Result, error) {
 	reps := opts.Replications
 	if reps == 0 {
 		reps = sim.MaxLanes
@@ -216,6 +219,20 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		shardPowers[i] = sh.powers
 		shardLanes[i] = sh.lanes
 	}
+	// Per-node attribution rides on the sessions' own accumulators: each
+	// shard counts into a private array (no write contention) and the
+	// arrays are summed once at the end. Integer addition is associative,
+	// so the totals are independent of the shard layout. The block loop
+	// steps exactly the rounds the merger consumes, so at any exit the
+	// accumulated counts cover exactly the merged samples.
+	var shardCounts [][]uint64
+	if opts.Breakdown {
+		shardCounts = make([][]uint64, len(shards))
+		for i, sh := range shards {
+			shardCounts[i] = make([]uint64, tb.Circuit.NumNodes())
+			sh.ps.AccumulateToggles(shardCounts[i])
+		}
+	}
 	weights := tb.Weights()
 	result := func(converged bool) Result {
 		var hidden, sampled uint64
@@ -230,7 +247,7 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		if opts.Progress != nil {
 			opts.Progress(m.Progress(interval))
 		}
-		return Result{
+		res := Result{
 			Power:         m.Estimate(),
 			Interval:      interval,
 			SampleSize:    m.N(),
@@ -245,6 +262,13 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 			CVBeta:        plan.Beta,
 			Converged:     converged,
 		}
+		if opts.Breakdown {
+			res.Breakdown = foldBreakdown(tb, opts, m, seed, seedToggles, shardCounts)
+			if opts.Metrics != nil {
+				opts.Metrics.Power.Observe(res.Breakdown)
+			}
+		}
+		return res
 	}
 	for !m.Done() {
 		if err := ctx.Err(); err != nil {
@@ -286,6 +310,18 @@ func parallelTail(ctx context.Context, tb *Testbench, src vectors.Factory, baseS
 		}
 	}
 	return result(true), nil
+}
+
+// foldBreakdown sums the per-shard accumulators and finishes the
+// attribution report through the shared FinishBreakdown seam.
+func foldBreakdown(tb *Testbench, opts Options, m *Merger, seed []float64, seedToggles []uint64, shardCounts [][]uint64) *power.BreakdownReport {
+	total := make([]uint64, tb.Circuit.NumNodes())
+	for _, cnt := range shardCounts {
+		for i, n := range cnt {
+			total[i] += n
+		}
+	}
+	return FinishBreakdown(tb, opts, m, len(seed), seedToggles, total)
 }
 
 // runShards applies fn to every shard with at most `workers` goroutines

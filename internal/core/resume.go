@@ -41,6 +41,12 @@ type ResumePoint struct {
 	// plan-transformed when the plan corrects samples); it seeds the
 	// stopping criterion when Options.ReuseTestSamples is set.
 	SeedSeq []float64 `json:"seedSeq,omitempty"`
+	// SeedToggles is the accepted sequence's per-node transition counts
+	// (indexed by NodeID), captured only under Options.Breakdown; it
+	// seeds the attribution accumulator whenever SeedSeq seeds the
+	// criterion, so a resumed breakdown stays bit-identical to an
+	// uninterrupted one.
+	SeedToggles []uint64 `json:"seedToggles,omitempty"`
 	// Plan is the frozen variance-reduction plan.
 	Plan vr.Plan `json:"plan,omitzero"`
 	// Hidden and Sampled tally the simulation cycles the pre-sampling
@@ -83,6 +89,7 @@ func PreparePlanCtx(ctx context.Context, tb *Testbench, src vectors.Factory, bas
 		endSel()
 		sel = &s
 		rp.Interval, rp.Capped, rp.Trials = s.Interval, s.Capped, s.Trials
+		rp.SeedToggles = s.Toggles
 		rp.Hidden += sel0.HiddenCycles
 		rp.Sampled += sel0.SampledCycles
 	}
@@ -120,7 +127,7 @@ func EstimateParallelResumeCtx(ctx context.Context, tb *Testbench, src vectors.F
 		return Result{}, fmt.Errorf("core: negative interval %d", rp.Interval)
 	}
 	start := time.Now()
-	res, err := parallelTail(ctx, tb, src, baseSeed, opts, rp.Interval, rp.SeedSeq, rp.Plan)
+	res, err := parallelTail(ctx, tb, src, baseSeed, opts, rp.Interval, rp.SeedSeq, rp.SeedToggles, rp.Plan)
 	res.Trials = rp.Trials
 	res.IntervalCapped = rp.Capped
 	res.HiddenCycles += rp.Hidden

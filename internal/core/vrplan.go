@@ -86,7 +86,7 @@ func ResolvePlan(ctx context.Context, tb *Testbench, src vectors.Factory, baseSe
 				s.StepHiddenN(opts.WarmupCycles)
 				var err error
 				xs, cs, err = collectSequencePairs(ctx, s, interval, opts.SeqLen,
-					make([]float64, 0, opts.SeqLen), make([]float64, 0, opts.SeqLen))
+					make([]float64, 0, opts.SeqLen), make([]float64, 0, opts.SeqLen), nil)
 				if err != nil {
 					return vr.Plan{}, nil, CalCost{}, err
 				}

@@ -1,0 +1,197 @@
+package power
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// This file turns accumulated per-node transition counts into the
+// attribution report the estimation layers surface: per-node dynamic
+// power (w_i * toggles_i / observations — the same Eq. 1 weights the
+// estimator sums, so the dynamic column totals the scalar estimate in
+// the plain estimator mode), per-node static leakage from Model.Leak,
+// and module-level aggregation by hierarchical name prefix.
+
+// NodeClass tags what a breakdown row attributes power to. Primary
+// inputs carry zero capacitance weight under the default CapModel
+// (their transitions are charged to the external driver), so reporting
+// them as 0 W rows would be misleading — ranked output excludes the
+// input and constant classes and keeps the tag so consumers can tell
+// gates from latches.
+type NodeClass string
+
+const (
+	ClassGate  NodeClass = "gate"
+	ClassLatch NodeClass = "latch"
+	ClassInput NodeClass = "input"
+	ClassConst NodeClass = "const"
+)
+
+// ClassOf maps a netlist node kind to its breakdown class.
+func ClassOf(k logic.Kind) NodeClass {
+	switch k {
+	case logic.Input:
+		return ClassInput
+	case logic.DFF:
+		return ClassLatch
+	case logic.Const0, logic.Const1:
+		return ClassConst
+	}
+	return ClassGate
+}
+
+// BreakdownRow is one node's share of the circuit's power.
+type BreakdownRow struct {
+	Node    int       `json:"node"`
+	Name    string    `json:"name"`
+	Class   NodeClass `json:"class"`
+	Toggles uint64    `json:"toggles"`
+	Dynamic float64   `json:"dynamic"` // watts
+	Leakage float64   `json:"leakage"` // watts
+	Share   float64   `json:"share"`   // of the dynamic+leakage grand total
+}
+
+// ModuleRow aggregates rows by hierarchical module prefix.
+type ModuleRow struct {
+	Module  string  `json:"module"`
+	Nodes   int     `json:"nodes"`
+	Toggles uint64  `json:"toggles"`
+	Dynamic float64 `json:"dynamic"`
+	Leakage float64 `json:"leakage"`
+	Share   float64 `json:"share"`
+}
+
+// BreakdownReport is the full power attribution of one estimation run.
+type BreakdownReport struct {
+	// Observations is the number of sampled-cycle observations the
+	// toggle counts cover (per replication lane; the denominator of the
+	// per-node dynamic power).
+	Observations uint64 `json:"observations"`
+	// Dynamic is the total dynamic power in watts: the weighted toggle
+	// sum over every node, including classes the ranked rows exclude.
+	// In the plain estimator mode it equals the scalar estimate up to
+	// float summation order; variance-reduced runs transform the samples
+	// the criterion consumes, so there the raw attribution total and the
+	// transformed estimate differ by design.
+	Dynamic float64 `json:"dynamic"`
+	// Leakage is the total static power in watts (state-independent).
+	Leakage float64 `json:"leakage"`
+	// Rows ranks gate and latch nodes by dynamic+leakage power,
+	// descending, ties broken by ascending node index. Input and
+	// constant nodes are excluded (zero weight by construction).
+	Rows []BreakdownRow `json:"rows"`
+	// Modules aggregates Rows by module prefix, same ranking.
+	Modules []ModuleRow `json:"modules,omitempty"`
+}
+
+// ModuleOf extracts the module prefix of a hierarchical node name: the
+// part before the last '/' or '.' separator. Flat netlist names (the
+// ISCAS89 benches) have no separator and collapse into the top module.
+func ModuleOf(name string) string {
+	if i := strings.LastIndexAny(name, "/."); i > 0 {
+		return name[:i]
+	}
+	return "(top)"
+}
+
+// Breakdown builds the attribution report for accumulated per-node
+// transition counts over `observations` sampled cycles. counts must be
+// indexed by NodeID (len NumNodes); observations == 0 yields zero
+// dynamic rows (leakage is still reported — it does not depend on
+// switching activity).
+func (m *Model) Breakdown(c *netlist.Circuit, counts []uint64, observations uint64) *BreakdownReport {
+	w := m.Weights()
+	rep := &BreakdownReport{Observations: observations}
+	rep.Leakage = m.TotalLeakage()
+	rows := make([]BreakdownRow, 0, len(counts))
+	for i, n := range counts {
+		var dyn float64
+		if observations > 0 {
+			dyn = w[i] * float64(n) / float64(observations)
+		}
+		rep.Dynamic += dyn
+		class := ClassOf(c.Nodes[i].Kind)
+		if class == ClassInput || class == ClassConst {
+			continue
+		}
+		rows = append(rows, BreakdownRow{
+			Node:    i,
+			Name:    c.Nodes[i].Name,
+			Class:   class,
+			Toggles: n,
+			Dynamic: dyn,
+			Leakage: m.Leak[i],
+		})
+	}
+	// Rank by combined power; the index tiebreak keeps the order a pure
+	// function of the counts, so N-worker and local reports are
+	// comparable row for row.
+	sort.Slice(rows, func(a, b int) bool {
+		pa, pb := rows[a].Dynamic+rows[a].Leakage, rows[b].Dynamic+rows[b].Leakage
+		if pa != pb {
+			return pa > pb
+		}
+		return rows[a].Node < rows[b].Node
+	})
+	total := rep.Dynamic + rep.Leakage
+	if total > 0 {
+		for i := range rows {
+			rows[i].Share = (rows[i].Dynamic + rows[i].Leakage) / total
+		}
+	}
+	rep.Rows = rows
+	rep.Modules = moduleRows(rows, total)
+	return rep
+}
+
+// moduleRows aggregates ranked rows into per-module totals. A flat
+// netlist degrades to a single "(top)" module, which is then omitted —
+// it would only repeat the report totals.
+func moduleRows(rows []BreakdownRow, total float64) []ModuleRow {
+	byName := make(map[string]*ModuleRow)
+	order := make([]string, 0, 8)
+	for _, r := range rows {
+		mod := ModuleOf(r.Name)
+		mr := byName[mod]
+		if mr == nil {
+			mr = &ModuleRow{Module: mod}
+			byName[mod] = mr
+			order = append(order, mod)
+		}
+		mr.Nodes++
+		mr.Toggles += r.Toggles
+		mr.Dynamic += r.Dynamic
+		mr.Leakage += r.Leakage
+	}
+	if len(order) <= 1 {
+		return nil
+	}
+	out := make([]ModuleRow, 0, len(order))
+	for _, mod := range order {
+		mr := byName[mod]
+		if total > 0 {
+			mr.Share = (mr.Dynamic + mr.Leakage) / total
+		}
+		out = append(out, *mr)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := out[a].Dynamic+out[a].Leakage, out[b].Dynamic+out[b].Leakage
+		if pa != pb {
+			return pa > pb
+		}
+		return out[a].Module < out[b].Module
+	})
+	return out
+}
+
+// TopRows returns the first n ranked rows (all of them when n <= 0 or
+// past the end) — the summary slice result views carry inline.
+func (r *BreakdownReport) TopRows(n int) []BreakdownRow {
+	if n <= 0 || n > len(r.Rows) {
+		n = len(r.Rows)
+	}
+	return r.Rows[:n]
+}

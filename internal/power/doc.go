@@ -17,4 +17,19 @@
 // (core.Options.Mode) and API field (the service's "powerMode"); the
 // gap between the two modes' estimates is the circuit's glitch power,
 // the sensitivity the delay-model ablation quantifies.
+//
+// Alongside the switching power of Eq. 1 the model carries a static
+// (leakage) component, state-independent and hence outside the
+// estimation loop entirely:
+//
+//	P_leak(i) = GateBase + PerFanin * fanin(i)   for gates and latches
+//	P_leak(i) = 0                                for inputs and constants
+//	P_leak    = sum_i P_leak(i)
+//
+// Primary inputs and constant drivers are pads, not transistor stacks.
+// The default coefficients (GateBase = 50 pW, PerFanin = 10 pW) match
+// the paper's technology era — 5 V multi-micron CMOS, where
+// subthreshold leakage sat orders of magnitude below switching power —
+// and exist mainly so attribution reports (Model.Breakdown) can rank
+// nodes by total dynamic+static power and expose the split.
 package power

@@ -52,19 +52,71 @@ func (m CapModel) NodeCap(c *netlist.Circuit, id netlist.NodeID) float64 {
 	return m.Base + m.PerFanout*float64(len(nd.Fanout))
 }
 
-// Model couples a supply with per-node capacitances for one circuit.
+// LeakModel assigns a static (leakage) power to each node from its
+// structure: P_leak = GateBase + PerFanin * fanin, in watts. Leakage is
+// state-independent here — it accrues whether or not the node switches —
+// so total static power is a plain sum over the circuit, reported
+// alongside the estimated dynamic power. Primary inputs and constant
+// drivers are pads, not transistor stacks, and leak nothing.
+type LeakModel struct {
+	GateBase float64 // watts, per gate or latch output stage
+	PerFanin float64 // watts per fanin connection (stacked devices)
+}
+
+// DefaultLeakModel returns leakage coefficients matching the paper's
+// technology era (5 V, multi-micron CMOS): 50 pW per gate plus 10 pW
+// per fanin — subthreshold leakage orders of magnitude below switching
+// power, as it was before deep submicron.
+func DefaultLeakModel() LeakModel {
+	return LeakModel{GateBase: 50e-12, PerFanin: 10e-12}
+}
+
+// NodeLeak returns the static power of node i in watts.
+func (lm LeakModel) NodeLeak(c *netlist.Circuit, id netlist.NodeID) float64 {
+	nd := &c.Nodes[id]
+	switch nd.Kind {
+	case logic.Input, logic.Const0, logic.Const1:
+		return 0
+	}
+	return lm.GateBase + lm.PerFanin*float64(len(nd.Fanin))
+}
+
+// Model couples a supply with per-node capacitances and leakage weights
+// for one circuit.
 type Model struct {
 	Supply Supply
 	Caps   []float64 // farads, indexed by NodeID
+	Leak   []float64 // watts of static power, indexed by NodeID
 }
 
-// NewModel precomputes the capacitance of every node of a frozen circuit.
+// NewModel precomputes the capacitance and leakage of every node of a
+// frozen circuit, using the default leakage coefficients.
 func NewModel(c *netlist.Circuit, cm CapModel, s Supply) *Model {
-	m := &Model{Supply: s, Caps: make([]float64, len(c.Nodes))}
+	return NewModelLeak(c, cm, DefaultLeakModel(), s)
+}
+
+// NewModelLeak is NewModel with explicit leakage coefficients.
+func NewModelLeak(c *netlist.Circuit, cm CapModel, lm LeakModel, s Supply) *Model {
+	m := &Model{
+		Supply: s,
+		Caps:   make([]float64, len(c.Nodes)),
+		Leak:   make([]float64, len(c.Nodes)),
+	}
 	for i := range c.Nodes {
 		m.Caps[i] = cm.NodeCap(c, netlist.NodeID(i))
+		m.Leak[i] = lm.NodeLeak(c, netlist.NodeID(i))
 	}
 	return m
+}
+
+// TotalLeakage returns the circuit's static power: the sum of every
+// node's leakage weight, in watts.
+func (m *Model) TotalLeakage() float64 {
+	var sum float64
+	for _, l := range m.Leak {
+		sum += l
+	}
+	return sum
 }
 
 // Weights returns the per-transition power contribution of each node,
@@ -90,7 +142,7 @@ func (m *Model) EnergyPerTransition(id netlist.NodeID) float64 {
 
 // PowerFromCounts converts accumulated per-node transition counts over
 // `cycles` clock cycles into average power in watts.
-func (m *Model) PowerFromCounts(counts []uint32, cycles int) float64 {
+func (m *Model) PowerFromCounts(counts []uint64, cycles int) float64 {
 	if cycles <= 0 {
 		return 0
 	}
@@ -111,7 +163,7 @@ type Breakdown struct {
 
 // TopConsumers ranks nodes by average power given accumulated transition
 // counts over `cycles` cycles and returns the top n entries.
-func (m *Model) TopConsumers(c *netlist.Circuit, counts []uint32, cycles, n int) []Breakdown {
+func (m *Model) TopConsumers(c *netlist.Circuit, counts []uint64, cycles, n int) []Breakdown {
 	if cycles <= 0 || n <= 0 {
 		return nil
 	}

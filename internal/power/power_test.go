@@ -75,7 +75,7 @@ func TestPowerFromCountsHandComputed(t *testing.T) {
 	c := miniCircuit(t)
 	cm := CapModel{Base: 100e-15, PerFanout: 0}
 	m := NewModel(c, cm, Supply{VDD: 2, ClockPeriod: 10e-9})
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	counts[c.Lookup("G1")] = 10
 	counts[c.Lookup("G2")] = 5
 	// P = VDD^2/(2*T*cycles) * C * n = 4/(2*10e-9*10) * 100e-15 * 15
@@ -100,7 +100,7 @@ func TestEnergyPerTransition(t *testing.T) {
 func TestTopConsumers(t *testing.T) {
 	c := miniCircuit(t)
 	m := NewModel(c, CapModel{Base: 50e-15, PerFanout: 0}, DefaultSupply())
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	counts[c.Lookup("G1")] = 100
 	counts[c.Lookup("G2")] = 50
 	counts[c.Lookup("G3")] = 10

@@ -78,6 +78,11 @@ type cacheKeySpec struct {
 	Variance      string   `json:"variance,omitempty"`
 	Beta          *float64 `json:"beta,omitempty"`
 	ControlCycles int      `json:"controlCycles,omitempty"`
+	// Breakdown widens the result (per-node attribution) without
+	// changing the estimate, so it must key the cache: a scalar-only
+	// result cannot answer a breakdown request. omitempty keeps every
+	// pre-existing key byte-identical for breakdown-less requests.
+	Breakdown bool `json:"breakdown,omitempty"`
 }
 
 // resultKey builds the cache key for a request whose circuit resolves
@@ -106,6 +111,7 @@ func resultKey(src CircuitSource, req JobRequest) string {
 		Variance:      string(opts.Variance.Mode.Canonical()),
 		Beta:          opts.Variance.BetaOverride,
 		ControlCycles: opts.Variance.ControlCycles,
+		Breakdown:     opts.Breakdown,
 	}
 	if spec.Kind == "" {
 		spec.Kind = "iid"

@@ -80,6 +80,7 @@ type errorResponse struct {
 //	GET    /v1/jobs/{id}        poll one job
 //	GET    /v1/jobs/{id}/wait   block until the job finishes (?timeout=30s)
 //	GET    /v1/jobs/{id}/trace  ordered lifecycle span list (submit → stop)
+//	GET    /v1/jobs/{id}/breakdown  full per-node power attribution dump
 //	DELETE /v1/jobs/{id}        cancel a job
 //	POST   /v1/batch            submit a list of jobs
 //	GET    /v1/stats            registry + pool statistics
@@ -100,6 +101,7 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWaitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/breakdown", s.handleJobBreakdown)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -242,6 +244,23 @@ func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tr)
+}
+
+// handleJobBreakdown serves the full per-node power attribution of a
+// finished breakdown-enabled job; the job's result view carries only
+// the top rows inline.
+func (s *Service) handleJobBreakdown(w http.ResponseWriter, r *http.Request) {
+	bd, ok := s.Jobs.Breakdown(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if bd.Report == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %q has no breakdown (submit with options.breakdown=true and wait for completion)", bd.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, bd)
 }
 
 func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {

@@ -122,6 +122,13 @@ type OptionsSpec struct {
 	// general-delay sampling). Unknown values and invalid combinations
 	// fail Validate at submit time.
 	Variance string `json:"variance,omitempty"`
+	// Breakdown enables per-node power attribution: the result gains a
+	// ranked per-gate dynamic+leakage breakdown (inline top rows plus the
+	// full ranking at GET /v1/jobs/{id}/breakdown). It augments the
+	// result rather than changing the estimate, but it still participates
+	// in the result cache key — a cached scalar-only result cannot answer
+	// a breakdown request.
+	Breakdown bool `json:"breakdown,omitempty"`
 }
 
 // Options expands the spec over the paper defaults. Exported for
@@ -155,6 +162,7 @@ func (o OptionsSpec) Options() core.Options {
 	opts.SessionWorkers = o.SessionWorkers
 	opts.CacheBudget = o.CacheBudget
 	opts.Variance.Mode = vr.Mode(o.Variance).Canonical()
+	opts.Breakdown = o.Breakdown
 	return opts
 }
 
@@ -229,6 +237,53 @@ type ResultView struct {
 	// Trace summarizes the job's lifecycle trace; the ordered span list
 	// is at GET /v1/jobs/{id}/trace.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Breakdown carries the per-node power attribution summary (requests
+	// with options.breakdown only).
+	Breakdown *BreakdownView `json:"breakdown,omitempty"`
+}
+
+// breakdownTopN bounds the ranked rows a ResultView carries inline; the
+// complete ranking is at GET /v1/jobs/{id}/breakdown.
+const breakdownTopN = 20
+
+// BreakdownView is the JSON rendering of a per-node power breakdown:
+// report totals plus the top-ranked rows. The full per-node ranking can
+// run to tens of thousands of rows on the large benchmarks, so it stays
+// out of the inline view and the journal; the dump endpoint serves it
+// from the retained report.
+type BreakdownView struct {
+	// Observations is the sampled-cycle count the toggle counts cover.
+	Observations uint64 `json:"observations"`
+	// Dynamic and Leakage are the report's total watts.
+	Dynamic float64 `json:"dynamic"`
+	Leakage float64 `json:"leakage"`
+	// Nodes is the number of ranked rows in the full report (gates and
+	// latches; inputs and constants are excluded from ranking).
+	Nodes int `json:"nodes"`
+	// Top is the head of the ranking (up to breakdownTopN rows).
+	Top []power.BreakdownRow `json:"top,omitempty"`
+	// Modules aggregates the ranking by hierarchical module prefix
+	// (absent for flat netlists).
+	Modules []power.ModuleRow `json:"modules,omitempty"`
+	// Full is the complete report, retained in memory for the dump
+	// endpoint but deliberately never journaled; a job restored from the
+	// journal serves Top there instead.
+	Full *power.BreakdownReport `json:"-"`
+}
+
+func viewBreakdown(rep *power.BreakdownReport) *BreakdownView {
+	if rep == nil {
+		return nil
+	}
+	return &BreakdownView{
+		Observations: rep.Observations,
+		Dynamic:      rep.Dynamic,
+		Leakage:      rep.Leakage,
+		Nodes:        len(rep.Rows),
+		Top:          rep.TopRows(breakdownTopN),
+		Modules:      rep.Modules,
+		Full:         rep,
+	}
 }
 
 // TraceSummary condenses a job's lifecycle trace into its result view.
@@ -260,6 +315,7 @@ func viewResult(res core.Result) *ResultView {
 		CVBeta:         res.CVBeta,
 		Converged:      res.Converged,
 		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
+		Breakdown:      viewBreakdown(res.Breakdown),
 	}
 }
 
@@ -558,6 +614,50 @@ func (m *Manager) Trace(id string) (JobTrace, bool) {
 		Spans:   j.trace.Spans(),
 		Dropped: j.trace.Dropped(),
 	}, true
+}
+
+// JobBreakdown is the full per-node power attribution of one job, the
+// body of GET /v1/jobs/{id}/breakdown.
+type JobBreakdown struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Report is the complete attribution (nil until a breakdown-enabled
+	// job finishes).
+	Report *power.BreakdownReport `json:"report,omitempty"`
+	// Truncated marks a job restored from the journal: the full ranking
+	// is not persisted, so the report carries only the inline top rows.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Breakdown returns the job's per-node power attribution. ok reports
+// whether the job exists; Report stays nil until a job submitted with
+// options.breakdown reaches StateDone.
+func (m *Manager) Breakdown(id string) (JobBreakdown, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobBreakdown{}, false
+	}
+	out := JobBreakdown{ID: id, State: j.state}
+	if j.result != nil && j.result.Breakdown != nil {
+		bv := j.result.Breakdown
+		if bv.Full != nil {
+			out.Report = bv.Full
+		} else {
+			// Restored from the journal, where only the summary survives:
+			// rebuild a report from the inline rows and say so.
+			out.Report = &power.BreakdownReport{
+				Observations: bv.Observations,
+				Dynamic:      bv.Dynamic,
+				Leakage:      bv.Leakage,
+				Rows:         bv.Top,
+				Modules:      bv.Modules,
+			}
+			out.Truncated = true
+		}
+	}
+	return out, true
 }
 
 // JobTrace is the JSON rendering of a job's lifecycle trace: the

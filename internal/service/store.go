@@ -40,6 +40,11 @@ type Checkpoint struct {
 	// criterion under ReuseTestSamples; JSON renders float64 in shortest
 	// round-trip form, so persistence is lossless.
 	SeedSeq []float64 `json:"seedSeq,omitempty"`
+	// SeedToggles is the accepted phase-1 sequence's per-node transition
+	// counts (Options.Breakdown runs only); integers below 2^53 survive
+	// JSON exactly, so a resumed breakdown folds the same seed counts the
+	// uninterrupted run would have.
+	SeedToggles []uint64 `json:"seedToggles,omitempty"`
 	// Plan is the frozen variance-reduction plan.
 	Plan vr.Plan `json:"plan,omitzero"`
 	// HiddenCycles and SampledCycles are the pre-sampling phase costs,
@@ -51,12 +56,13 @@ type Checkpoint struct {
 // ResumePoint converts the persisted checkpoint back to the core seam.
 func (c Checkpoint) ResumePoint() core.ResumePoint {
 	return core.ResumePoint{
-		Interval: c.Interval,
-		Capped:   c.Capped,
-		SeedSeq:  c.SeedSeq,
-		Plan:     c.Plan,
-		Hidden:   c.HiddenCycles,
-		Sampled:  c.SampledCycles,
+		Interval:    c.Interval,
+		Capped:      c.Capped,
+		SeedSeq:     c.SeedSeq,
+		SeedToggles: c.SeedToggles,
+		Plan:        c.Plan,
+		Hidden:      c.HiddenCycles,
+		Sampled:     c.SampledCycles,
 	}
 }
 
@@ -69,6 +75,7 @@ func CheckpointOf(rp core.ResumePoint) Checkpoint {
 		Interval:      rp.Interval,
 		Capped:        rp.Capped,
 		SeedSeq:       rp.SeedSeq,
+		SeedToggles:   rp.SeedToggles,
 		Plan:          rp.Plan,
 		HiddenCycles:  rp.Hidden,
 		SampledCycles: rp.Sampled,

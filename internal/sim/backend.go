@@ -93,6 +93,12 @@ type LaneSession interface {
 	// StepSampledBoth observes each lane with the scalar engine while
 	// also computing the zero-delay toggle covariate at word level.
 	StepSampledBoth(engine PowerEngine, weights []float64, powers, toggles []float64)
+	// AccumulateToggles installs dst (len NumNodes, nil to disable) as a
+	// per-node transition-count accumulator over all active lanes of
+	// every sampled cycle. Counts are integers merged by addition, so
+	// they are bit-identical across backends, lane widths and any
+	// partition of the replication space.
+	AccumulateToggles(dst []uint64)
 	// ExtractLane copies lane k's settled state into scalar arrays; any
 	// destination may be nil.
 	ExtractLane(k int, vals, pins, q []bool)

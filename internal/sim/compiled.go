@@ -69,6 +69,11 @@ type CompiledSession struct {
 	spins []bool
 	sq    []bool
 
+	// counts, when installed via AccumulateToggles, receives per-node
+	// transition counts summed over all active lanes of every sampled
+	// cycle.
+	counts []uint64
+
 	// HiddenCycles and SampledCycles count per-replication cycles, the
 	// same accounting as PackedSession and the scalar Session.
 	HiddenCycles  uint64
@@ -302,6 +307,20 @@ func (s *CompiledSession) ResetCounters() {
 	s.SampledCycles = 0
 }
 
+// AccumulateToggles installs dst (len NumNodes, or nil to disable) as
+// the per-node transition-count accumulator, with the same semantics as
+// PackedSession.AccumulateToggles: zero-delay sampled steps count from
+// the Full-file row diff (one popcount per node word, summed across the
+// row's words), engine-observed steps count from the scalar engine.
+// Counts are integers, so they are bit-identical to the packed backend's
+// regardless of lane width or word layout.
+func (s *CompiledSession) AccumulateToggles(dst []uint64) {
+	if dst != nil && len(dst) != s.c.NumNodes() {
+		panic(fmt.Sprintf("sim: AccumulateToggles length %d, want %d", len(dst), s.c.NumNodes()))
+	}
+	s.counts = dst
+}
+
 // CycleCounts returns the cost counters, satisfying LaneSession.
 func (s *CompiledSession) CycleCounts() (hidden, sampled uint64) {
 	return s.HiddenCycles, s.SampledCycles
@@ -432,7 +451,7 @@ func (s *CompiledSession) StepSampled(weights []float64, powers []float64) {
 	s.pins, s.buf = s.buf, s.pins
 	s.full, s.oldFull = s.oldFull, s.full
 	s.settleFull()
-	s.toggleDiff(weights, powers)
+	s.toggleDiff(weights, powers, s.counts)
 	s.SampledCycles += uint64(s.lanes)
 }
 
@@ -445,7 +464,7 @@ func (s *CompiledSession) observeLanes(engine PowerEngine, weights, powers []flo
 		s.extractRows(k, s.svals, s.full)
 		s.extractRows(k, s.spins, s.buf)
 		s.extractRows(k, s.sq, s.nextQ)
-		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, nil)
+		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, s.counts)
 	}
 }
 
@@ -457,7 +476,14 @@ func (s *CompiledSession) observeLanes(engine PowerEngine, weights, powers []flo
 // interleaving changes. Word-outer lets each word's 64-lane power span
 // be addressed through a fixed-size array pointer, eliminating the
 // bounds check on the scatter add in the hottest loop of StepSampled.
-func (s *CompiledSession) toggleDiff(weights, powers []float64) {
+//
+// counts, when non-nil, additionally receives each node's cross-lane
+// transition count: one popcount per (node, word), summed across the
+// row's words. Integer sums are order-independent, so the accumulated
+// counts match PackedSession.toggleDiff bit for bit at any lane width.
+// StepSampledBoth passes nil here because its counts come from the
+// scalar engine, which would otherwise double-count the cycle.
+func (s *CompiledSession) toggleDiff(weights, powers []float64, counts []uint64) {
 	for k := 0; k < s.lanes; k++ {
 		powers[k] = 0
 	}
@@ -468,10 +494,20 @@ func (s *CompiledSession) toggleDiff(weights, powers []float64) {
 		mask := s.masks[j]
 		if base := j << 6; base+64 <= len(powers) {
 			pw := (*[64]float64)(powers[base:])
-			for i, wt := range weights {
-				d := (full[i*w+j] ^ old[i*w+j]) & mask
-				for ; d != 0; d &= d - 1 {
-					pw[bits.TrailingZeros64(d)&63] += wt
+			if counts != nil {
+				for i, wt := range weights {
+					d := (full[i*w+j] ^ old[i*w+j]) & mask
+					counts[i] += uint64(bits.OnesCount64(d))
+					for ; d != 0; d &= d - 1 {
+						pw[bits.TrailingZeros64(d)&63] += wt
+					}
+				}
+			} else {
+				for i, wt := range weights {
+					d := (full[i*w+j] ^ old[i*w+j]) & mask
+					for ; d != 0; d &= d - 1 {
+						pw[bits.TrailingZeros64(d)&63] += wt
+					}
 				}
 			}
 		} else {
@@ -479,6 +515,9 @@ func (s *CompiledSession) toggleDiff(weights, powers []float64) {
 			pw := powers[base:]
 			for i, wt := range weights {
 				d := (full[i*w+j] ^ old[i*w+j]) & mask
+				if counts != nil {
+					counts[i] += uint64(bits.OnesCount64(d))
+				}
 				for ; d != 0; d &= d - 1 {
 					pw[bits.TrailingZeros64(d)] += wt
 				}
@@ -522,7 +561,7 @@ func (s *CompiledSession) StepSampledBoth(engine PowerEngine, weights []float64,
 	s.pins, s.buf = s.buf, s.pins
 	s.full, s.oldFull = s.oldFull, s.full
 	s.settleFull()
-	s.toggleDiff(weights, toggles)
+	s.toggleDiff(weights, toggles, nil)
 	s.SampledCycles += uint64(s.lanes)
 }
 

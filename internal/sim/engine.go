@@ -28,8 +28,11 @@ type PowerEngine interface {
 	// CyclePower simulates one clock cycle and returns the weighted
 	// transition sum. weights[i] is the power contribution of one
 	// transition at node i; if counts is non-nil, counts[i] is
-	// incremented once per transition at node i.
-	CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64
+	// incremented once per transition at node i. The accumulators are
+	// uint64: a long fixed-interval run on a 100k-gate circuit can push a
+	// high-activity node past 2^32 transitions, which a narrower counter
+	// would wrap silently.
+	CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint64) float64
 	// Name identifies the engine in results and reports.
 	Name() string
 	// DelayModelName names the timing model the engine realizes
@@ -76,7 +79,7 @@ func NewZeroDelayToggle(c *netlist.Circuit) *ZeroDelayToggle {
 // weights of every node whose settled value changed. The sum runs in
 // node-index order — the same order the packed sampled step uses, so
 // the two agree bit-for-bit.
-func (e *ZeroDelayToggle) CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64 {
+func (e *ZeroDelayToggle) CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint64) float64 {
 	if len(vals) != len(e.scratch) {
 		panic(fmt.Sprintf("sim: ZeroDelayToggle vals length %d, want %d", len(vals), len(e.scratch)))
 	}

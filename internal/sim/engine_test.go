@@ -134,7 +134,7 @@ func TestZeroDelayToggleCounts(t *testing.T) {
 		w[i] = 1
 	}
 	s := NewSessionEngine(c, NewZeroDelayToggle(c), vectors.NewIID(len(c.Inputs), 0.5, 3), w)
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	var sum float64
 	const cycles = 50
 	for i := 0; i < cycles; i++ {

@@ -88,7 +88,7 @@ func NewEventDriven(c *netlist.Circuit, dt *delay.Table) *EventDriven {
 // returned. If counts is non-nil, counts[i] is incremented once per
 // transition at node i (it is not cleared first, so callers can
 // accumulate energy breakdowns over many cycles).
-func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64 {
+func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64, counts []uint64) float64 {
 	r := e.csr
 	sum := 0.0
 	e.LastEvents = 0
@@ -177,7 +177,7 @@ func (e *EventDriven) Cycle(vals []bool, newPins, newQ []bool, weights []float64
 
 // CyclePower implements PowerEngine; it is Cycle under the interface's
 // name.
-func (e *EventDriven) CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint32) float64 {
+func (e *EventDriven) CyclePower(vals []bool, newPins, newQ []bool, weights []float64, counts []uint64) float64 {
 	return e.Cycle(vals, newPins, newQ, weights, counts)
 }
 

@@ -111,6 +111,11 @@ type PackedSession struct {
 	spins []bool
 	sq    []bool
 
+	// counts, when installed via AccumulateToggles, receives per-node
+	// transition counts summed over all active lanes of every sampled
+	// cycle.
+	counts []uint64
+
 	// HiddenCycles and SampledCycles count per-replication cycles (one
 	// StepHidden over L lanes adds L), so they are directly comparable
 	// with the scalar Session's cost counters.
@@ -167,6 +172,21 @@ func (s *PackedSession) Lanes() int { return s.lanes }
 func (s *PackedSession) ResetCounters() {
 	s.HiddenCycles = 0
 	s.SampledCycles = 0
+}
+
+// AccumulateToggles installs dst (len NumNodes, or nil to disable) as
+// the per-node transition-count accumulator: every sampled cycle adds
+// each active lane's transitions at node i into dst[i]. Zero-delay
+// sampled steps count from the packed word diff (one popcount per
+// node word); engine-observed steps count from the scalar engine, so
+// general-delay accounting includes glitches. Accumulation never
+// perturbs powers — per-lane samples stay bit-identical with and
+// without it.
+func (s *PackedSession) AccumulateToggles(dst []uint64) {
+	if dst != nil && len(dst) != s.c.NumNodes() {
+		panic(fmt.Sprintf("sim: AccumulateToggles length %d, want %d", len(dst), s.c.NumNodes()))
+	}
+	s.counts = dst
 }
 
 // advance computes the packed next latch state from the current settled
@@ -229,7 +249,7 @@ func (s *PackedSession) StepSampled(weights []float64, powers []float64) {
 	s.pins, s.buf = s.buf, s.pins
 	s.vals, s.oldVals = s.oldVals, s.vals
 	s.pz.Settle(s.vals, s.pins, s.q)
-	s.toggleDiff(weights, powers)
+	s.toggleDiff(weights, powers, s.counts)
 	s.SampledCycles += uint64(s.lanes)
 }
 
@@ -244,7 +264,7 @@ func (s *PackedSession) observeLanes(engine PowerEngine, weights, powers []float
 		extractWord(k, s.svals, s.vals)
 		extractWord(k, s.spins, s.buf)
 		extractWord(k, s.sq, s.nextQ)
-		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, nil)
+		powers[k] = engine.CyclePower(s.svals, s.spins, s.sq, weights, s.counts)
 	}
 }
 
@@ -252,8 +272,11 @@ func (s *PackedSession) observeLanes(engine PowerEngine, weights, powers []float
 // from the settled word diff (vals vs oldVals). It is the one diff
 // pass shared by StepSampled and StepSampledBoth, which keeps the
 // toggle covariate bit-identical to the packed zero-delay power by
-// construction.
-func (s *PackedSession) toggleDiff(weights, powers []float64) {
+// construction. counts, when non-nil, additionally receives each
+// node's cross-lane transition count (one popcount per node word);
+// StepSampledBoth passes nil here because its counts come from the
+// scalar engine, which would otherwise double-count the cycle.
+func (s *PackedSession) toggleDiff(weights, powers []float64, counts []uint64) {
 	for k := 0; k < s.lanes; k++ {
 		powers[k] = 0
 	}
@@ -261,6 +284,9 @@ func (s *PackedSession) toggleDiff(weights, powers []float64) {
 		// Inactive lanes are masked out: their inputs are frozen at the
 		// reset pattern but latch feedback could still toggle them.
 		d := (s.vals[i] ^ s.oldVals[i]) & s.mask
+		if counts != nil {
+			counts[i] += uint64(bits.OnesCount64(d))
+		}
 		for ; d != 0; d &= d - 1 {
 			powers[bits.TrailingZeros64(d)] += w
 		}
@@ -308,7 +334,7 @@ func (s *PackedSession) StepSampledBoth(engine PowerEngine, weights []float64, p
 	s.pins, s.buf = s.buf, s.pins
 	s.vals, s.oldVals = s.oldVals, s.vals
 	s.pz.Settle(s.vals, s.pins, s.q)
-	s.toggleDiff(weights, toggles)
+	s.toggleDiff(weights, toggles, nil)
 	s.SampledCycles += uint64(s.lanes)
 }
 

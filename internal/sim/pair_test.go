@@ -92,7 +92,7 @@ func TestSessionStepSampledPair(t *testing.T) {
 	toggle.StepHiddenN(64)
 
 	for cycle := 0; cycle < 200; cycle++ {
-		x, cov := paired.StepSampledPair()
+		x, cov := paired.StepSampledPair(nil)
 		if want := plain.StepSampled(nil); x != want {
 			t.Fatalf("cycle %d: pair sample %v != plain sample %v", cycle, x, want)
 		}

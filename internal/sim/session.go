@@ -135,7 +135,7 @@ func (s *Session) StepHiddenN(n int) {
 // which equals the cycle's average power when the weights are built as
 // C_i * VDD^2 / (2T) (see power Model.Weights). If counts is non-nil, the
 // per-node transition counts are accumulated into it.
-func (s *Session) StepSampled(counts []uint32) float64 {
+func (s *Session) StepSampled(counts []uint64) float64 {
 	s.advance()
 	s.q, s.nextQ = s.nextQ, s.q
 	s.pins, s.buf = s.buf, s.pins
@@ -153,8 +153,9 @@ func (s *Session) StepSampled(counts []uint32) float64 {
 // the cycle, and the session trajectory and x are bit-identical to a
 // plain StepSampled. The pair is the calibration substrate of the
 // control-variate transform (internal/vr): x is the sample, c the
-// covariate.
-func (s *Session) StepSampledPair() (x, c float64) {
+// covariate. If counts is non-nil the engine's per-node transition
+// counts are accumulated into it, exactly as in StepSampled.
+func (s *Session) StepSampledPair(counts []uint64) (x, c float64) {
 	if s.oldVals == nil {
 		s.oldVals = make([]bool, len(s.vals))
 	}
@@ -162,7 +163,7 @@ func (s *Session) StepSampledPair() (x, c float64) {
 	s.advance()
 	s.q, s.nextQ = s.nextQ, s.q
 	s.pins, s.buf = s.buf, s.pins
-	x = s.engine.CyclePower(s.vals, s.pins, s.q, s.weights, nil)
+	x = s.engine.CyclePower(s.vals, s.pins, s.q, s.weights, counts)
 	for i, v := range s.vals {
 		if v != s.oldVals[i] {
 			c += s.weights[i]

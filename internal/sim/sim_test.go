@@ -126,7 +126,7 @@ func TestEventDrivenCountsGlitches(t *testing.T) {
 
 	vals := make([]bool, c.NumNodes())
 	zd.Settle(vals, []bool{false}, nil)
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	ed.Cycle(vals, []bool{true}, nil, w, counts)
 
 	// The XOR must glitch: 0 -> 1 (direct path) -> 0 (delayed path).
@@ -152,7 +152,7 @@ func TestInertialFilteringSuppressesShortPulse(t *testing.T) {
 
 	vals := make([]bool, c.NumNodes())
 	zd.Settle(vals, []bool{false}, nil)
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	ed.Cycle(vals, []bool{true}, nil, w, counts)
 	if counts[y] != 0 {
 		t.Fatalf("slow XOR transitions = %d, want 0 (inertial filtering)", counts[y])
@@ -170,7 +170,7 @@ func TestZeroDelayModelSeesNoGlitches(t *testing.T) {
 
 	vals := make([]bool, c.NumNodes())
 	zd.Settle(vals, []bool{false}, nil)
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	ed.Cycle(vals, []bool{true}, nil, w, counts)
 	if counts[y] != 0 {
 		t.Fatalf("zero-delay XOR transitions = %d, want 0", counts[y])
@@ -197,7 +197,7 @@ func TestEventDrivenWeightedSumMatchesCounts(t *testing.T) {
 		for i := range q {
 			q[i] = rng.Intn(2) == 1
 		}
-		counts := make([]uint32, c.NumNodes())
+		counts := make([]uint64, c.NumNodes())
 		sum := ed.Cycle(vals, pins, q, w, counts)
 		var want float64
 		for i, n := range counts {
@@ -340,7 +340,7 @@ func TestConstantNodesNeverTransition(t *testing.T) {
 	}
 	s := NewSession(c, delay.BuildTable(c, delay.Unit{}),
 		vectors.NewIID(1, 0.5, 11), unitWeights(c))
-	counts := make([]uint32, c.NumNodes())
+	counts := make([]uint64, c.NumNodes())
 	for i := 0; i < 100; i++ {
 		s.StepSampled(counts)
 	}

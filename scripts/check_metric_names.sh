@@ -25,7 +25,7 @@ NF < 2 { next }
   split($1, loc, ":")
   where = loc[1] ":" loc[2]
   iscounter = ($1 ~ /\.Counter(Vec|Func)?\($/)
-  if (name !~ /^dipe_(core|compile|cluster|service|worker)_[a-z][a-z0-9_]*$/) {
+  if (name !~ /^dipe_(core|compile|cluster|power|service|worker)_[a-z][a-z0-9_]*$/) {
     print where ": metric " name " does not match dipe_<subsystem>_<name>"
     bad = 1
   } else if (iscounter && name !~ /_total$/ && name !~ /_$/) {
